@@ -1,0 +1,302 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper figures — these probe the sensitivity of the reproduced results
+to the model's key knobs:
+
+* DVFS transition latency (Table I fixes 25 µs; how much do CATA/RSU gains
+  depend on it?),
+* the software reconfiguration path cost (kernel crossing + driver),
+* the bottom-level threshold of the CATS+BL estimator,
+* the multi-level DVFS extension vs the paper's two levels,
+* the criticality estimator driving CATA (SA vs BL).
+"""
+
+from dataclasses import replace
+
+from conftest import emit
+
+from repro.analysis import render_table
+from repro.core.policies import run_policy
+from repro.harness import GridRunner
+from repro.sim.config import default_machine
+from repro.sim.engine import US
+from repro.workloads import build_program
+
+SCALE = 0.6
+SEED = 1
+
+
+def _speedup(workload, policy, machine=None, fast=8, **kw):
+    base_prog = build_program(workload, scale=SCALE, seed=SEED, machine=machine)
+    prog = build_program(workload, scale=SCALE, seed=SEED, machine=machine)
+    fifo = run_policy(base_prog, "fifo", machine=machine, fast_cores=fast,
+                      trace_enabled=False)
+    res = run_policy(prog, policy, machine=machine, fast_cores=fast,
+                     trace_enabled=False, **kw)
+    return fifo.exec_time_ns / res.exec_time_ns
+
+
+def test_ablation_dvfs_transition_latency(benchmark):
+    """CATA's wins survive slower ramps; RSU's edge grows with ramp cost."""
+
+    def sweep():
+        rows = []
+        for lat_us in (5.0, 25.0, 100.0, 400.0):
+            machine = default_machine()
+            machine = replace(
+                machine,
+                overheads=replace(machine.overheads, dvfs_transition_ns=lat_us * US),
+            )
+            rows.append(
+                (
+                    lat_us,
+                    _speedup("swaptions", "cata", machine),
+                    _speedup("swaptions", "cata_rsu", machine),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_dvfs_latency",
+        render_table(
+            ["transition (us)", "CATA speedup", "CATA+RSU speedup"],
+            rows,
+            title="Ablation: DVFS transition latency (swaptions @8)",
+        ),
+    )
+    # Gains should not collapse at the paper's 25 us.
+    at25 = next(r for r in rows if r[0] == 25.0)
+    assert at25[1] > 1.05 and at25[2] > 1.05
+    # Extremely slow ramps erode the benefit.
+    at400 = next(r for r in rows if r[0] == 400.0)
+    assert at400[1] <= at25[1] + 0.02
+
+
+def test_ablation_software_path_cost(benchmark):
+    """The RSU's advantage comes from removing the software path."""
+
+    def sweep():
+        rows = []
+        for path_us in (1.0, 5.0, 20.0, 80.0):
+            machine = default_machine()
+            machine = replace(
+                machine,
+                overheads=replace(
+                    machine.overheads,
+                    kernel_crossing_ns=path_us * US * 0.4,
+                    cpufreq_driver_ns=path_us * US * 0.6,
+                ),
+            )
+            rows.append(
+                (
+                    path_us,
+                    _speedup("fluidanimate", "cata", machine),
+                    _speedup("fluidanimate", "cata_rsu", machine),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_software_path",
+        render_table(
+            ["sw path (us)", "CATA speedup", "CATA+RSU speedup"],
+            rows,
+            title="Ablation: cpufreq software path cost (fluidanimate @8)",
+        ),
+    )
+    # Software CATA degrades as the path gets more expensive; RSU does not.
+    cata = [r[1] for r in rows]
+    rsu = [r[2] for r in rows]
+    assert cata[-1] < cata[0]
+    assert max(rsu) - min(rsu) < max(cata) - min(cata) + 0.05
+
+
+def test_ablation_bl_threshold(benchmark):
+    """The CATS+BL criticality threshold trades HPRQ precision for recall."""
+
+    def sweep():
+        rows = []
+        for threshold in (0.5, 0.75, 0.9, 1.0):
+            prog = build_program("bodytrack", scale=SCALE, seed=SEED)
+            base = build_program("bodytrack", scale=SCALE, seed=SEED)
+            from repro.core.policies import build_system
+
+            fifo = build_system(base, "fifo", fast_cores=8, trace_enabled=False).run()
+            res = build_system(
+                prog, "cats_bl", fast_cores=8, trace_enabled=False,
+                bl_threshold=threshold,
+            ).run()
+            rows.append((threshold, fifo.exec_time_ns / res.exec_time_ns))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_bl_threshold",
+        render_table(
+            ["threshold", "CATS+BL speedup"],
+            rows,
+            title="Ablation: bottom-level criticality threshold (bodytrack @8)",
+        ),
+    )
+    assert all(s > 0.8 for _, s in rows)
+
+
+def test_ablation_multilevel_extension(benchmark):
+    """Paper future work: a 3-point DVFS ladder vs the 2-point baseline."""
+
+    def sweep():
+        rows = []
+        for wl in ("swaptions", "bodytrack"):
+            rows.append(
+                (
+                    wl,
+                    _speedup(wl, "cata_rsu"),
+                    _speedup(wl, "cata_rsu_ml"),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_multilevel",
+        render_table(
+            ["benchmark", "2-level RSU", "3-level RSU"],
+            rows,
+            title="Ablation: multi-level DVFS extension @8-fast budget",
+        ),
+    )
+    for _wl, two, three in rows:
+        assert three > 0.95  # the ladder must not break anything
+        assert abs(three - two) < 0.25
+
+
+def test_ablation_estimator_for_cata(benchmark):
+    """CATA driven by BL instead of SA (the paper evaluates SA only)."""
+
+    def sweep():
+        rows = []
+        for wl in ("bodytrack", "dedup"):
+            rows.append((wl, _speedup(wl, "cata"), _speedup(wl, "cata_bl")))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_cata_estimator",
+        render_table(
+            ["benchmark", "CATA (SA)", "CATA (BL)"],
+            rows,
+            title="Ablation: criticality estimator driving CATA @8",
+        ),
+    )
+    for _wl, sa, bl in rows:
+        assert sa > 0.9 and bl > 0.9
+
+
+def test_ablation_memory_contention(benchmark):
+    """Opt-in bandwidth contention: acceleration value shrinks as the
+    memory wall rises (the model is off by default and in all paper
+    figures)."""
+    from dataclasses import replace
+
+    from repro.sim.config import default_machine
+
+    def sweep():
+        rows = []
+        for alpha in (0.0, 1.0, 3.0):
+            machine = replace(default_machine(), mem_contention_alpha=alpha)
+            rows.append(
+                (
+                    alpha,
+                    _speedup("fluidanimate", "cata_rsu", machine),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_mem_contention",
+        render_table(
+            ["alpha", "CATA+RSU speedup"],
+            rows,
+            title="Ablation: shared-bandwidth contention (fluidanimate @8)",
+        ),
+    )
+    base = rows[0][1]
+    worst = rows[-1][1]
+    assert worst <= base + 0.05  # contention cannot increase DVFS value
+
+
+def test_ablation_frequency_ratio(benchmark):
+    """How much of CATA's value depends on the fast/slow performance ratio?
+
+    The paper fixes 2 GHz / 1 GHz (a 2x ratio); this sweep varies the slow
+    rail to explore milder and wider heterogeneity at the same budget.
+    """
+    from repro.sim.config import DVFSLevel
+
+    def sweep():
+        rows = []
+        for slow_ghz in (1.6, 1.0, 0.67):
+            machine = replace(
+                default_machine(),
+                slow=DVFSLevel("slow", freq_ghz=slow_ghz, voltage_v=0.8),
+            )
+            ratio = machine.fast.freq_ghz / slow_ghz
+            rows.append(
+                (
+                    f"{ratio:.1f}x",
+                    _speedup("bodytrack", "cata_rsu", machine),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_freq_ratio",
+        render_table(
+            ["fast/slow ratio", "CATA+RSU speedup"],
+            rows,
+            title="Ablation: heterogeneity ratio (bodytrack @8)",
+        ),
+    )
+    # Wider heterogeneity -> criticality-aware acceleration matters more.
+    speedups = [s for _, s in rows]
+    assert speedups[-1] > speedups[0]
+
+
+def test_ablation_weighted_bottom_level(benchmark):
+    """Extension: duration-weighted bottom-level vs the paper's estimators.
+
+    The paper lists BL's limitation that "the task execution time is not
+    taken into account".  Weighting each node by its expected duration
+    fixes it — on Bodytrack (stage durations spread over 10x at equal hop
+    distance) the weighted estimator beats plain BL decisively and even
+    the hand-written static annotations.
+    """
+
+    def sweep():
+        rows = []
+        for wl in ("bodytrack", "dedup", "fluidanimate"):
+            rows.append(
+                (
+                    wl,
+                    _speedup(wl, "cats_bl"),
+                    _speedup(wl, "cats_wbl"),
+                    _speedup(wl, "cats_sa"),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_weighted_bl",
+        render_table(
+            ["benchmark", "CATS+BL", "CATS+WBL (ext)", "CATS+SA"],
+            rows,
+            title="Ablation: duration-weighted bottom-level @8",
+        ),
+    )
+    bodytrack = next(r for r in rows if r[0] == "bodytrack")
+    assert bodytrack[2] > bodytrack[1], "WBL must fix BL's duration blindness"

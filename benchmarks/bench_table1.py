@@ -1,0 +1,11 @@
+"""Regenerates Table I (processor configuration)."""
+
+from conftest import emit
+
+from repro.harness import render_table1, table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    assert dict(rows)["Core count"] == "32"
+    emit("table1", render_table1())

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+``paper_runner`` is session-scoped so Figure 4 and Figure 5 — which share
+the FIFO baselines and the CATA column — reuse each other's simulations.
+Results are also written to ``benchmarks/results/`` so the regenerated
+tables survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.harness import GridRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Seeds used for the paper-scale sweeps (multi-seed averaging).
+PAPER_SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="session")
+def paper_runner() -> GridRunner:
+    return GridRunner(scale=1.0, seeds=PAPER_SEEDS)
+
+
+@pytest.fixture(scope="session")
+def traced_runner() -> GridRunner:
+    """Single-seed runner with tracing for the Section V-C statistics."""
+    return GridRunner(scale=1.0, seeds=(1,), trace_enabled=True)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated artifact (bypassing capture) and save it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    sys.__stdout__.write(f"\n===== {name} =====\n{text}\n")
+    sys.__stdout__.flush()

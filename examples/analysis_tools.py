@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Tour of the analysis toolbox on one simulated run.
+
+Simulates fluidanimate under CATA+RSU and shows every lens the library
+offers on the same trace:
+
+* the ASCII core-by-time timeline (phase structure, stragglers, idling),
+* per-task-type attribution (who was critical, who got accelerated),
+* the per-state energy breakdown (where the joules went),
+* analytical makespan bounds (how close the schedule is to optimal),
+* a Chrome/Perfetto trace export for interactive inspection.
+"""
+
+import os
+import tempfile
+
+from repro import build_program, run_policy
+from repro.analysis import (
+    executed_critical_path,
+    makespan_bounds,
+    render_attribution,
+    render_timeline,
+)
+from repro.analysis.export import export_chrome_trace
+from repro.workloads import characterize
+
+SCALE = 0.35
+
+
+def main() -> None:
+    program = build_program("fluidanimate", scale=SCALE, seed=1)
+    stats = characterize(program)
+    print(
+        f"fluidanimate @ scale {SCALE}: {stats.tasks} tasks, "
+        f"{stats.task_types} types, parallelism {stats.parallelism:.1f}, "
+        f"beta {stats.weighted_beta:.2f}"
+    )
+
+    result = run_policy(
+        build_program("fluidanimate", scale=SCALE, seed=1), "cata_rsu", fast_cores=8
+    )
+
+    print()
+    print(render_timeline(result.trace, width=100, max_cores=12))
+
+    print()
+    print(render_attribution(result.trace, title="per-type attribution (CATA+RSU)"))
+
+    print()
+    bd = result.extra["energy_breakdown_j"]
+    total = sum(bd.values())
+    print("energy breakdown:")
+    for bucket, joules in sorted(bd.items(), key=lambda kv: -kv[1]):
+        print(f"  {bucket:<10} {joules:8.4f} J ({100 * joules / total:5.1f}%)")
+
+    print()
+    report = executed_critical_path(
+        build_program("fluidanimate", scale=SCALE, seed=1), result.trace
+    )
+    print(report.summary())
+
+    bounds = makespan_bounds(program, fast_cores=8)
+    print()
+    print(
+        f"makespan {result.exec_time_ns / 1e6:.3f} ms vs best lower bound "
+        f"{bounds.best_ns / 1e6:.3f} ms "
+        f"(schedule within {result.exec_time_ns / bounds.best_ns:.2f}x of optimal)"
+    )
+
+    path = os.path.join(tempfile.gettempdir(), "fluidanimate_cata_rsu.json")
+    n = export_chrome_trace(result.trace, path)
+    print(f"\nwrote {n} trace events to {path} — open in chrome://tracing")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Sweep the power budget: how do the mechanisms scale with fast cores?
+
+The paper evaluates three budgets (8, 16, 24 of 32).  This example sweeps a
+finer grid on one pipeline benchmark (bodytrack) and one fork-join
+benchmark (swaptions) to expose the crossover behaviour: criticality-aware
+acceleration matters most when fast cores are scarce, and converges toward
+FIFO as nearly every core can be fast.
+"""
+
+from repro import build_program, run_policy
+from repro.analysis import render_table
+
+BUDGETS = (4, 8, 12, 16, 20, 24, 28)
+POLICIES = ("cats_sa", "cata", "cata_rsu", "turbomode")
+SCALE = 0.5
+
+
+def sweep(workload: str) -> list[tuple]:
+    rows = []
+    for budget in BUDGETS:
+        fifo = run_policy(
+            build_program(workload, scale=SCALE, seed=1),
+            "fifo",
+            fast_cores=budget,
+            trace_enabled=False,
+        )
+        row = [budget]
+        for policy in POLICIES:
+            res = run_policy(
+                build_program(workload, scale=SCALE, seed=1),
+                policy,
+                fast_cores=budget,
+                trace_enabled=False,
+            )
+            row.append(fifo.exec_time_ns / res.exec_time_ns)
+        rows.append(tuple(row))
+    return rows
+
+
+def main() -> None:
+    for workload in ("bodytrack", "swaptions"):
+        print(
+            render_table(
+                ["budget"] + [f"{p} speedup" for p in POLICIES],
+                sweep(workload),
+                title=f"Power-budget sweep on {workload} (speedup over FIFO)",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

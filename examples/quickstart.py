@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one benchmark under FIFO and CATA and compare.
+
+Runs the swaptions workload (coarse, imbalanced fork-join — the case CATA's
+dynamic budget reassignment was designed for) on the paper's 32-core
+machine with a power budget of 8 fast cores, then prints the speedup and
+EDP improvement exactly as the paper's figures define them.
+
+Usage::
+
+    python examples/quickstart.py [scale]
+
+``scale`` (default 0.5) grows/shrinks the workload.
+"""
+
+import sys
+
+from repro import build_program, run_policy
+from repro.analysis import normalize
+
+SCALE = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+
+def main() -> None:
+    print("simulating swaptions under FIFO (baseline)...")
+    fifo = run_policy(
+        build_program("swaptions", scale=SCALE, seed=1), "fifo", fast_cores=8
+    )
+    print("simulating swaptions under CATA...")
+    cata = run_policy(
+        build_program("swaptions", scale=SCALE, seed=1), "cata", fast_cores=8
+    )
+
+    point = normalize(fifo, cata, fast_cores=8)
+    print()
+    print(f"FIFO execution time: {fifo.exec_time_ns / 1e6:8.3f} ms")
+    print(f"CATA execution time: {cata.exec_time_ns / 1e6:8.3f} ms")
+    print(f"FIFO energy:         {fifo.energy_j:8.4f} J")
+    print(f"CATA energy:         {cata.energy_j:8.4f} J")
+    print()
+    print(f"speedup over FIFO:   {point.speedup:6.3f}  (+{point.speedup_pct:.1f}%)")
+    print(
+        f"normalized EDP:      {point.normalized_edp:6.3f}  "
+        f"({point.edp_improvement_pct:.1f}% better)"
+    )
+    print()
+    print(
+        f"CATA performed {cata.reconfig_count} reconfigurations "
+        f"({cata.cpufreq_writes} cpufreq writes, "
+        f"avg latency {cata.avg_reconfig_latency_ns / 1e3:.1f} us)"
+    )
+
+
+if __name__ == "__main__":
+    main()

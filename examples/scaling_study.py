@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Why the paper proposes hardware support: software costs grow with cores.
+
+Reruns the abstract's central claim as an interactive study: sweep the
+machine size with a proportionally scaled stencil workload and watch the
+software reconfiguration path (global lock + cpufreq writes) congest while
+the RSU stays flat.
+
+This is the `bench_scaling.py` harness in example form; tweak the sweep or
+the workload freely.
+"""
+
+import sys
+
+from repro.harness import render_scaling_study, run_scaling_study
+
+CORE_COUNTS = (8, 16, 32, 64)
+WORKLOAD = sys.argv[1] if len(sys.argv) > 1 else "fluidanimate"
+
+
+def main() -> None:
+    print(f"sweeping {CORE_COUNTS} cores on {WORKLOAD} (3 seeds each)...\n")
+    rows = run_scaling_study(
+        core_counts=CORE_COUNTS, workload=WORKLOAD, base_scale=0.5, seeds=(1, 2, 3)
+    )
+    print(render_scaling_study(rows, WORKLOAD))
+    print()
+    first, last = rows[0], rows[-1]
+    growth = (
+        last.cata_avg_lock_wait_us / first.cata_avg_lock_wait_us
+        if first.cata_avg_lock_wait_us
+        else float("inf")
+    )
+    print(
+        f"average lock wait grew {growth:.1f}x from {first.core_count} to "
+        f"{last.core_count} cores; the RSU pays two ISA instructions per task "
+        f"at any size."
+    )
+
+
+if __name__ == "__main__":
+    main()

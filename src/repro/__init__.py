@@ -1,0 +1,45 @@
+"""repro — reproduction of *CATA: Criticality Aware Task Acceleration for
+Multicore Processors* (Castillo et al., IPDPS 2016).
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — deterministic discrete-event multicore/DVFS simulator
+  (the gem5/McPAT substitute),
+* :mod:`repro.runtime` — task-based runtime (the Nanos++ substitute):
+  TDG, criticality estimation, schedulers, workers,
+* :mod:`repro.core` — the paper's mechanisms: CATA (software), the RSU
+  (hardware), TurboMode, and the policy registry,
+* :mod:`repro.workloads` — PARSECSs-shaped synthetic task programs,
+* :mod:`repro.analysis` — metrics (speedup, EDP), aggregation, reporting,
+* :mod:`repro.hw` — RSU area/power overhead estimation (CACTI substitute),
+* :mod:`repro.harness` — experiment drivers regenerating each table/figure.
+
+Quickstart::
+
+    from repro import build_program, run_policy
+    fifo = run_policy(build_program("swaptions"), "fifo", fast_cores=8)
+    cata = run_policy(build_program("swaptions"), "cata", fast_cores=8)
+    print(fifo.exec_time_ns / cata.exec_time_ns)  # speedup over FIFO
+"""
+
+from .core import POLICIES, build_system, run_policy
+from .runtime import Program, RunResult, RuntimeSystem, TaskType
+from .sim import MachineConfig, default_machine
+from .workloads import BENCHMARKS, build_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "POLICIES",
+    "BENCHMARKS",
+    "build_system",
+    "run_policy",
+    "build_program",
+    "Program",
+    "RunResult",
+    "RuntimeSystem",
+    "TaskType",
+    "MachineConfig",
+    "default_machine",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Metrics, aggregation, reporting and shape validation for the experiments."""
+
+from .attribution import TypeAttribution, attribute_by_type, render_attribution
+from .bounds import MakespanBounds, makespan_bounds
+from .critpath import CriticalPathReport, executed_critical_path
+from .export import export_chrome_trace, trace_to_chrome_events
+from .paraver import export_paraver, paraver_pcf, paraver_prv
+from .metrics import NormalizedPoint, normalize, normalized_edp, speedup
+from .timeline import render_timeline
+from .reporting import figure_rows, render_figure, render_table
+from .stats import arithmetic_mean, average_points, geometric_mean, group_by
+from .validate import ShapeReport, check_figure4_shape, check_figure5_shape
+
+__all__ = [
+    "TypeAttribution",
+    "attribute_by_type",
+    "render_attribution",
+    "MakespanBounds",
+    "CriticalPathReport",
+    "executed_critical_path",
+    "makespan_bounds",
+    "export_chrome_trace",
+    "trace_to_chrome_events",
+    "render_timeline",
+    "export_paraver",
+    "paraver_prv",
+    "paraver_pcf",
+    "NormalizedPoint",
+    "normalize",
+    "speedup",
+    "normalized_edp",
+    "arithmetic_mean",
+    "geometric_mean",
+    "average_points",
+    "group_by",
+    "render_table",
+    "render_figure",
+    "figure_rows",
+    "ShapeReport",
+    "check_figure4_shape",
+    "check_figure5_shape",
+]

@@ -1,0 +1,94 @@
+"""Per-task-type execution attribution.
+
+A "criticality stack" for task-based programs: breaks a run's trace down by
+task type — instance counts, aggregate and mean execution time, how often
+instances were decided critical, and how often they started on an
+accelerated core.  This is the quantitative version of the placement
+analysis the paper uses to explain each mechanism's behaviour ("TurboMode
+may accelerate a non-critical task or runtime idle-loops...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.trace import Trace
+from .reporting import render_table
+
+__all__ = ["TypeAttribution", "attribute_by_type", "render_attribution"]
+
+
+@dataclass(frozen=True)
+class TypeAttribution:
+    task_type: str
+    instances: int
+    total_time_ns: float
+    mean_time_ns: float
+    critical_fraction: float
+    accelerated_fraction: float
+    #: Fraction of this type's instances that were critical AND started
+    #: accelerated — the quantity criticality-aware acceleration maximizes.
+    critical_accelerated_fraction: float
+
+
+def attribute_by_type(trace: Trace) -> list[TypeAttribution]:
+    """Aggregate the trace's task spans by task type (largest time first)."""
+    counts: dict[str, int] = {}
+    time_ns: dict[str, float] = {}
+    critical: dict[str, int] = {}
+    accelerated: dict[str, int] = {}
+    both: dict[str, int] = {}
+    for span in trace.task_spans:
+        t = span.task_type
+        counts[t] = counts.get(t, 0) + 1
+        time_ns[t] = time_ns.get(t, 0.0) + span.duration_ns
+        if span.critical:
+            critical[t] = critical.get(t, 0) + 1
+        if span.accelerated_at_start:
+            accelerated[t] = accelerated.get(t, 0) + 1
+        if span.critical and span.accelerated_at_start:
+            both[t] = both.get(t, 0) + 1
+    out = [
+        TypeAttribution(
+            task_type=t,
+            instances=n,
+            total_time_ns=time_ns[t],
+            mean_time_ns=time_ns[t] / n,
+            critical_fraction=critical.get(t, 0) / n,
+            accelerated_fraction=accelerated.get(t, 0) / n,
+            critical_accelerated_fraction=(
+                both.get(t, 0) / critical[t] if critical.get(t) else 0.0
+            ),
+        )
+        for t, n in counts.items()
+    ]
+    out.sort(key=lambda a: a.total_time_ns, reverse=True)
+    return out
+
+
+def render_attribution(trace: Trace, title: str = "per-type attribution") -> str:
+    rows = [
+        (
+            a.task_type,
+            a.instances,
+            a.total_time_ns / 1e6,
+            a.mean_time_ns / 1e3,
+            a.critical_fraction,
+            a.accelerated_fraction,
+            a.critical_accelerated_fraction,
+        )
+        for a in attribute_by_type(trace)
+    ]
+    return render_table(
+        [
+            "type",
+            "instances",
+            "total (ms)",
+            "mean (us)",
+            "critical",
+            "accel@start",
+            "crit&accel",
+        ],
+        rows,
+        title=title,
+    )

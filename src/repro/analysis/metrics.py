@@ -1,0 +1,73 @@
+"""Normalized metrics exactly as the paper's figures define them.
+
+Figures 4 and 5 plot, per (benchmark, fast-core count):
+
+* **Speedup** = T_FIFO / T_policy — higher is better, 1.0 is the baseline,
+* **Normalized EDP** = EDP_policy / EDP_FIFO — lower is better.
+
+Normalization is always within the same fast-core count: the FIFO baseline
+at 8 fast cores normalizes only the 8-fast-core bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.system import RunResult
+
+__all__ = ["speedup", "normalized_edp", "NormalizedPoint", "normalize"]
+
+
+def speedup(baseline: RunResult, result: RunResult) -> float:
+    """Execution-time speedup of ``result`` over the FIFO ``baseline``."""
+    if result.exec_time_ns <= 0:
+        raise ValueError("result has non-positive execution time")
+    return baseline.exec_time_ns / result.exec_time_ns
+
+
+def normalized_edp(baseline: RunResult, result: RunResult) -> float:
+    """EDP of ``result`` relative to the FIFO ``baseline`` (lower = better)."""
+    base_edp = baseline.edp
+    if base_edp <= 0:
+        raise ValueError("baseline has non-positive EDP")
+    return result.edp / base_edp
+
+
+@dataclass(frozen=True)
+class NormalizedPoint:
+    """One bar of a paper figure."""
+
+    workload: str
+    policy: str
+    fast_cores: int
+    speedup: float
+    normalized_edp: float
+    exec_time_ns: float
+    energy_j: float
+
+    @property
+    def speedup_pct(self) -> float:
+        """Speedup as the percentage improvement the paper quotes."""
+        return (self.speedup - 1.0) * 100.0
+
+    @property
+    def edp_improvement_pct(self) -> float:
+        """EDP reduction in percent (positive = better than FIFO)."""
+        return (1.0 - self.normalized_edp) * 100.0
+
+
+def normalize(baseline: RunResult, result: RunResult, fast_cores: int) -> NormalizedPoint:
+    """Fold a (baseline, result) pair into one figure point."""
+    if baseline.workload != result.workload:
+        raise ValueError(
+            f"normalizing across workloads: {baseline.workload} vs {result.workload}"
+        )
+    return NormalizedPoint(
+        workload=result.workload,
+        policy=result.policy,
+        fast_cores=fast_cores,
+        speedup=speedup(baseline, result),
+        normalized_edp=normalized_edp(baseline, result),
+        exec_time_ns=result.exec_time_ns,
+        energy_j=result.energy_j,
+    )

@@ -1,0 +1,140 @@
+"""Paraver trace export.
+
+The paper's authors chose task criticality annotations by inspecting
+executions "using existing profiling tools to visualize the parallel
+execution of the application" (Section IV) — at BSC that tool is Paraver.
+This exporter writes the reproduction's traces in Paraver's text format so
+the same workflow applies to simulated runs:
+
+* the ``.prv`` file holds state records (one per task span, state =
+  running) and event records (task type, criticality, DVFS level changes),
+* the ``.pcf`` file declares the state and event-value names so Paraver
+  labels everything readably.
+
+The format is the documented Paraver 2.x text form:
+
+* state record  ``1:cpu:appl:task:thread:begin:end:state``
+* event record  ``2:cpu:appl:task:thread:time:type:value``
+
+with 1-based cpu/task ids and times in ns.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import Trace
+
+__all__ = [
+    "EVENT_TASK_TYPE",
+    "EVENT_CRITICALITY",
+    "EVENT_FREQ_MHZ",
+    "paraver_prv",
+    "paraver_pcf",
+    "export_paraver",
+]
+
+#: Paraver event type ids (arbitrary but stable).
+EVENT_TASK_TYPE = 60000001
+EVENT_CRITICALITY = 60000002
+EVENT_FREQ_MHZ = 60000003
+
+_STATE_IDLE = 0
+_STATE_RUNNING = 1
+
+
+def _task_type_values(trace: Trace) -> dict[str, int]:
+    """Stable 1-based value ids per task type, in first-seen order."""
+    values: dict[str, int] = {}
+    for span in trace.task_spans:
+        values.setdefault(span.task_type, len(values) + 1)
+    return values
+
+
+def paraver_prv(trace: Trace, core_count: int, end_ns: float | None = None) -> str:
+    """Render the ``.prv`` body (header + records, sorted by time)."""
+    if end_ns is None:
+        end_ns = max(
+            [s.end_ns for s in trace.task_spans]
+            + [r.time_ns for r in trace.freq_changes]
+            + [0.0]
+        )
+    values = _task_type_values(trace)
+    header = (
+        f"#Paraver (01/01/2026 at 00:00):{int(end_ns)}_ns:"
+        f"1({core_count}):1:1({core_count}:1)"
+    )
+    records: list[tuple[float, int, str]] = []  # (time, order, line)
+
+    for span in trace.task_spans:
+        cpu = span.core_id + 1
+        loc = f"{cpu}:1:{cpu}:1"
+        records.append(
+            (
+                span.start_ns,
+                1,
+                f"1:{loc}:{int(span.start_ns)}:{int(span.end_ns)}:{_STATE_RUNNING}",
+            )
+        )
+        events = (
+            f"2:{loc}:{int(span.start_ns)}:"
+            f"{EVENT_TASK_TYPE}:{values[span.task_type]}:"
+            f"{EVENT_CRITICALITY}:{1 if span.critical else 0}"
+        )
+        records.append((span.start_ns, 2, events))
+        records.append(
+            (span.end_ns, 2, f"2:{loc}:{int(span.end_ns)}:{EVENT_TASK_TYPE}:0")
+        )
+
+    for rec in trace.freq_changes:
+        cpu = rec.core_id + 1
+        loc = f"{cpu}:1:{cpu}:1"
+        mhz = 2000 if rec.new_level == "fast" else 1000
+        records.append(
+            (rec.time_ns, 2, f"2:{loc}:{int(rec.time_ns)}:{EVENT_FREQ_MHZ}:{mhz}")
+        )
+
+    records.sort(key=lambda r: (r[0], r[1]))
+    return "\n".join([header] + [line for _, _, line in records])
+
+
+def paraver_pcf(trace: Trace) -> str:
+    """Render the ``.pcf`` companion (state and event-value names)."""
+    values = _task_type_values(trace)
+    lines = [
+        "DEFAULT_OPTIONS",
+        "LEVEL               THREAD",
+        "UNITS               NANOSEC",
+        "",
+        "STATES",
+        f"{_STATE_IDLE}    Idle",
+        f"{_STATE_RUNNING}    Running",
+        "",
+        "EVENT_TYPE",
+        f"0    {EVENT_TASK_TYPE}    Task type",
+        "VALUES",
+        "0      End",
+    ]
+    for name, value in sorted(values.items(), key=lambda kv: kv[1]):
+        lines.append(f"{value}      {name}")
+    lines += [
+        "",
+        "EVENT_TYPE",
+        f"0    {EVENT_CRITICALITY}    Task criticality",
+        "VALUES",
+        "0      Non-critical",
+        "1      Critical",
+        "",
+        "EVENT_TYPE",
+        f"0    {EVENT_FREQ_MHZ}    Core frequency (MHz)",
+    ]
+    return "\n".join(lines)
+
+
+def export_paraver(trace: Trace, basename: str, core_count: int = 32) -> tuple[str, str]:
+    """Write ``<basename>.prv`` and ``<basename>.pcf``; returns the paths."""
+    prv_path = f"{basename}.prv"
+    pcf_path = f"{basename}.pcf"
+    with open(prv_path, "w", encoding="utf-8") as fh:
+        fh.write(paraver_prv(trace, core_count) + "\n")
+    with open(pcf_path, "w", encoding="utf-8") as fh:
+        fh.write(paraver_pcf(trace) + "\n")
+    return prv_path, pcf_path

@@ -1,0 +1,86 @@
+"""Paper-style text rendering of figures and tables.
+
+Every harness prints through these helpers so the benchmark logs read like
+the paper's artifacts: one row per (benchmark, fast-core count), one column
+per policy, a trailing Average group — the same series Figures 4 and 5 plot.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .metrics import NormalizedPoint
+from .stats import average_points
+
+__all__ = ["render_figure", "render_table", "figure_rows"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def figure_rows(
+    points: Iterable[NormalizedPoint],
+    metric: str,
+    policies: Sequence[str],
+    workload_order: Sequence[str],
+    include_average: bool = True,
+) -> tuple[list[str], list[list[object]]]:
+    """Build (headers, rows) for one figure panel.
+
+    ``metric`` is ``"speedup"`` or ``"normalized_edp"``.  Rows are grouped
+    by workload then fast-core count, matching the x-axis layout of the
+    paper's Figures 4 and 5.
+    """
+    if metric not in ("speedup", "normalized_edp"):
+        raise ValueError(f"unknown metric {metric!r}")
+    pts = list(points)
+    if include_average:
+        pts = pts + average_points(pts)
+    index: Mapping[tuple[str, str, int], NormalizedPoint] = {
+        (p.workload, p.policy, p.fast_cores): p for p in pts
+    }
+    workloads = list(workload_order) + (["average"] if include_average else [])
+    fast_counts = sorted({p.fast_cores for p in pts})
+    headers = ["benchmark", "fast"] + list(policies)
+    rows: list[list[object]] = []
+    for wl in workloads:
+        for nf in fast_counts:
+            row: list[object] = [wl, nf]
+            for pol in policies:
+                p = index.get((wl, pol, nf))
+                row.append(getattr(p, metric) if p is not None else "-")
+            rows.append(row)
+    return headers, rows
+
+
+def render_figure(
+    points: Iterable[NormalizedPoint],
+    metric: str,
+    policies: Sequence[str],
+    workload_order: Sequence[str],
+    title: str,
+) -> str:
+    headers, rows = figure_rows(points, metric, policies, workload_order)
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,63 @@
+"""Aggregation across benchmarks and configurations.
+
+The paper reports per-benchmark bars plus an "Average" group per fast-core
+count.  Averages of ratios use the arithmetic mean of the per-benchmark
+ratios (matching the paper's bar-chart averages); the geometric mean is
+also provided because it is the statistically appropriate summary for
+normalized ratios and is used by the shape-validation checks.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Mapping, Sequence
+
+from .metrics import NormalizedPoint
+
+__all__ = ["arithmetic_mean", "geometric_mean", "average_points", "group_by"]
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def group_by(
+    points: Iterable[NormalizedPoint],
+) -> Mapping[tuple[str, int], list[NormalizedPoint]]:
+    """Group figure points by (policy, fast_cores)."""
+    groups: dict[tuple[str, int], list[NormalizedPoint]] = defaultdict(list)
+    for p in points:
+        groups[(p.policy, p.fast_cores)].append(p)
+    return groups
+
+
+def average_points(
+    points: Iterable[NormalizedPoint], use_geomean: bool = False
+) -> list[NormalizedPoint]:
+    """Produce the per-(policy, fast_cores) "Average" bars."""
+    mean = geometric_mean if use_geomean else arithmetic_mean
+    out: list[NormalizedPoint] = []
+    for (policy, fast_cores), group in sorted(group_by(points).items()):
+        out.append(
+            NormalizedPoint(
+                workload="average",
+                policy=policy,
+                fast_cores=fast_cores,
+                speedup=mean([p.speedup for p in group]),
+                normalized_edp=mean([p.normalized_edp for p in group]),
+                exec_time_ns=arithmetic_mean([p.exec_time_ns for p in group]),
+                energy_j=arithmetic_mean([p.energy_j for p in group]),
+            )
+        )
+    return out

@@ -1,0 +1,68 @@
+"""ASCII execution timeline (core × time).
+
+A terminal-friendly rendering of a :class:`~repro.sim.trace.Trace`: one row
+per core, one character per time bucket.  Great for eyeballing exactly the
+behaviours the paper discusses — phase barriers, priority inversion, tail
+stragglers, idle cores holding budget.
+
+Legend: each task type gets a letter (``a``–``z``, uppercase when the
+instance was critical); ``.`` is idle; the summary line shows per-core
+utilization.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import Trace
+
+__all__ = ["render_timeline"]
+
+
+def render_timeline(
+    trace: Trace,
+    end_ns: float | None = None,
+    width: int = 100,
+    max_cores: int | None = None,
+) -> str:
+    """Render the trace as a core × time character grid."""
+    if not trace.task_spans:
+        return "(no task spans recorded)"
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    horizon = end_ns if end_ns is not None else max(s.end_ns for s in trace.task_spans)
+    if horizon <= 0:
+        return "(empty timeline)"
+    bucket_ns = horizon / width
+
+    letters: dict[str, str] = {}
+    for span in trace.task_spans:
+        if span.task_type not in letters:
+            letters[span.task_type] = chr(ord("a") + (len(letters) % 26))
+
+    core_ids = sorted({s.core_id for s in trace.task_spans})
+    if max_cores is not None:
+        core_ids = core_ids[:max_cores]
+    rows = {cid: ["."] * width for cid in core_ids}
+    busy_ns = {cid: 0.0 for cid in core_ids}
+
+    for span in trace.task_spans:
+        if span.core_id not in rows:
+            continue
+        busy_ns[span.core_id] += span.duration_ns
+        ch = letters[span.task_type]
+        if span.critical:
+            ch = ch.upper()
+        first = int(span.start_ns / bucket_ns)
+        last = int(max(span.start_ns, span.end_ns - 1e-9) / bucket_ns)
+        for b in range(max(0, first), min(width - 1, last) + 1):
+            rows[span.core_id][b] = ch
+
+    lines = [f"timeline: {horizon / 1e6:.3f} ms across {width} buckets "
+             f"({bucket_ns / 1e3:.1f} us each)"]
+    for cid in core_ids:
+        util = 100.0 * busy_ns[cid] / horizon
+        lines.append(f"core {cid:3d} |{''.join(rows[cid])}| {util:5.1f}%")
+    legend = "  ".join(
+        f"{letter}={name}" for name, letter in sorted(letters.items(), key=lambda kv: kv[1])
+    )
+    lines.append(f"legend: {legend}  (UPPERCASE = critical instance, . = idle)")
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives everything a user needs without
+writing code:
+
+=============  =============================================================
+``list``       available benchmarks and policies
+``characterize``  structural statistics of the benchmark suite
+``table1``     print Table I (the simulated machine)
+``run``        simulate one benchmark under one policy; optional timeline,
+               energy breakdown and Chrome-trace export
+``sweep``      compare policies across power budgets on one benchmark
+``figure4``    regenerate Figure 4 (speedup + EDP panels, shape checks)
+``figure5``    regenerate Figure 5
+``section5c``  reconfiguration/lock statistics (Section V-C)
+``rsu``        RSU area/power overhead (Section III-B.4)
+=============  =============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import render_table, render_timeline
+from .analysis.export import export_chrome_trace
+from .core.policies import EXTRA_POLICIES, POLICIES, run_policy
+from .harness import (
+    GridRunner,
+    render_rsu_overhead,
+    render_section5c,
+    render_table1,
+    run_figure4,
+    run_figure5,
+    run_rsu_overhead,
+    run_section5c,
+)
+from .workloads import BENCHMARKS, build_program, characterization_rows, characterize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'CATA: Criticality Aware Task "
+        "Acceleration for Multicore Processors' (IPDPS 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks and policies")
+    sub.add_parser("table1", help="print Table I (machine configuration)")
+
+    p_run = sub.add_parser("run", help="simulate one benchmark under one policy")
+    p_run.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    p_run.add_argument("--policy", default="cata", choices=POLICIES + EXTRA_POLICIES)
+    p_run.add_argument("--fast", type=int, default=8, help="fast cores / budget")
+    p_run.add_argument("--scale", type=float, default=0.5)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--baseline", action="store_true",
+                       help="also run FIFO and report speedup / normalized EDP")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="print an ASCII core-by-time timeline")
+    p_run.add_argument("--breakdown", action="store_true",
+                       help="print the per-state energy breakdown")
+    p_run.add_argument("--export-trace", metavar="FILE",
+                       help="write a Chrome/Perfetto trace JSON")
+    p_run.add_argument("--export-paraver", metavar="BASENAME",
+                       help="write Paraver .prv/.pcf trace files")
+
+    p_sweep = sub.add_parser("sweep", help="compare policies across budgets")
+    p_sweep.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    p_sweep.add_argument("--policies", nargs="+", default=["cats_sa", "cata", "cata_rsu"],
+                         choices=POLICIES + EXTRA_POLICIES)
+    p_sweep.add_argument("--budgets", nargs="+", type=int, default=[8, 16, 24])
+    p_sweep.add_argument("--scale", type=float, default=0.5)
+    p_sweep.add_argument("--seed", type=int, default=1)
+
+    for name, help_text in (
+        ("figure4", "regenerate Figure 4"),
+        ("figure5", "regenerate Figure 5"),
+    ):
+        p_fig = sub.add_parser(name, help=help_text)
+        p_fig.add_argument("--scale", type=float, default=1.0)
+        p_fig.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3])
+        p_fig.add_argument("--fast", nargs="+", type=int, default=[8, 16, 24])
+
+    p_5c = sub.add_parser("section5c", help="Section V-C reconfiguration statistics")
+    p_5c.add_argument("--scale", type=float, default=1.0)
+    p_5c.add_argument("--fast", type=int, default=16)
+
+    p_char = sub.add_parser(
+        "characterize", help="structural statistics of the benchmark suite"
+    )
+    p_char.add_argument("--scale", type=float, default=1.0)
+    p_char.add_argument("--seed", type=int, default=1)
+
+    p_exp = sub.add_parser(
+        "experiments", help="list reproducible artifacts, or run one by id"
+    )
+    p_exp.add_argument("exp_id", nargs="?", help="experiment id to run")
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3])
+
+    p_rsu = sub.add_parser("rsu", help="RSU area/power overhead")
+    p_rsu.add_argument("--cores", nargs="+", type=int, default=[32, 64, 128, 256, 1024])
+
+    return parser
+
+
+def _cmd_list() -> str:
+    lines = ["benchmarks:"]
+    lines += [f"  {name}" for name in sorted(BENCHMARKS)]
+    lines.append("policies (paper):")
+    lines += [f"  {p}" for p in POLICIES]
+    lines.append("policies (extensions):")
+    lines += [f"  {p}" for p in EXTRA_POLICIES]
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    result = run_policy(
+        build_program(args.benchmark, scale=args.scale, seed=args.seed),
+        args.policy,
+        fast_cores=args.fast,
+        seed=args.seed,
+    )
+    lines = [
+        f"{args.benchmark} under {args.policy} @ {args.fast} fast cores "
+        f"(scale {args.scale}, seed {args.seed})",
+        f"  tasks executed:   {result.tasks_executed}",
+        f"  execution time:   {result.exec_time_ns / 1e6:.3f} ms",
+        f"  energy:           {result.energy_j:.4f} J",
+        f"  EDP:              {result.edp:.6e} J*s",
+        f"  reconfigurations: {result.reconfig_count} "
+        f"(avg latency {result.avg_reconfig_latency_ns / 1e3:.1f} us, "
+        f"{result.cpufreq_writes} cpufreq writes)",
+    ]
+    if args.baseline:
+        fifo = run_policy(
+            build_program(args.benchmark, scale=args.scale, seed=args.seed),
+            "fifo",
+            fast_cores=args.fast,
+            seed=args.seed,
+        )
+        lines.append(
+            f"  speedup over FIFO: {fifo.exec_time_ns / result.exec_time_ns:.3f}"
+        )
+        lines.append(f"  normalized EDP:    {result.edp / fifo.edp:.3f}")
+    if args.breakdown:
+        bd = result.extra["energy_breakdown_j"]
+        total = sum(bd.values())
+        lines.append("  energy breakdown:")
+        for bucket, joules in bd.items():
+            lines.append(
+                f"    {bucket:<10} {joules:8.4f} J  ({100 * joules / total:5.1f}%)"
+            )
+    if args.timeline:
+        lines.append(render_timeline(result.trace, width=100))
+    if args.export_trace:
+        n = export_chrome_trace(result.trace, args.export_trace)
+        lines.append(f"  wrote {n} trace events to {args.export_trace}")
+    if args.export_paraver:
+        from .analysis.paraver import export_paraver
+
+        prv, pcf = export_paraver(result.trace, args.export_paraver)
+        lines.append(f"  wrote Paraver trace to {prv} / {pcf}")
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    rows = []
+    for budget in args.budgets:
+        fifo = run_policy(
+            build_program(args.benchmark, scale=args.scale, seed=args.seed),
+            "fifo", fast_cores=budget, seed=args.seed, trace_enabled=False,
+        )
+        row: list[object] = [budget]
+        for policy in args.policies:
+            res = run_policy(
+                build_program(args.benchmark, scale=args.scale, seed=args.seed),
+                policy, fast_cores=budget, seed=args.seed, trace_enabled=False,
+            )
+            row.append(fifo.exec_time_ns / res.exec_time_ns)
+        rows.append(row)
+    return render_table(
+        ["budget"] + [f"{p}" for p in args.policies],
+        rows,
+        title=f"speedup over FIFO on {args.benchmark} (scale {args.scale})",
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print(_cmd_list())
+    elif args.command == "table1":
+        print(render_table1())
+    elif args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
+    elif args.command in ("figure4", "figure5"):
+        runner = GridRunner(scale=args.scale, seeds=tuple(args.seeds))
+        fn = run_figure4 if args.command == "figure4" else run_figure5
+        result = fn(runner, fast_counts=tuple(args.fast))
+        print(result.render())
+        if not result.shape.ok:
+            return 1
+    elif args.command == "section5c":
+        runner = GridRunner(scale=args.scale, trace_enabled=True)
+        print(render_section5c(run_section5c(runner, fast_cores=args.fast)))
+    elif args.command == "experiments":
+        from .harness import list_experiments, run_experiment
+
+        if args.exp_id is None:
+            rows = [
+                (e.exp_id, e.paper_artifact, e.description)
+                for e in list_experiments()
+            ]
+            print(render_table(["id", "artifact", "description"], rows,
+                               title="Reproducible experiments"))
+        else:
+            print(run_experiment(args.exp_id, scale=args.scale,
+                                 seeds=tuple(args.seeds)))
+    elif args.command == "characterize":
+        stats = [
+            characterize(build_program(name, scale=args.scale, seed=args.seed))
+            for name in sorted(BENCHMARKS)
+        ]
+        headers, rows = characterization_rows(stats)
+        print(render_table(headers, rows, title="Workload characterization"))
+    elif args.command == "rsu":
+        print(render_rsu_overhead(run_rsu_overhead(core_counts=tuple(args.cores))))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""The paper's contribution: CATA, the RSU, and the TurboMode comparison.
+
+Exports the power-budget state machinery shared by the software RSM and
+the hardware RSU, the three acceleration managers, and the policy registry
+used by every experiment.
+"""
+
+from .budget import AccelStateTable, BudgetError, Criticality, Decision
+from .cata import SoftwareCataManager
+from .hybrid import RsuTurboManager
+from .multilevel import MultiLevelRsuManager, MultiLevelStateTable, default_ladder
+from .ondemand import OndemandGovernor
+from .policies import EXTRA_POLICIES, POLICIES, build_system, run_policy
+from .rsm import ReconfigurationSupportModule
+from .rsu import RsuCataManager, RuntimeSupportUnit
+from .turbomode import TurboModeManager
+
+__all__ = [
+    "AccelStateTable",
+    "BudgetError",
+    "Criticality",
+    "Decision",
+    "ReconfigurationSupportModule",
+    "SoftwareCataManager",
+    "RuntimeSupportUnit",
+    "RsuCataManager",
+    "TurboModeManager",
+    "OndemandGovernor",
+    "RsuTurboManager",
+    "MultiLevelRsuManager",
+    "MultiLevelStateTable",
+    "default_ladder",
+    "POLICIES",
+    "EXTRA_POLICIES",
+    "build_system",
+    "run_policy",
+]

@@ -1,0 +1,184 @@
+"""Power-budget accounting and the reconfiguration decision algorithm.
+
+The paper expresses the power budget as *the maximum number of cores that
+may simultaneously run at the fastest frequency* (Section III-A).  Both the
+software RSM and the hardware RSU keep the same state per core:
+
+* **status** — Accelerated (A) or Non-Accelerated (NA),
+* **criticality** — Critical (C), Non-Critical (NC), or No Task (NT),
+
+plus the global budget.  :class:`AccelStateTable` holds that state and
+implements the decision algorithm of Sections III-A/III-B as *pure
+decisions* (:meth:`decide_assign`, :meth:`decide_release`) followed by an
+explicit :meth:`commit`, so the software path can take its fast-path check
+without mutating and both paths share one verified algorithm.
+
+The invariant ``accelerated_count <= budget`` is asserted on every commit;
+a hypothesis property test drives random event sequences against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["Criticality", "Decision", "AccelStateTable", "BudgetError"]
+
+
+class BudgetError(RuntimeError):
+    """Raised when the accelerated-cores invariant would be violated."""
+
+
+class Criticality:
+    """Per-core criticality values stored by the RSM/RSU."""
+
+    CRITICAL = "C"
+    NON_CRITICAL = "NC"
+    NO_TASK = "NT"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one reconfiguration decision.
+
+    ``decel`` (if any) must be applied before ``accel`` so the number of
+    physically fast cores never exceeds the budget.
+    """
+
+    accel: Optional[int] = None
+    decel: Optional[int] = None
+
+    @property
+    def empty(self) -> bool:
+        return self.accel is None and self.decel is None
+
+    @property
+    def transitions(self) -> int:
+        return (self.accel is not None) + (self.decel is not None)
+
+
+class AccelStateTable:
+    """RSM/RSU core-state table plus the shared decision algorithm."""
+
+    def __init__(self, core_count: int, budget: int) -> None:
+        if not (0 < budget <= core_count):
+            raise ValueError(f"budget must be in [1, {core_count}], got {budget}")
+        self.core_count = core_count
+        self.budget = budget
+        self._status = ["NA"] * core_count  # "A" | "NA"
+        self._crit = [Criticality.NO_TASK] * core_count
+        self._accel_count = 0
+
+    # ------------------------------------------------------------- queries
+    def is_accelerated(self, core_id: int) -> bool:
+        return self._status[core_id] == "A"
+
+    def criticality_of(self, core_id: int) -> str:
+        return self._crit[core_id]
+
+    @property
+    def accelerated_count(self) -> int:
+        return self._accel_count
+
+    @property
+    def budget_available(self) -> bool:
+        return self._accel_count < self.budget
+
+    def check_invariant(self) -> None:
+        count = sum(1 for s in self._status if s == "A")
+        if count != self._accel_count:
+            raise BudgetError(
+                f"accelerated-count bookkeeping drifted: {count} != {self._accel_count}"
+            )
+        if count > self.budget:
+            raise BudgetError(f"{count} accelerated cores exceed budget {self.budget}")
+
+    # ----------------------------------------------------- victim searches
+    def _accel_victim(self) -> Optional[int]:
+        """Best accelerated core to steal budget from.
+
+        Preference order: an accelerated core with no task (pure waste),
+        then one running a non-critical task.  Lowest core id breaks ties —
+        deterministic, matching the runtime's linear RSM scan.
+        """
+        fallback: Optional[int] = None
+        for i in range(self.core_count):
+            if self._status[i] != "A":
+                continue
+            if self._crit[i] == Criticality.NO_TASK:
+                return i
+            if fallback is None and self._crit[i] == Criticality.NON_CRITICAL:
+                fallback = i
+        return fallback
+
+    def _waiting_critical(self, exclude: Optional[int] = None) -> Optional[int]:
+        """A non-accelerated core currently running a critical task."""
+        for i in range(self.core_count):
+            if i == exclude:
+                continue
+            if self._status[i] == "NA" and self._crit[i] == Criticality.CRITICAL:
+                return i
+        return None
+
+    # ------------------------------------------------------------ decisions
+    def decide_assign(self, core_id: int, critical: bool) -> Decision:
+        """Decision when a task starts on ``core_id`` (Section III-A).
+
+        Pure: does not mutate.  The caller commits with
+        :meth:`commit_assign`.
+        """
+        if self._status[core_id] == "A":
+            # Already fast: keep the operating point (the paper's algorithm
+            # only re-evaluates budget placement when tasks start on
+            # non-accelerated cores or finish; moving the slot here would
+            # thrash the DVFS controller under mixed-criticality streams).
+            return Decision()
+        if self._accel_count < self.budget:
+            return Decision(accel=core_id)
+        if critical:
+            victim = self._accel_victim()
+            if victim is not None:
+                return Decision(accel=core_id, decel=victim)
+        return Decision()
+
+    def decide_release(self, core_id: int) -> Decision:
+        """Decision when ``core_id`` goes idle (no next task).
+
+        The core's acceleration is released; if a critical task is running
+        on a non-accelerated core, the freed slot moves there.
+        """
+        if self._status[core_id] != "A":
+            return Decision()
+        beneficiary = self._waiting_critical(exclude=core_id)
+        return Decision(accel=beneficiary, decel=core_id)
+
+    # -------------------------------------------------------------- commits
+    def set_criticality(self, core_id: int, crit: str) -> None:
+        if crit not in (Criticality.CRITICAL, Criticality.NON_CRITICAL, Criticality.NO_TASK):
+            raise ValueError(f"unknown criticality {crit!r}")
+        self._crit[core_id] = crit
+
+    def commit(self, decision: Decision) -> None:
+        """Apply the status changes of a decision (decel before accel)."""
+        if decision.decel is not None:
+            if self._status[decision.decel] != "A":
+                raise BudgetError(f"core {decision.decel} decelerated while NA")
+            self._status[decision.decel] = "NA"
+            self._accel_count -= 1
+        if decision.accel is not None:
+            if self._status[decision.accel] == "A":
+                raise BudgetError(f"core {decision.accel} accelerated twice")
+            if self._accel_count >= self.budget:
+                raise BudgetError(
+                    f"accelerating core {decision.accel} would exceed budget "
+                    f"{self.budget}"
+                )
+            self._status[decision.accel] = "A"
+            self._accel_count += 1
+        self.check_invariant()
+
+    def reset(self) -> None:
+        """RSU ``rsu_reset``: forget all state (status and criticality)."""
+        self._status = ["NA"] * self.core_count
+        self._crit = [Criticality.NO_TASK] * self.core_count
+        self._accel_count = 0

@@ -1,0 +1,42 @@
+"""Reconfiguration Support Module (RSM) — paper Section III-A, Figure 2.
+
+The RSM is the *software* state table the CATA runtime keeps: per-core
+status (Accelerated / Non-Accelerated), per-core criticality of the running
+task (Critical / Non-Critical / No Task), and the power budget.  The state
+and decision algorithm are shared with the hardware RSU and live in
+:class:`repro.core.budget.AccelStateTable`; this wrapper adds the runtime-
+facing bits: the global reconfiguration lock that serializes every decision
++ cpufreq write sequence (the source of the Section V-C contention), and a
+pretty-printer matching Figure 2's State/Criticality rows.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Simulator
+from ..sim.locks import SimLock
+from ..sim.trace import Trace
+from .budget import AccelStateTable
+
+__all__ = ["ReconfigurationSupportModule"]
+
+
+class ReconfigurationSupportModule(AccelStateTable):
+    """RSM: the shared decision table plus the runtime's global lock."""
+
+    def __init__(
+        self, sim: Simulator, core_count: int, budget: int, trace: Trace
+    ) -> None:
+        super().__init__(core_count=core_count, budget=budget)
+        self.lock = SimLock(sim, name="rsm-reconfig", trace=trace)
+
+    def render_state(self) -> str:
+        """Figure 2-style rendering of the RSM contents (debugging aid)."""
+        status_row = " ".join(
+            "A" if self.is_accelerated(i) else "NA" for i in range(self.core_count)
+        )
+        crit_row = " ".join(self.criticality_of(i) for i in range(self.core_count))
+        return (
+            f"Power budget: {self.budget}\n"
+            f"State:       {status_row}\n"
+            f"Criticality: {crit_row}"
+        )

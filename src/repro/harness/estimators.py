@@ -1,0 +1,58 @@
+"""Extension figure: criticality-estimator comparison.
+
+The paper compares two estimators (static annotations vs bottom-level) and
+concludes SA is slightly better because BL pays exploration overhead and
+sees only path *length*.  This harness extends that comparison with the
+duration-weighted bottom-level (`cats_wbl`), which removes the second
+limitation — producing the reproduction's headline extension result: a
+fully dynamic estimator that beats hand annotations on duration-imbalanced
+pipelines.
+
+Rendered like Figure 4's speedup panel, over the same benchmarks/budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis.metrics import NormalizedPoint
+from ..analysis.reporting import render_figure
+from ..analysis.stats import arithmetic_mean, group_by
+from .runner import PAPER_FAST_COUNTS, PAPER_WORKLOADS, GridRunner
+
+__all__ = ["ESTIMATOR_POLICIES", "EstimatorStudyResult", "run_estimator_study"]
+
+ESTIMATOR_POLICIES: tuple[str, ...] = ("fifo", "cats_bl", "cats_wbl", "cats_sa")
+
+
+@dataclass
+class EstimatorStudyResult:
+    points: list[NormalizedPoint]
+
+    def average(self, policy: str, fast: int) -> float:
+        group = group_by(self.points)[(policy, fast)]
+        return arithmetic_mean([p.speedup for p in group])
+
+    def render(self) -> str:
+        return render_figure(
+            self.points,
+            "speedup",
+            ESTIMATOR_POLICIES,
+            PAPER_WORKLOADS,
+            title="Extension figure: criticality estimators "
+            "(BL vs duration-weighted BL vs static annotations)",
+        )
+
+
+def run_estimator_study(
+    runner: Optional[GridRunner] = None,
+    fast_counts: Sequence[int] = PAPER_FAST_COUNTS,
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+) -> EstimatorStudyResult:
+    if runner is None:
+        runner = GridRunner()
+    grid = runner.run_grid(
+        ESTIMATOR_POLICIES, workloads=workloads, fast_counts=fast_counts
+    )
+    return EstimatorStudyResult(points=grid.points)

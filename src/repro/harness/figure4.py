@@ -1,0 +1,60 @@
+"""Figure 4 — Speedup and normalized EDP of FIFO / CATS+BL / CATS+SA / CATA.
+
+Regenerates both panels of the paper's Figure 4: the four software-only
+configurations across the six benchmarks at 8, 16 and 24 fast cores, all
+normalized to the FIFO scheduler at the same fast-core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis.metrics import NormalizedPoint
+from ..analysis.reporting import render_figure
+from ..analysis.validate import ShapeReport, check_figure4_shape
+from .runner import PAPER_FAST_COUNTS, PAPER_WORKLOADS, GridRunner
+
+__all__ = ["FIGURE4_POLICIES", "Figure4Result", "run_figure4"]
+
+FIGURE4_POLICIES: tuple[str, ...] = ("fifo", "cats_bl", "cats_sa", "cata")
+
+
+@dataclass
+class Figure4Result:
+    points: list[NormalizedPoint]
+    shape: ShapeReport
+
+    def render(self) -> str:
+        speedup = render_figure(
+            self.points,
+            "speedup",
+            FIGURE4_POLICIES,
+            PAPER_WORKLOADS,
+            title="Figure 4 (top): speedup over FIFO",
+        )
+        edp = render_figure(
+            self.points,
+            "normalized_edp",
+            FIGURE4_POLICIES,
+            PAPER_WORKLOADS,
+            title="Figure 4 (bottom): normalized EDP (lower is better)",
+        )
+        return "\n\n".join([speedup, edp, self.shape.summary()])
+
+
+def run_figure4(
+    runner: Optional[GridRunner] = None,
+    fast_counts: Sequence[int] = PAPER_FAST_COUNTS,
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    check_shape: bool = True,
+) -> Figure4Result:
+    """Simulate the Figure 4 grid and validate its paper-shape claims."""
+    if runner is None:
+        runner = GridRunner()
+    grid = runner.run_grid(FIGURE4_POLICIES, workloads=workloads, fast_counts=fast_counts)
+    if check_shape and set(workloads) == set(PAPER_WORKLOADS):
+        shape = check_figure4_shape(grid.points)
+    else:
+        shape = ShapeReport()
+    return Figure4Result(points=grid.points, shape=shape)

@@ -1,0 +1,61 @@
+"""Figure 5 — CATA vs CATA+RSU vs TurboMode (speedup and normalized EDP).
+
+Regenerates both panels of the paper's Figure 5: the architecturally
+supported configurations across the six benchmarks at 8, 16 and 24 fast
+cores, normalized to the FIFO scheduler (same baseline as Figure 4, so the
+two figures are directly comparable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis.metrics import NormalizedPoint
+from ..analysis.reporting import render_figure
+from ..analysis.validate import ShapeReport, check_figure5_shape
+from .runner import PAPER_FAST_COUNTS, PAPER_WORKLOADS, GridRunner
+
+__all__ = ["FIGURE5_POLICIES", "Figure5Result", "run_figure5"]
+
+FIGURE5_POLICIES: tuple[str, ...] = ("fifo", "cata", "cata_rsu", "turbomode")
+
+
+@dataclass
+class Figure5Result:
+    points: list[NormalizedPoint]
+    shape: ShapeReport
+
+    def render(self) -> str:
+        speedup = render_figure(
+            self.points,
+            "speedup",
+            FIGURE5_POLICIES,
+            PAPER_WORKLOADS,
+            title="Figure 5 (top): speedup over FIFO",
+        )
+        edp = render_figure(
+            self.points,
+            "normalized_edp",
+            FIGURE5_POLICIES,
+            PAPER_WORKLOADS,
+            title="Figure 5 (bottom): normalized EDP (lower is better)",
+        )
+        return "\n\n".join([speedup, edp, self.shape.summary()])
+
+
+def run_figure5(
+    runner: Optional[GridRunner] = None,
+    fast_counts: Sequence[int] = PAPER_FAST_COUNTS,
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    check_shape: bool = True,
+) -> Figure5Result:
+    """Simulate the Figure 5 grid and validate its paper-shape claims."""
+    if runner is None:
+        runner = GridRunner()
+    grid = runner.run_grid(FIGURE5_POLICIES, workloads=workloads, fast_counts=fast_counts)
+    if check_shape and set(workloads) == set(PAPER_WORKLOADS):
+        shape = check_figure5_shape(grid.points)
+    else:
+        shape = ShapeReport()
+    return Figure5Result(points=grid.points, shape=shape)

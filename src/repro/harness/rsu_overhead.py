@@ -1,0 +1,49 @@
+"""Section III-B.4 — RSU area and power overhead.
+
+Regenerates the storage-bit formula and the CACTI-based claim that the RSU
+adds less than 0.0001 % of chip area and less than 50 µW on a 32-core
+processor, and extends it with a core-count sweep (the RSU is designed for
+"future manycore systems", so showing how the cost scales is part of the
+argument).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.reporting import render_table
+from ..hw.rsu_cost import RsuOverhead, estimate_rsu_overhead
+
+__all__ = ["run_rsu_overhead", "render_rsu_overhead"]
+
+
+def run_rsu_overhead(
+    core_counts: Sequence[int] = (32, 64, 128, 256, 1024),
+    num_power_states: int = 2,
+) -> list[RsuOverhead]:
+    return [estimate_rsu_overhead(n, num_power_states) for n in core_counts]
+
+
+def render_rsu_overhead(rows: Sequence[RsuOverhead]) -> str:
+    return render_table(
+        [
+            "cores",
+            "storage bits",
+            "area (mm^2)",
+            "area (% of chip)",
+            "leakage (uW)",
+            "meets paper claims",
+        ],
+        [
+            (
+                r.num_cores,
+                r.storage_bits,
+                f"{r.area_mm2:.6f}",
+                f"{100 * r.area_fraction_of_chip:.6f}",
+                f"{r.leakage_w * 1e6:.2f}",
+                "yes" if r.meets_paper_claims else "no (beyond 32-core claim)",
+            )
+            for r in rows
+        ],
+        title="Section III-B.4: RSU area and power overhead",
+    )

@@ -1,0 +1,171 @@
+"""Experiment sweep driver.
+
+Runs (workload × policy × fast-core-count) grids, normalizes against the
+FIFO baseline of the same fast-core count, and returns both the raw
+:class:`~repro.runtime.system.RunResult` objects and the figure-ready
+:class:`~repro.analysis.metrics.NormalizedPoint` lists.
+
+Results are memoized per (workload, policy, fast, scale, seed) within one
+:class:`GridRunner`, so Figure 4 and Figure 5 — which share the CATA column
+— do not re-simulate shared cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..analysis.metrics import NormalizedPoint, normalize
+from ..core.policies import run_policy
+from ..runtime.system import RunResult
+from ..sim.config import MachineConfig
+from ..workloads import build_program
+
+__all__ = ["GridRunner", "GridResult"]
+
+#: Fast-core counts of the paper's evaluation (8, 16, 24 of 32).
+PAPER_FAST_COUNTS: tuple[int, ...] = (8, 16, 24)
+#: Benchmark order of the paper's figures.
+PAPER_WORKLOADS: tuple[str, ...] = (
+    "blackscholes",
+    "swaptions",
+    "fluidanimate",
+    "bodytrack",
+    "dedup",
+    "ferret",
+)
+
+
+@dataclass
+class GridResult:
+    """Raw and normalized results of one sweep."""
+
+    results: dict[tuple[str, str, int], RunResult] = field(default_factory=dict)
+    points: list[NormalizedPoint] = field(default_factory=list)
+
+    def result(self, workload: str, policy: str, fast: int) -> RunResult:
+        return self.results[(workload, policy, fast)]
+
+    def point(self, workload: str, policy: str, fast: int) -> NormalizedPoint:
+        for p in self.points:
+            if (p.workload, p.policy, p.fast_cores) == (workload, policy, fast):
+                return p
+        raise KeyError((workload, policy, fast))
+
+    def to_csv(self) -> str:
+        """Figure points as CSV (one row per bar) for external plotting."""
+        lines = ["workload,policy,fast_cores,speedup,normalized_edp,exec_time_ns,energy_j"]
+        for p in sorted(
+            self.points, key=lambda p: (p.workload, p.fast_cores, p.policy)
+        ):
+            lines.append(
+                f"{p.workload},{p.policy},{p.fast_cores},"
+                f"{p.speedup:.6f},{p.normalized_edp:.6f},"
+                f"{p.exec_time_ns:.1f},{p.energy_j:.6f}"
+            )
+        return "\n".join(lines)
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_csv() + "\n")
+
+
+class GridRunner:
+    """Memoizing sweep runner."""
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 1,
+        seeds: Optional[Sequence[int]] = None,
+        machine: Optional[MachineConfig] = None,
+        trace_enabled: bool = False,
+        verbose: bool = False,
+    ) -> None:
+        """``seeds`` enables multi-seed averaging: each grid cell is
+        simulated once per seed and the normalized ratios are averaged
+        (each seed produces a different random program instance, so this is
+        the repeated-measurement average of the paper's methodology)."""
+        self.scale = scale
+        self.seeds: tuple[int, ...] = tuple(seeds) if seeds is not None else (seed,)
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+        self.machine = machine
+        self.trace_enabled = trace_enabled
+        self.verbose = verbose
+        self._cache: dict[tuple[str, str, int, int], RunResult] = {}
+
+    @property
+    def seed(self) -> int:
+        return self.seeds[0]
+
+    def run_one(
+        self, workload: str, policy: str, fast: int, seed: Optional[int] = None
+    ) -> RunResult:
+        if seed is None:
+            seed = self.seeds[0]
+        key = (workload, policy, fast, seed)
+        if key not in self._cache:
+            program = build_program(
+                workload, scale=self.scale, seed=seed, machine=self.machine
+            )
+            if self.verbose:
+                print(f"  simulating {workload}/{policy}@{fast} seed={seed} ...", flush=True)
+            self._cache[key] = run_policy(
+                program,
+                policy,
+                machine=self.machine,
+                fast_cores=fast,
+                seed=seed,
+                trace_enabled=self.trace_enabled,
+            )
+        return self._cache[key]
+
+    def _mean_point(self, per_seed: list[NormalizedPoint]) -> NormalizedPoint:
+        n = len(per_seed)
+        first = per_seed[0]
+        return NormalizedPoint(
+            workload=first.workload,
+            policy=first.policy,
+            fast_cores=first.fast_cores,
+            speedup=sum(p.speedup for p in per_seed) / n,
+            normalized_edp=sum(p.normalized_edp for p in per_seed) / n,
+            exec_time_ns=sum(p.exec_time_ns for p in per_seed) / n,
+            energy_j=sum(p.energy_j for p in per_seed) / n,
+        )
+
+    def run_grid(
+        self,
+        policies: Sequence[str],
+        workloads: Sequence[str] = PAPER_WORKLOADS,
+        fast_counts: Sequence[int] = PAPER_FAST_COUNTS,
+    ) -> GridResult:
+        """Run the full grid; FIFO baselines are always included.
+
+        With multiple seeds, each returned point is the per-seed-normalized
+        average; ``results`` keeps the first seed's raw runs.
+        """
+        grid = GridResult()
+        for workload in workloads:
+            for fast in fast_counts:
+                baselines = {
+                    s: self.run_one(workload, "fifo", fast, s) for s in self.seeds
+                }
+                grid.results[(workload, "fifo", fast)] = baselines[self.seeds[0]]
+                grid.points.append(
+                    self._mean_point(
+                        [normalize(b, b, fast) for b in baselines.values()]
+                    )
+                )
+                for policy in policies:
+                    if policy == "fifo":
+                        continue
+                    per_seed = []
+                    for s in self.seeds:
+                        result = self.run_one(workload, policy, fast, s)
+                        per_seed.append(normalize(baselines[s], result, fast))
+                    grid.results[(workload, policy, fast)] = self._cache[
+                        (workload, policy, fast, self.seeds[0])
+                    ]
+                    grid.points.append(self._mean_point(per_seed))
+        return grid

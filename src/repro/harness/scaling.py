@@ -1,0 +1,128 @@
+"""Core-count scaling study.
+
+The paper's abstract: "The cost of reconfiguring hardware by means of a
+software-only solution rises with the number of cores due to lock
+contention and reconfiguration overhead.  Therefore, novel architectural
+support is proposed to eliminate these overheads on future manycore
+systems."
+
+This harness quantifies that claim in the reproduction: sweep the machine
+size (with the workload scaled proportionally so per-core pressure stays
+constant), run software CATA and CATA+RSU, and report how lock contention
+and the RSU's advantage evolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.reporting import render_table
+from ..core.policies import run_policy
+from ..sim.config import default_machine
+from ..sim.engine import US
+from ..workloads import build_program
+
+__all__ = ["ScalingRow", "run_scaling_study", "render_scaling_study"]
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    core_count: int
+    budget: int
+    cata_speedup: float
+    rsu_speedup: float
+    cata_avg_lock_wait_us: float
+    cata_max_lock_wait_us: float
+    cata_reconfig_overhead_pct: float
+
+    @property
+    def rsu_advantage_pct(self) -> float:
+        """RSU's extra speedup over software CATA, in percentage points."""
+        return 100.0 * (self.rsu_speedup - self.cata_speedup)
+
+
+def run_scaling_study(
+    core_counts: Sequence[int] = (8, 16, 32, 64),
+    workload: str = "fluidanimate",
+    base_scale: float = 0.5,
+    seeds: Sequence[int] = (1,),
+) -> list[ScalingRow]:
+    """One row per machine size; workload scaled with the core count.
+
+    With several ``seeds``, speedups and contention statistics are averaged
+    across seed-distinct program instances.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    rows = []
+    for cores in core_counts:
+        machine = default_machine().with_cores(cores)
+        budget = max(1, cores // 4)
+        scale = base_scale * cores / 32.0
+        cata_su, rsu_su, avg_waits, max_waits, ovh = [], [], [], [], []
+        for seed in seeds:
+
+            def fresh():
+                return build_program(
+                    workload, scale=scale, seed=seed, machine=machine
+                )
+
+            fifo = run_policy(fresh(), "fifo", machine=machine,
+                              fast_cores=budget, trace_enabled=False)
+            cata = run_policy(fresh(), "cata", machine=machine,
+                              fast_cores=budget, trace_enabled=False)
+            rsu = run_policy(fresh(), "cata_rsu", machine=machine,
+                             fast_cores=budget, trace_enabled=False)
+            cata_su.append(fifo.exec_time_ns / cata.exec_time_ns)
+            rsu_su.append(fifo.exec_time_ns / rsu.exec_time_ns)
+            avg_waits.append(
+                cata.total_lock_wait_ns / cata.reconfig_count
+                if cata.reconfig_count
+                else 0.0
+            )
+            max_waits.append(cata.max_lock_wait_ns)
+            ovh.append(100.0 * cata.reconfig_overhead_fraction(cores))
+        n = len(seeds)
+        rows.append(
+            ScalingRow(
+                core_count=cores,
+                budget=budget,
+                cata_speedup=sum(cata_su) / n,
+                rsu_speedup=sum(rsu_su) / n,
+                cata_avg_lock_wait_us=sum(avg_waits) / n / US,
+                cata_max_lock_wait_us=max(max_waits) / US,
+                cata_reconfig_overhead_pct=sum(ovh) / n,
+            )
+        )
+    return rows
+
+
+def render_scaling_study(rows: Sequence[ScalingRow], workload: str = "") -> str:
+    return render_table(
+        [
+            "cores",
+            "budget",
+            "CATA speedup",
+            "RSU speedup",
+            "RSU adv (pp)",
+            "avg lock wait (us)",
+            "max lock wait (us)",
+            "reconfig ovh (%)",
+        ],
+        [
+            (
+                r.core_count,
+                r.budget,
+                r.cata_speedup,
+                r.rsu_speedup,
+                r.rsu_advantage_pct,
+                r.cata_avg_lock_wait_us,
+                r.cata_max_lock_wait_us,
+                r.cata_reconfig_overhead_pct,
+            )
+            for r in rows
+        ],
+        title=f"Core-count scaling of software vs hardware reconfiguration"
+        + (f" ({workload})" if workload else ""),
+    )

@@ -1,0 +1,94 @@
+"""Section V-C — reconfiguration latency and lock contention statistics.
+
+Reproduces the in-text measurements of the paper's Section V-C:
+
+* the average end-to-end reconfiguration latency of software CATA
+  (paper: 11 µs – 65 µs across the six applications),
+* the maximum lock acquisition time under bursty reconfiguration
+  (paper: several milliseconds — 4.8 ms to 15 ms — in Blackscholes,
+  Fluidanimate and Bodytrack),
+* the aggregate reconfiguration overhead as a fraction of total core time
+  (paper: 0.03 % – 3.49 %),
+* the contrast with the RSU, whose reconfigurations are two ISA ops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis.reporting import render_table
+from ..sim.engine import US
+from .runner import PAPER_WORKLOADS, GridRunner
+
+__all__ = ["Section5CRow", "run_section5c", "render_section5c"]
+
+#: The applications the paper calls out for millisecond-scale lock waits.
+LOCK_CONTENDED_APPS = ("blackscholes", "fluidanimate", "bodytrack")
+
+
+@dataclass(frozen=True)
+class Section5CRow:
+    workload: str
+    fast_cores: int
+    reconfig_count: int
+    avg_reconfig_latency_us: float
+    max_lock_wait_us: float
+    total_lock_wait_us: float
+    overhead_fraction_pct: float
+
+
+def run_section5c(
+    runner: Optional[GridRunner] = None,
+    workloads: Sequence[str] = PAPER_WORKLOADS,
+    fast_cores: int = 16,
+) -> list[Section5CRow]:
+    """Run software CATA with tracing enabled and extract V-C statistics."""
+    if runner is None:
+        runner = GridRunner(trace_enabled=True)
+    if not runner.trace_enabled:
+        raise ValueError("section 5C statistics require trace_enabled=True")
+    rows = []
+    for workload in workloads:
+        result = runner.run_one(workload, "cata", fast_cores)
+        core_count = (
+            runner.machine.core_count if runner.machine is not None else 32
+        )
+        rows.append(
+            Section5CRow(
+                workload=workload,
+                fast_cores=fast_cores,
+                reconfig_count=result.reconfig_count,
+                avg_reconfig_latency_us=result.avg_reconfig_latency_ns / US,
+                max_lock_wait_us=result.max_lock_wait_ns / US,
+                total_lock_wait_us=result.total_lock_wait_ns / US,
+                overhead_fraction_pct=100.0
+                * result.reconfig_overhead_fraction(core_count),
+            )
+        )
+    return rows
+
+
+def render_section5c(rows: Sequence[Section5CRow]) -> str:
+    return render_table(
+        [
+            "benchmark",
+            "fast",
+            "reconfigs",
+            "avg latency (us)",
+            "max lock wait (us)",
+            "overhead (%)",
+        ],
+        [
+            (
+                r.workload,
+                r.fast_cores,
+                r.reconfig_count,
+                r.avg_reconfig_latency_us,
+                r.max_lock_wait_us,
+                r.overhead_fraction_pct,
+            )
+            for r in rows
+        ],
+        title="Section V-C: software CATA reconfiguration statistics",
+    )

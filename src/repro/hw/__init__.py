@@ -1,0 +1,19 @@
+"""Hardware overhead estimation (the CACTI substitute)."""
+
+from .cacti import TECH_22NM, TechNode, access_energy_j, sram_area_mm2, sram_leakage_w
+from .power_report import ComponentEstimate, chip_report, render_chip_report
+from .rsu_cost import RsuOverhead, estimate_rsu_overhead, rsu_storage_bits
+
+__all__ = [
+    "TechNode",
+    "TECH_22NM",
+    "sram_area_mm2",
+    "sram_leakage_w",
+    "access_energy_j",
+    "RsuOverhead",
+    "rsu_storage_bits",
+    "estimate_rsu_overhead",
+    "ComponentEstimate",
+    "chip_report",
+    "render_chip_report",
+]

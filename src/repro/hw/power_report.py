@@ -1,0 +1,138 @@
+"""McPAT-style chip area/power report.
+
+The paper sizes power with McPAT from the Table I microarchitecture.  This
+module produces the analogous static report for the reproduction's machine:
+per-component storage-derived area and leakage (via the mini-CACTI
+constants) plus the dynamic peak from the analytic power model — enough to
+sanity-check the power model's calibration and to put the RSU's 103 bits
+in context next to megabytes of cache.
+
+The estimates are first-order (bit counts × technology constants); they are
+*not* used by the simulator's energy accounting, which runs off
+:mod:`repro.sim.power` — this is the reporting view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import MachineConfig, default_machine
+from ..sim.power import CoreState, PowerModel
+from .cacti import TECH_22NM, TechNode, sram_area_mm2, sram_leakage_w
+from .rsu_cost import rsu_storage_bits
+
+__all__ = ["ComponentEstimate", "chip_report", "render_chip_report"]
+
+#: Architectural-register width used for storage-bit conversions.
+WORD_BITS = 64
+#: Approximate bits per ROB / issue-queue entry (payload + tags).
+ROB_ENTRY_BITS = 96
+IQ_ENTRY_BITS = 80
+BTB_ENTRY_BITS = 64
+TLB_ENTRY_BITS = 72
+
+
+@dataclass(frozen=True)
+class ComponentEstimate:
+    name: str
+    count: int  # instances on the chip
+    bits_per_instance: int
+    area_mm2: float
+    leakage_w: float
+    sram: bool  # SRAM cells vs register-file cells
+
+    @property
+    def total_bits(self) -> int:
+        return self.count * self.bits_per_instance
+
+
+def _component(
+    name: str,
+    count: int,
+    bits: int,
+    tech: TechNode,
+    sram: bool,
+) -> ComponentEstimate:
+    return ComponentEstimate(
+        name=name,
+        count=count,
+        bits_per_instance=bits,
+        area_mm2=count * sram_area_mm2(bits, tech, register_file=not sram),
+        leakage_w=count * sram_leakage_w(bits, tech),
+        sram=sram,
+    )
+
+
+def chip_report(
+    machine: MachineConfig | None = None, tech: TechNode = TECH_22NM
+) -> list[ComponentEstimate]:
+    """Per-component storage, area and leakage estimates for the chip."""
+    if machine is None:
+        machine = default_machine()
+    u = machine.uarch
+    n = machine.core_count
+    comps = [
+        _component("L1I", n, u.l1i.size_kb * 1024 * 8, tech, sram=True),
+        _component("L1D", n, u.l1d.size_kb * 1024 * 8, tech, sram=True),
+        _component("ROB", n, u.rob_entries * ROB_ENTRY_BITS, tech, sram=False),
+        _component("IssueQueue", n, u.issue_queue_entries * IQ_ENTRY_BITS, tech, sram=False),
+        _component(
+            "RegisterFile",
+            n,
+            (u.int_registers + u.fp_registers) * WORD_BITS,
+            tech,
+            sram=False,
+        ),
+        _component("BTB", n, u.btb_entries * BTB_ENTRY_BITS, tech, sram=True),
+        _component(
+            "TLBs", n, (u.itlb_entries + u.dtlb_entries) * TLB_ENTRY_BITS, tech, sram=False
+        ),
+        _component(
+            "L2 (NUCA)",
+            1,
+            int(machine.l2_per_core_mb * n * 1024 * 1024 * 8),
+            tech,
+            sram=True,
+        ),
+        _component(
+            "Directory", 1, machine.directory_entries * WORD_BITS, tech, sram=True
+        ),
+        _component("RSU", 1, rsu_storage_bits(n), tech, sram=False),
+    ]
+    return comps
+
+
+def render_chip_report(
+    machine: MachineConfig | None = None, tech: TechNode = TECH_22NM
+) -> str:
+    """Text report, with the RSU's share called out against the whole chip."""
+    if machine is None:
+        machine = default_machine()
+    comps = chip_report(machine, tech)
+    total_area = sum(c.area_mm2 for c in comps)
+    total_leak = sum(c.leakage_w for c in comps)
+    model = PowerModel(machine.power)
+    peak = model.chip_peak_w(machine)
+    lines = [
+        f"chip storage report @ {tech.name} "
+        f"({machine.core_count} cores, peak dynamic {peak:.1f} W)"
+    ]
+    lines.append(
+        f"{'component':<14}{'instances':>10}{'bits/inst':>14}"
+        f"{'area (mm^2)':>14}{'leakage (W)':>13}{'area %':>9}"
+    )
+    for c in comps:
+        lines.append(
+            f"{c.name:<14}{c.count:>10}{c.bits_per_instance:>14}"
+            f"{c.area_mm2:>14.4f}{c.leakage_w:>13.4f}"
+            f"{100 * c.area_mm2 / total_area:>9.4f}"
+        )
+    lines.append(
+        f"{'TOTAL':<14}{'':>10}{'':>14}{total_area:>14.4f}{total_leak:>13.4f}"
+    )
+    rsu = next(c for c in comps if c.name == "RSU")
+    lines.append(
+        f"RSU share: {100 * rsu.area_mm2 / total_area:.6f}% of storage area, "
+        f"{rsu.leakage_w * 1e6:.2f} uW leakage"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""RSU hardware overhead (paper Section III-B.4).
+
+The paper gives the RSU storage cost formula::
+
+    3 × num_cores + log2(num_cores) + 2 × log2(num_power_states)  bits
+
+(3 bits per core for criticality + status, the power budget counter, and
+two registers selecting the Accelerated / Non-Accelerated power states) and
+evaluates it with CACTI: "less than 0.0001 % in area on a 32-core processor
+and less than 50 µW in power".  This module reproduces both the formula and
+the evaluation via :mod:`repro.hw.cacti`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .cacti import TECH_22NM, TechNode, access_energy_j, sram_area_mm2, sram_leakage_w
+
+__all__ = ["RsuOverhead", "rsu_storage_bits", "estimate_rsu_overhead"]
+
+
+def rsu_storage_bits(num_cores: int, num_power_states: int = 2) -> int:
+    """Section III-B.4 storage formula.
+
+    3 bits/core hold the criticality (Critical / Non-Critical / No Task,
+    2 bits) and status (Accelerated / Non-Accelerated, 1 bit); the budget
+    register needs log2(num_cores) bits; the two power-state selection
+    registers need log2(num_power_states) bits each.
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be >= 1")
+    if num_power_states < 2:
+        raise ValueError("num_power_states must be >= 2")
+    budget_bits = max(1, math.ceil(math.log2(num_cores)))
+    state_bits = max(1, math.ceil(math.log2(num_power_states)))
+    return 3 * num_cores + budget_bits + 2 * state_bits
+
+
+@dataclass(frozen=True)
+class RsuOverhead:
+    """Evaluated RSU cost for one machine size."""
+
+    num_cores: int
+    num_power_states: int
+    storage_bits: int
+    area_mm2: float
+    area_fraction_of_chip: float
+    leakage_w: float
+    access_energy_j: float
+
+    @property
+    def meets_paper_claims(self) -> bool:
+        """Paper: < 0.0001 % chip area and < 50 µW on 32 cores."""
+        return self.area_fraction_of_chip < 1e-6 and self.leakage_w < 50e-6
+
+
+def estimate_rsu_overhead(
+    num_cores: int = 32,
+    num_power_states: int = 2,
+    tech: TechNode = TECH_22NM,
+) -> RsuOverhead:
+    """Size the RSU and evaluate its area/power against the chip."""
+    bits = rsu_storage_bits(num_cores, num_power_states)
+    area = sram_area_mm2(bits, tech, register_file=True)
+    return RsuOverhead(
+        num_cores=num_cores,
+        num_power_states=num_power_states,
+        storage_bits=bits,
+        area_mm2=area,
+        area_fraction_of_chip=area / tech.chip_area_mm2,
+        leakage_w=sram_leakage_w(bits, tech),
+        access_energy_j=access_energy_j(bits, tech),
+    )

@@ -1,0 +1,56 @@
+"""Task-based runtime substrate (the Nanos++ stand-in).
+
+Implements the runtime machinery the paper's mechanisms plug into: task and
+TDG management with incremental bottom-levels, criticality estimation,
+HPRQ/LPRQ ready queues, the FIFO and CATS schedulers, worker threads, the
+main-thread submission model with taskwait barriers, and the
+:class:`RuntimeSystem` glue that executes a :class:`Program` on the
+simulated machine.
+"""
+
+from .accel import AccelerationManager, NullAccelerationManager
+from .cats import CATAScheduler, CATSScheduler
+from .dataflow import DataflowProgramBuilder
+from .criticality import (
+    BottomLevelEstimator,
+    CriticalityEstimator,
+    StaticAnnotationEstimator,
+    WeightedBottomLevelEstimator,
+)
+from .fifo import FIFOScheduler
+from .program import Program, TaskSpec
+from .queues import DualReadyQueues, ReadyQueue
+from .scheduler_base import Scheduler
+from .submission import SubmissionController
+from .system import RunResult, RuntimeSystem
+from .task import Task, TaskState, TaskType
+from .tdg import TaskGraph
+from .worker import Worker
+from .worksteal import WorkStealingScheduler
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "TaskType",
+    "TaskSpec",
+    "Program",
+    "DataflowProgramBuilder",
+    "TaskGraph",
+    "CriticalityEstimator",
+    "StaticAnnotationEstimator",
+    "BottomLevelEstimator",
+    "WeightedBottomLevelEstimator",
+    "ReadyQueue",
+    "DualReadyQueues",
+    "Scheduler",
+    "FIFOScheduler",
+    "CATSScheduler",
+    "CATAScheduler",
+    "AccelerationManager",
+    "NullAccelerationManager",
+    "Worker",
+    "WorkStealingScheduler",
+    "SubmissionController",
+    "RuntimeSystem",
+    "RunResult",
+]

@@ -1,0 +1,83 @@
+"""Acceleration-manager interface between the runtime and :mod:`repro.core`.
+
+The worker state machine calls out to an acceleration manager at the three
+moments the paper's reconfiguration algorithm acts (Section III):
+
+* a task has just been assigned to a core (may accelerate it, possibly by
+  decelerating a victim),
+* a task just finished (bookkeeping; actual deceleration is deferred to the
+  next decision point so a worker that immediately continues with another
+  task does not churn the DVFS controller),
+* a worker found no work and is about to idle (decelerate, hand the budget
+  to a running non-accelerated critical task).
+
+Every hook receives a ``proceed`` continuation because software-driven
+reconfiguration *consumes simulated time on the calling core* (lock waits,
+kernel crossings, hardware ramps).  Managers must always eventually call
+``proceed`` exactly once.
+
+The protocol lives in the runtime package (not :mod:`repro.core`) to keep
+the dependency arrow pointing upward: runtime knows the interface, the
+paper's mechanisms implement it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import RuntimeSystem
+    from .worker import Worker
+
+__all__ = ["AccelerationManager", "NullAccelerationManager"]
+
+Proceed = Callable[[], None]
+
+
+class AccelerationManager(Protocol):
+    """Hooks the worker state machine invokes around task execution."""
+
+    name: str
+
+    def attach(self, system: "RuntimeSystem") -> None:
+        """Wire the manager to the runtime system before the run starts."""
+        ...
+
+    def on_run_start(self) -> None:
+        """The simulation is about to start (initial accelerations)."""
+        ...
+
+    def on_task_assigned(self, worker: "Worker", task: Task, proceed: Proceed) -> None:
+        """A task was picked for ``worker``; decide acceleration, then proceed."""
+        ...
+
+    def on_task_finished(self, worker: "Worker", task: Task, proceed: Proceed) -> None:
+        """``worker`` completed ``task``; update bookkeeping, then proceed."""
+        ...
+
+    def on_worker_idle(self, worker: "Worker", proceed: Proceed) -> None:
+        """``worker`` found no work; release its budget, then proceed."""
+        ...
+
+
+class NullAccelerationManager:
+    """No reconfiguration at all — FIFO and CATS runs use this."""
+
+    name = "none"
+
+    def attach(self, system: "RuntimeSystem") -> None:
+        pass
+
+    def on_run_start(self) -> None:
+        pass
+
+    def on_task_assigned(self, worker: "Worker", task: Task, proceed: Proceed) -> None:
+        proceed()
+
+    def on_task_finished(self, worker: "Worker", task: Task, proceed: Proceed) -> None:
+        proceed()
+
+    def on_worker_idle(self, worker: "Worker", proceed: Proceed) -> None:
+        proceed()

@@ -1,0 +1,107 @@
+"""CATS — Criticality-Aware Task Scheduler (paper Section II-C, [24]).
+
+Designed for *statically* heterogeneous machines: a fixed set of fast cores
+and a fixed set of slow cores.  Ready tasks are split into the HPRQ
+(critical) and LPRQ (non-critical):
+
+* a fast core takes from the HPRQ first, falling back to the LPRQ,
+* a slow core takes from the LPRQ,
+* a slow core may *steal* from the HPRQ only when no fast core is idling
+  (otherwise the critical task should wait the instant it takes the fast
+  core to grab it).
+
+CATS fixes FIFO's blind assignment but keeps the two problems CATA removes:
+priority inversion (critical task arrives while fast cores run non-critical
+work → it lands on a slow core) and static binding (the chosen core's speed
+cannot follow the task once running).
+
+:class:`CATAScheduler` is the queue policy CATA itself uses: with DVFS
+reconfiguration every core can become fast, so *any* core serves the HPRQ
+first — core placement stops mattering and acceleration decisions take over
+(Section III-A, Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .queues import DualReadyQueues
+from .scheduler_base import Scheduler
+from .task import Task
+
+__all__ = ["CATSScheduler", "CATAScheduler"]
+
+
+class CATSScheduler(Scheduler):
+    """HPRQ/LPRQ scheduling onto a statically heterogeneous machine."""
+
+    name = "cats"
+
+    def __init__(
+        self,
+        fast_core_ids: Sequence[int],
+        priority: "Optional[Callable]" = None,
+    ) -> None:
+        super().__init__()
+        self.queues = DualReadyQueues(priority)
+        self._fast_ids = frozenset(fast_core_ids)
+        if not self._fast_ids:
+            raise ValueError("CATS needs at least one fast core")
+        self.steals = 0
+
+    def is_fast(self, core_id: int) -> bool:
+        return core_id in self._fast_ids
+
+    def on_task_ready(self, task: Task) -> None:
+        self.queues.push(task)
+
+    def _fast_core_available(self) -> bool:
+        """True when some fast core is idle or about to request a task."""
+        return self.system.any_worker_available(self._fast_ids)
+
+    def pick(self, core_id: int) -> Optional[Task]:
+        if self.is_fast(core_id):
+            task = self.queues.hprq.pop()
+            return task if task is not None else self.queues.lprq.pop()
+        task = self.queues.lprq.pop()
+        if task is not None:
+            return task
+        if self.queues.hprq and not self._fast_core_available():
+            self.steals += 1
+            return self.queues.hprq.pop()
+        return None
+
+    def has_work_for(self, core_id: int) -> bool:
+        if self.is_fast(core_id):
+            return bool(self.queues.hprq) or bool(self.queues.lprq)
+        if self.queues.lprq:
+            return True
+        return bool(self.queues.hprq) and not self._fast_core_available()
+
+    @property
+    def pending(self) -> int:
+        return self.queues.pending
+
+
+class CATAScheduler(Scheduler):
+    """HPRQ-first scheduling for a dynamically reconfigurable machine."""
+
+    name = "cata"
+
+    def __init__(self, priority: "Optional[Callable]" = None) -> None:
+        super().__init__()
+        self.queues = DualReadyQueues(priority)
+
+    def on_task_ready(self, task: Task) -> None:
+        self.queues.push(task)
+
+    def pick(self, core_id: int) -> Optional[Task]:
+        task = self.queues.hprq.pop()
+        return task if task is not None else self.queues.lprq.pop()
+
+    def has_work_for(self, core_id: int) -> bool:
+        return bool(self.queues)
+
+    @property
+    def pending(self) -> int:
+        return self.queues.pending

@@ -1,0 +1,233 @@
+"""Criticality estimators (paper Section II-B).
+
+Two ways to decide whether a task instance is critical:
+
+* :class:`StaticAnnotationEstimator` (CATS+SA, CATA) — trust the
+  ``criticality(c)`` annotation on the task type.  Free at runtime; the
+  paper found it slightly better than bottom-level on PARSECSs because it
+  avoids TDG exploration overhead and can encode duration knowledge.
+
+* :class:`BottomLevelEstimator` (CATS+BL) — a task is critical when its
+  bottom-level is within a threshold of the longest dependence path the
+  runtime currently knows about.  Adapts to program phases without any
+  programmer input, but (1) pays a per-submission TDG walk, (2) ignores
+  task durations, and (3) only sees the partial TDG — the three limitations
+  the paper lists.
+
+Both estimators expose the same two hooks: :meth:`submit_cost_ns`, charged
+to the main thread per task submission, and :meth:`is_critical`, evaluated
+when a task becomes ready (the moment it must be placed in the HPRQ or
+LPRQ).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..sim.config import OverheadConfig
+from .task import Task
+from .tdg import TaskGraph
+
+__all__ = [
+    "CriticalityEstimator",
+    "StaticAnnotationEstimator",
+    "BottomLevelEstimator",
+    "WeightedBottomLevelEstimator",
+]
+
+
+class CriticalityEstimator(Protocol):
+    """Interface shared by the estimation methods."""
+
+    name: str
+
+    def on_submit(self, task: Task, graph: TaskGraph) -> None:
+        """Observe a newly submitted task (before its cost is charged)."""
+        ...
+
+    def on_finish(self, task: Task, graph: TaskGraph) -> None:
+        """Observe a completed task (for estimators tracking the live TDG)."""
+        ...
+
+    def submit_cost_ns(self, task: Task, bl_edges_visited: int) -> float:
+        """Runtime cost charged to the submitting thread for this task."""
+        ...
+
+    def is_critical(self, task: Task, graph: TaskGraph) -> bool:
+        """Decide criticality at ready time."""
+        ...
+
+
+class StaticAnnotationEstimator:
+    """``#pragma omp task criticality(c)`` — critical iff c > 0."""
+
+    name = "static_annotations"
+
+    def on_submit(self, task: Task, graph: TaskGraph) -> None:
+        pass
+
+    def on_finish(self, task: Task, graph: TaskGraph) -> None:
+        pass
+
+    def submit_cost_ns(self, task: Task, bl_edges_visited: int) -> float:
+        return 0.0
+
+    def is_critical(self, task: Task, graph: TaskGraph) -> bool:
+        return task.ttype.annotated_critical
+
+
+class BottomLevelEstimator:
+    """Dynamic bottom-level criticality.
+
+    A ready task is critical when ``BL(t) >= threshold * maxBL`` where
+    ``maxBL`` is the largest bottom-level currently known.  When the graph
+    is flat (maxBL == 0, e.g. embarrassingly parallel fork-join phases) all
+    tasks tie at BL 0 and are treated as critical — there is no path
+    information to discriminate on, matching the paper's observation that
+    fork-join codes present "very similar criticality levels".
+    """
+
+    name = "bottom_level"
+
+    def __init__(
+        self,
+        overheads: OverheadConfig,
+        threshold: float = 0.75,
+        exploration_cap: int = 64,
+    ) -> None:
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError("threshold must be in (0, 1]")
+        if exploration_cap < 0:
+            raise ValueError("exploration_cap must be non-negative")
+        self._edge_cost_ns = overheads.bl_edge_cost_ns
+        self.threshold = threshold
+        self.exploration_cap = exploration_cap
+
+    def on_submit(self, task: Task, graph: TaskGraph) -> None:
+        pass
+
+    def on_finish(self, task: Task, graph: TaskGraph) -> None:
+        pass
+
+    def submit_cost_ns(self, task: Task, bl_edges_visited: int) -> float:
+        # The runtime bounds its per-submission TDG exploration (the paper:
+        # only a sub-graph is considered), so the charged walk is capped
+        # even when the incremental relaxation touched more edges.
+        return self._edge_cost_ns * min(bl_edges_visited, self.exploration_cap)
+
+    def is_critical(self, task: Task, graph: TaskGraph) -> bool:
+        # Threshold against the longest path among tasks still waiting for
+        # (or in) execution — the estimator's view is the live TDG, not the
+        # historical one (finished tasks no longer define the critical path).
+        max_bl = graph.max_bottom_level_waiting
+        if max_bl == 0:
+            return True
+        return task.bottom_level >= self.threshold * max_bl
+
+
+class WeightedBottomLevelEstimator:
+    """Duration-weighted bottom-level (extension).
+
+    The paper's second limitation of the bottom-level method: "the task
+    execution time is not taken into account as only the length of the path
+    to the leaf node is considered."  This estimator fixes exactly that by
+    weighting each TDG node with its expected execution time, so the
+    weighted bottom-level
+
+        WBL(t) = duration(t) + max over successors s of WBL(s)
+
+    is the *time* remaining on the dependence path below ``t``, not the hop
+    count.  Two effects follow:
+
+    * on Bodytrack-like graphs — cheap and expensive stages at equal
+      hop-distance from the leaves — criticality finally lands on the
+      expensive chain, beating even the hand-written annotations;
+    * ordering the HPRQ by WBL is longest-remaining-time-first dispatch,
+      which degenerates to classic LPT scheduling on flat fork-join graphs
+      and shaves their phase tails.
+
+    Duration weights are *profile-guided*: the estimator reads each task's
+    known work (in the simulator, its slow-level duration), i.e. it
+    automates the profiling workflow the paper used to pick its static
+    annotations by hand ("we make use of existing profiling tools to
+    visualize the parallel execution... to decide the final criticality
+    level", Section IV).  A deployment would feed per-type profiled
+    durations; a cold-start run without profiles falls back to plain BL
+    behaviour.
+
+    Bookkeeping mirrors the integer bottom-level: incremental upward
+    relaxation on submit, and a lazy max-heap over *unfinished* tasks so
+    the criticality threshold tracks the live TDG.
+    """
+
+    name = "weighted_bottom_level"
+
+    def __init__(
+        self,
+        overheads: OverheadConfig,
+        threshold: float = 0.75,
+        exploration_cap: int = 64,
+    ) -> None:
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError("threshold must be in (0, 1]")
+        if exploration_cap < 0:
+            raise ValueError("exploration_cap must be non-negative")
+        self._edge_cost_ns = overheads.bl_edge_cost_ns
+        self.threshold = threshold
+        self.exploration_cap = exploration_cap
+        self._wbl: dict[int, float] = {}
+        self._finished: set[int] = set()
+        # Lazy max-heap of (-wbl, task_id); stale entries are skipped.
+        self._heap: list[tuple[float, int]] = []
+
+    @staticmethod
+    def _weight(task: Task) -> float:
+        return task.duration_at_ns(1.0)
+
+    def wbl_of(self, task: Task) -> float:
+        return self._wbl.get(task.task_id, self._weight(task))
+
+    # ------------------------------------------------------------- updates
+    def on_submit(self, task: Task, graph: TaskGraph) -> None:
+        import heapq
+
+        w = self._weight(task)
+        self._wbl[task.task_id] = w
+        heapq.heappush(self._heap, (-w, task.task_id))
+        # Relax ancestors: WBL(p) >= weight(p) + WBL(child).
+        frontier = [task]
+        while frontier:
+            node = frontier.pop()
+            child_wbl = self._wbl[node.task_id]
+            for pred in graph.predecessors(node):
+                candidate = self._weight(pred) + child_wbl
+                if candidate > self._wbl.get(pred.task_id, 0.0) + 1e-9:
+                    self._wbl[pred.task_id] = candidate
+                    if pred.task_id not in self._finished:
+                        heapq.heappush(self._heap, (-candidate, pred.task_id))
+                    frontier.append(pred)
+
+    def on_finish(self, task: Task, graph: TaskGraph) -> None:
+        self._finished.add(task.task_id)
+
+    def _max_wbl_waiting(self) -> float:
+        import heapq
+
+        while self._heap:
+            neg, tid = self._heap[0]
+            if tid in self._finished or abs(self._wbl.get(tid, 0.0) + neg) > 1e-6:
+                heapq.heappop(self._heap)  # finished or stale entry
+                continue
+            return -neg
+        return 0.0
+
+    # ------------------------------------------------------------ protocol
+    def submit_cost_ns(self, task: Task, bl_edges_visited: int) -> float:
+        # Same charged traversal model as the plain bottom-level estimator.
+        return self._edge_cost_ns * min(bl_edges_visited, self.exploration_cap)
+
+    def is_critical(self, task: Task, graph: TaskGraph) -> bool:
+        max_wbl = self._max_wbl_waiting()
+        if max_wbl <= 0.0:
+            return True
+        return self.wbl_of(task) >= self.threshold * max_wbl

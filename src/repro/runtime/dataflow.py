@@ -1,0 +1,115 @@
+"""Data-flow dependence detection (the paper's Section II-A contract).
+
+In OpenMP 4.0 / OmpSs the programmer does not wire task dependences by
+hand; they annotate each task with the data it reads (``in``), writes
+(``out``) or both (``inout``), and the *runtime* derives the dependence
+edges:
+
+* read-after-write  (RAW): a reader depends on the last writer,
+* write-after-read  (WAR): a writer depends on all readers since the last
+  writer,
+* write-after-write (WAW): a writer depends on the last writer.
+
+:class:`DataflowProgramBuilder` implements exactly that bookkeeping on top
+of :class:`~repro.runtime.program.Program`, with arbitrary hashable values
+as data regions (use array names, tiles, block ids...).  The result is an
+ordinary program, so everything else — criticality, scheduling,
+acceleration — applies unchanged.
+
+Example
+-------
+>>> b = DataflowProgramBuilder("stream")
+>>> t0 = b.task(PRODUCE, 1000, 0, outs=["buf0"])
+>>> t1 = b.task(FILTER, 2000, 0, ins=["buf0"], outs=["buf1"])   # RAW on t0
+>>> t2 = b.task(PRODUCE, 1000, 0, outs=["buf0"])                # WAR on t1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+from .program import Program
+from .task import TaskType
+
+__all__ = ["DataflowProgramBuilder"]
+
+Region = Hashable
+
+
+@dataclass
+class _RegionState:
+    """Last writer and the readers since, per data region."""
+
+    last_writer: Optional[int] = None
+    readers_since_write: list[int] = field(default_factory=list)
+
+
+class DataflowProgramBuilder:
+    """Builds a :class:`Program` from in/out data-region annotations."""
+
+    def __init__(self, name: str) -> None:
+        self.program = Program(name=name)
+        self._regions: dict[Region, _RegionState] = {}
+
+    def _state(self, region: Region) -> _RegionState:
+        return self._regions.setdefault(region, _RegionState())
+
+    def task(
+        self,
+        ttype: TaskType,
+        cpu_cycles: float,
+        mem_ns: float,
+        ins: Iterable[Region] = (),
+        outs: Iterable[Region] = (),
+        inouts: Iterable[Region] = (),
+        block_at: Optional[float] = None,
+        block_ns: float = 0.0,
+    ) -> int:
+        """Add a task; dependences are derived from its data regions."""
+        ins = list(ins)
+        outs = list(outs)
+        inouts = list(inouts)
+        deps: set[int] = set()
+
+        # Reads (in + inout): RAW against the last writer.
+        for region in [*ins, *inouts]:
+            st = self._state(region)
+            if st.last_writer is not None:
+                deps.add(st.last_writer)
+
+        # Writes (out + inout): WAW against the last writer, WAR against
+        # every reader since that write.
+        for region in [*outs, *inouts]:
+            st = self._state(region)
+            if st.last_writer is not None:
+                deps.add(st.last_writer)
+            deps.update(st.readers_since_write)
+
+        idx = self.program.add(
+            ttype,
+            cpu_cycles,
+            mem_ns,
+            deps=sorted(d for d in deps),
+            block_at=block_at,
+            block_ns=block_ns,
+        )
+
+        # Update region states: writes reset the reader sets.
+        for region in [*outs, *inouts]:
+            st = self._state(region)
+            st.last_writer = idx
+            st.readers_since_write = []
+        for region in ins:
+            st = self._state(region)
+            if idx not in st.readers_since_write:
+                st.readers_since_write.append(idx)
+        return idx
+
+    def taskwait(self) -> None:
+        """Insert a barrier (also a full dependence fence)."""
+        self.program.taskwait()
+
+    def build(self) -> Program:
+        self.program.validate()
+        return self.program

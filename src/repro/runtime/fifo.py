@@ -1,0 +1,40 @@
+"""FIFO baseline scheduler (paper Section II-C).
+
+A single ready queue; any available core takes the head.  Criticality-blind:
+on a heterogeneous machine this is the scheduler whose *blind assignment*
+problem CATS and CATA fix, and it is the normalization baseline of every
+figure in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .queues import ReadyQueue
+from .scheduler_base import Scheduler
+from .task import Task
+
+__all__ = ["FIFOScheduler"]
+
+
+class FIFOScheduler(Scheduler):
+    """First-in first-out, criticality-blind."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue = ReadyQueue("FIFO")
+
+    def on_task_ready(self, task: Task) -> None:
+        self._queue.push(task)
+
+    def pick(self, core_id: int) -> Optional[Task]:
+        return self._queue.pop()
+
+    def has_work_for(self, core_id: int) -> bool:
+        return bool(self._queue)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,130 @@
+"""Runtime-agnostic program representation.
+
+A :class:`Program` is what a workload generator produces and what the
+runtime system executes: an ordered list of :class:`TaskSpec` entries plus
+*taskwait barriers*.  Dependences reference earlier specs by index, which
+makes cycles unrepresentable by construction — exactly like a real
+task-based program, where a task can only depend on data produced by tasks
+submitted before it.
+
+Barriers model ``#pragma omp taskwait``: the main thread stops submitting
+until every previously submitted task has finished.  Fork-join applications
+(Blackscholes, Swaptions) and iterative stencils (Fluidanimate) are barrier
+sequences; pipeline applications (Bodytrack, Dedup, Ferret) are mostly
+barrier-free graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .task import TaskType
+
+__all__ = ["TaskSpec", "Program"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Blueprint for one task instance."""
+
+    ttype: TaskType
+    cpu_cycles: float
+    mem_ns: float
+    #: Indices (into ``Program.specs``) of tasks this one depends on.
+    deps: tuple[int, ...] = ()
+    block_at: Optional[float] = None
+    block_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_cycles < 0 or self.mem_ns < 0:
+            raise ValueError("work amounts must be non-negative")
+
+
+@dataclass
+class Program:
+    """An ordered task program with taskwait barriers.
+
+    ``barriers`` holds spec indices *b* such that submission of spec *b*
+    must wait until all specs < *b* have completed.
+    """
+
+    name: str
+    specs: list[TaskSpec] = field(default_factory=list)
+    barriers: list[int] = field(default_factory=list)
+
+    def add(
+        self,
+        ttype: TaskType,
+        cpu_cycles: float,
+        mem_ns: float,
+        deps: Sequence[int] = (),
+        block_at: Optional[float] = None,
+        block_ns: float = 0.0,
+    ) -> int:
+        """Append a task spec; returns its index for later dependences."""
+        idx = len(self.specs)
+        for d in deps:
+            if not (0 <= d < idx):
+                raise ValueError(
+                    f"spec {idx} depends on {d}, which is not an earlier spec"
+                )
+        self.specs.append(
+            TaskSpec(
+                ttype=ttype,
+                cpu_cycles=cpu_cycles,
+                mem_ns=mem_ns,
+                deps=tuple(deps),
+                block_at=block_at,
+                block_ns=block_ns,
+            )
+        )
+        return idx
+
+    def taskwait(self) -> None:
+        """Insert a taskwait barrier at the current submission point."""
+        if self.specs and (not self.barriers or self.barriers[-1] != len(self.specs)):
+            self.barriers.append(len(self.specs))
+
+    # ------------------------------------------------------------- queries
+    @property
+    def task_count(self) -> int:
+        return len(self.specs)
+
+    @property
+    def task_types(self) -> list[TaskType]:
+        """Distinct task types in submission order of first appearance."""
+        seen: dict[str, TaskType] = {}
+        for spec in self.specs:
+            seen.setdefault(spec.ttype.name, spec.ttype)
+        return list(seen.values())
+
+    def total_work_ns_at(self, freq_ghz: float) -> float:
+        """Aggregate single-frequency execution time of all tasks."""
+        return sum(
+            s.cpu_cycles / freq_ghz + s.mem_ns + s.block_ns for s in self.specs
+        )
+
+    def critical_path_ns_at(self, freq_ghz: float) -> float:
+        """Length of the dependence-critical path at one frequency.
+
+        A lower bound on any schedule's makespan (ignores barriers, which
+        only lengthen it).  Used by tests and by workload calibration.
+        """
+        finish: list[float] = [0.0] * len(self.specs)
+        for i, spec in enumerate(self.specs):
+            start = max((finish[d] for d in spec.deps), default=0.0)
+            finish[i] = start + spec.cpu_cycles / freq_ghz + spec.mem_ns + spec.block_ns
+        return max(finish, default=0.0)
+
+    def validate(self) -> None:
+        """Re-check structural invariants (deps point backwards, barriers sorted)."""
+        for i, spec in enumerate(self.specs):
+            for d in spec.deps:
+                if not (0 <= d < i):
+                    raise ValueError(f"spec {i} has invalid dependence {d}")
+        if sorted(self.barriers) != list(self.barriers):
+            raise ValueError("barriers must be sorted")
+        for b in self.barriers:
+            if not (0 < b <= len(self.specs)):
+                raise ValueError(f"barrier index {b} out of range")

@@ -1,0 +1,120 @@
+"""Ready queues.
+
+The criticality-aware runtimes split the ready queue in two (paper
+Section II-C / Figure 1): a high-priority ready queue (HPRQ) for critical
+tasks and a low-priority ready queue (LPRQ) for non-critical tasks.  The
+FIFO baseline uses a single strict-FIFO queue.
+
+Within the HPRQ, CATS keeps tasks *ordered by how critical they are*
+(Chronaki et al. [24] insert ready tasks sorted by bottom-level; with
+static annotations the annotation level plays the same role), so the most
+critical ready task is always dispatched first.  Ties fall back to FIFO
+order.  The LPRQ stays strict FIFO.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Optional
+
+from .task import Task
+
+__all__ = ["ReadyQueue", "PriorityReadyQueue", "DualReadyQueues", "bottom_level_priority"]
+
+
+class ReadyQueue:
+    """A FIFO ready queue."""
+
+    def __init__(self, name: str = "RQ") -> None:
+        self.name = name
+        self._q: deque[Task] = deque()
+        self._enqueued = 0
+
+    def push(self, task: Task) -> None:
+        self._q.append(task)
+        self._enqueued += 1
+
+    def pop(self) -> Optional[Task]:
+        return self._q.popleft() if self._q else None
+
+    def peek(self) -> Optional[Task]:
+        return self._q[0] if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    @property
+    def total_enqueued(self) -> int:
+        return self._enqueued
+
+
+class PriorityReadyQueue:
+    """A ready queue ordered by a priority key (highest first, FIFO ties)."""
+
+    def __init__(self, priority: Callable[[Task], float], name: str = "PRQ") -> None:
+        self.name = name
+        self._priority = priority
+        self._heap: list[tuple[float, int, Task]] = []
+        self._seq = itertools.count()
+        self._enqueued = 0
+
+    def push(self, task: Task) -> None:
+        heapq.heappush(self._heap, (-self._priority(task), next(self._seq), task))
+        self._enqueued += 1
+
+    def pop(self) -> Optional[Task]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Optional[Task]:
+        return self._heap[0][2] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def total_enqueued(self) -> int:
+        return self._enqueued
+
+
+def _annotation_priority(task: Task) -> float:
+    """Default HPRQ ordering: the static annotation level."""
+    return float(task.ttype.criticality)
+
+
+def bottom_level_priority(task: Task) -> float:
+    """HPRQ ordering used with the bottom-level estimator."""
+    return float(task.bottom_level)
+
+
+class DualReadyQueues:
+    """HPRQ + LPRQ pair used by CATS and CATA.
+
+    ``priority`` orders the HPRQ (most critical first); the LPRQ is FIFO.
+    """
+
+    def __init__(self, priority: Optional[Callable[[Task], float]] = None) -> None:
+        self.hprq = PriorityReadyQueue(
+            priority if priority is not None else _annotation_priority, "HPRQ"
+        )
+        self.lprq = ReadyQueue("LPRQ")
+
+    def push(self, task: Task) -> None:
+        """Place a ready task according to its decided criticality."""
+        (self.hprq if task.critical else self.lprq).push(task)
+
+    @property
+    def pending(self) -> int:
+        return len(self.hprq) + len(self.lprq)
+
+    def __bool__(self) -> bool:
+        return bool(self.hprq) or bool(self.lprq)

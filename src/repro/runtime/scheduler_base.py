@@ -1,0 +1,61 @@
+"""Scheduler interface.
+
+A scheduler owns the ready queues and answers two questions:
+
+* ``on_task_ready(task)`` — where does this ready task wait?
+* ``pick(core_id)`` — which task (if any) may this core execute next?
+
+``has_work_for`` must answer exactly what ``pick`` would do without popping,
+because the runtime system uses it to decide which idle workers to wake.
+Schedulers may consult the runtime system (e.g. CATS's stealing rule needs
+to know whether any fast core is available) via the ``attach``-ed reference.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import RuntimeSystem
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for task schedulers."""
+
+    name: str = "scheduler"
+
+    def __init__(self) -> None:
+        self._system: Optional["RuntimeSystem"] = None
+
+    def attach(self, system: "RuntimeSystem") -> None:
+        """Called once by the runtime system during wiring."""
+        self._system = system
+
+    @property
+    def system(self) -> "RuntimeSystem":
+        if self._system is None:
+            raise RuntimeError(f"{self.name} scheduler not attached to a system")
+        return self._system
+
+    # ------------------------------------------------------------ protocol
+    @abstractmethod
+    def on_task_ready(self, task: Task) -> None:
+        """Enqueue a task whose dependences are satisfied."""
+
+    @abstractmethod
+    def pick(self, core_id: int) -> Optional[Task]:
+        """Dequeue the task core ``core_id`` should run next, or ``None``."""
+
+    @abstractmethod
+    def has_work_for(self, core_id: int) -> bool:
+        """Would :meth:`pick` currently return a task for this core?"""
+
+    @property
+    @abstractmethod
+    def pending(self) -> int:
+        """Number of ready tasks waiting in the queues."""

@@ -1,0 +1,123 @@
+"""Main-thread task submission model.
+
+In OmpSs/OpenMP the main thread executes the (serial) program, creating a
+task at each annotated call site and blocking at ``taskwait`` barriers.
+Task creation is not free: the runtime allocates the task, registers its
+dependences and — under the bottom-level estimator — walks the TDG to
+update bottom-levels (paper Section II-B lists this exploration as the BL
+method's first limitation; it is what slows Fluidanimate down).
+
+The controller occupies core 0 (worker 0 is suspended while submitting).
+After the last task of a barrier segment is submitted, worker 0 rejoins the
+pool; when every submitted task has finished *and* worker 0 has drained
+back to idle, the next segment begins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import RuntimeSystem
+
+__all__ = ["SubmissionController"]
+
+
+class SubmissionController:
+    """Feeds a :class:`~repro.runtime.program.Program` into the runtime."""
+
+    def __init__(self, system: "RuntimeSystem", program: Program) -> None:
+        program.validate()
+        self.system = system
+        self.program = program
+        self._segments = self._split_segments(program)
+        self._segment_idx = 0
+        self._spec_idx = 0
+        self._phase = 0
+        self._submitting = False
+        self.finished_submitting = False
+
+    @staticmethod
+    def _split_segments(program: Program) -> list[tuple[int, int]]:
+        """Split spec indices into [start, end) barrier segments."""
+        bounds = [0, *program.barriers, len(program.specs)]
+        segments = []
+        for a, b in zip(bounds, bounds[1:]):
+            if b > a:
+                segments.append((a, b))
+        return segments
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Begin submitting the first segment at the current instant."""
+        if not self._segments:
+            self.finished_submitting = True
+            self.system.check_completion()
+            return
+        self._begin_segment()
+
+    def _begin_segment(self) -> None:
+        start, _end = self._segments[self._segment_idx]
+        self._spec_idx = start
+        self._submitting = True
+        worker0 = self.system.workers[0]
+        if worker0.state == "created":
+            worker0.suspended = True
+            worker0.state = "suspended"
+        else:
+            worker0.suspend()
+        self._submit_next()
+
+    def _submit_next(self) -> None:
+        _start, end = self._segments[self._segment_idx]
+        if self._spec_idx >= end:
+            self._end_segment()
+            return
+        spec = self.program.specs[self._spec_idx]
+        core0 = self.system.cores[0]
+        base_cost = self.system.machine.overheads.task_submit_ns
+
+        def _create() -> None:
+            self.system.ready_context_core = 0
+            task, bl_edges = self.system.tdg.submit(
+                ttype=spec.ttype,
+                cpu_cycles=spec.cpu_cycles,
+                mem_ns=spec.mem_ns,
+                deps=spec.deps,
+                block_at=spec.block_at,
+                block_ns=spec.block_ns,
+                phase=self._phase,
+                now_ns=self.system.sim.now,
+            )
+            self._spec_idx += 1
+            self.system.estimator.on_submit(task, self.system.tdg)
+            self.system.dispatch()
+            est_cost = self.system.estimator.submit_cost_ns(task, bl_edges)
+            if est_cost > 0:
+                core0.run_overhead(est_cost, self._submit_next, activity=0.7)
+            else:
+                self._submit_next()
+
+        core0.run_overhead(base_cost, _create, activity=0.7)
+
+    def _end_segment(self) -> None:
+        self._submitting = False
+        self._phase += 1
+        if self._segment_idx == len(self._segments) - 1:
+            self.finished_submitting = True
+        self.system.workers[0].resume()
+        self.system.check_completion()
+
+    # ------------------------------------------------------------ barriers
+    def on_quiescent(self) -> None:
+        """All submitted tasks finished and worker 0 is idle.
+
+        Called by the runtime system; advances to the next barrier segment
+        if one remains.
+        """
+        if self._submitting or self.finished_submitting:
+            return
+        self._segment_idx += 1
+        self._begin_segment()

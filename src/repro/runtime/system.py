@@ -1,0 +1,228 @@
+"""Runtime system glue: engine + machine + scheduler + acceleration manager.
+
+:class:`RuntimeSystem` owns one complete simulated execution of a
+:class:`~repro.runtime.program.Program` under one policy.  It wires the
+simulator substrate (cores, DVFS, C-states, energy accounting), the runtime
+substrate (TDG, scheduler, workers, submission) and the paper's
+acceleration mechanisms (via the :class:`~repro.runtime.accel
+.AccelerationManager` protocol), runs the event loop to completion, and
+produces a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..sim.config import DVFSLevel, MachineConfig
+from ..sim.core_model import Core
+from ..sim.cstates import CStateController
+from ..sim.dvfs import DVFSController
+from ..sim.energy import EnergyAccountant
+from ..sim.engine import SEC, Simulator
+from ..sim.kernel import CpufreqFramework
+from ..sim.power import PowerModel
+from ..sim.trace import Trace
+from .accel import AccelerationManager, NullAccelerationManager
+from .criticality import CriticalityEstimator, StaticAnnotationEstimator
+from .program import Program
+from .scheduler_base import Scheduler
+from .submission import SubmissionController
+from .task import Task
+from .tdg import TaskGraph
+from .worker import Worker
+
+__all__ = ["RuntimeSystem", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of one simulated execution."""
+
+    policy: str
+    workload: str
+    exec_time_ns: float
+    energy_j: float
+    cores_energy_j: float
+    uncore_energy_j: float
+    tasks_executed: int
+    reconfig_count: int
+    freq_transitions: int
+    avg_reconfig_latency_ns: float
+    max_lock_wait_ns: float
+    total_lock_wait_ns: float
+    cpufreq_writes: int
+    trace: Trace = field(repr=False, default_factory=Trace)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def exec_time_s(self) -> float:
+        return self.exec_time_ns / SEC
+
+    @property
+    def edp(self) -> float:
+        """Energy-Delay Product in joule-seconds."""
+        return self.energy_j * self.exec_time_s
+
+    def reconfig_overhead_fraction(self, core_count: int) -> float:
+        total_core_time = self.exec_time_ns * core_count
+        if total_core_time <= 0:
+            return 0.0
+        return self.trace.total_reconfig_latency_ns / total_core_time
+
+
+class RuntimeSystem:
+    """One wired-up simulated machine + runtime + policy."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        program: Program,
+        scheduler: Scheduler,
+        estimator: Optional[CriticalityEstimator] = None,
+        manager: Optional[AccelerationManager] = None,
+        initial_levels: Optional[Sequence[DVFSLevel]] = None,
+        trace_enabled: bool = True,
+        policy_name: str = "custom",
+        bl_edge_budget: "Optional[int]" = None,
+    ) -> None:
+        self.machine = machine
+        self.program = program
+        self.policy_name = policy_name
+        self.sim = Simulator()
+        self.trace = Trace(enabled=trace_enabled)
+        self.power_model = PowerModel(machine.power)
+        self.energy = EnergyAccountant(self.sim, self.power_model, machine.core_count)
+        levels = list(initial_levels) if initial_levels is not None else None
+        self.dvfs = DVFSController(self.sim, machine, self.trace, levels)
+        self.cpufreq = CpufreqFramework(self.sim, machine, self.dvfs)
+        self.cores = [
+            Core(i, self.sim, machine, self.dvfs, self.energy, self.trace)
+            for i in range(machine.core_count)
+        ]
+        self.dvfs.add_listener(self._on_level_changed)
+        self.cstates = CStateController(self.sim, machine, self.cores)
+        self.tdg = TaskGraph(on_ready=self._on_task_ready, bl_edge_budget=bl_edge_budget)
+        self.scheduler = scheduler
+        scheduler.attach(self)
+        self.estimator: CriticalityEstimator = (
+            estimator if estimator is not None else StaticAnnotationEstimator()
+        )
+        self.manager: AccelerationManager = (
+            manager if manager is not None else NullAccelerationManager()
+        )
+        self.manager.attach(self)
+        self.workers = [Worker(self, core) for core in self.cores]
+        self._idle_stack: list[int] = []
+        #: The core whose completion/submission last released tasks — the
+        #: enqueue hint used by the work-stealing scheduler.
+        self.ready_context_core: int = 0
+        self.submission = SubmissionController(self, program)
+        self.done = False
+        self.completion_ns: Optional[float] = None
+
+    # ------------------------------------------------------------ plumbing
+    def _on_level_changed(self, core_id: int, old: DVFSLevel, new: DVFSLevel) -> None:
+        self.cores[core_id].on_level_changed(old_level=old)
+
+    def _on_task_ready(self, task: Task) -> None:
+        task.critical = self.estimator.is_critical(task, self.tdg)
+        self.scheduler.on_task_ready(task)
+
+    def on_task_finished(self, task: Task) -> None:
+        """Called by workers after TDG completion bookkeeping."""
+        self.estimator.on_finish(task, self.tdg)
+        self._maybe_advance_barrier()
+        self.check_completion()
+
+    def on_worker_idle(self, worker: Worker) -> None:
+        self._idle_stack.append(worker.core_id)
+        if worker.core_id == 0:
+            self._maybe_advance_barrier()
+
+    def _maybe_advance_barrier(self) -> None:
+        if (
+            self.tdg.unfinished_count == 0
+            and not self.submission.finished_submitting
+            and self.workers[0].state == "idle"
+        ):
+            self.submission.on_quiescent()
+
+    def check_completion(self) -> None:
+        if (
+            not self.done
+            and self.submission.finished_submitting
+            and self.tdg.unfinished_count == 0
+        ):
+            self.done = True
+            self.completion_ns = self.sim.now
+
+    # ------------------------------------------------------------ dispatch
+    def dispatch(self) -> None:
+        """Wake idle workers that the scheduler has work for.
+
+        Wake order is LIFO (most recently idled first) — the thread-pool
+        idiom: the hottest worker resumes first, which under CATA also
+        tends to be a core whose acceleration has not been torn down yet.
+        """
+        pending = self.scheduler.pending
+        if pending <= 0:
+            return
+        # Compact the stack: drop entries for workers that are no longer idle.
+        self._idle_stack = [
+            cid for cid in self._idle_stack if self.workers[cid].state == "idle"
+        ]
+        for cid in reversed(self._idle_stack):
+            if pending <= 0:
+                break
+            worker = self.workers[cid]
+            if not worker.suspended and self.scheduler.has_work_for(cid):
+                worker.poke()
+                pending -= 1
+
+    def any_worker_available(self, core_ids: Iterable[int]) -> bool:
+        return any(self.workers[i].available for i in core_ids)
+
+    # ----------------------------------------------------------------- run
+    def run(self, max_events: Optional[int] = None) -> RunResult:
+        """Execute the program to completion and return the result."""
+        self.manager.on_run_start()
+        for worker in self.workers[1:]:
+            worker.start()
+        self.submission.start()
+        fired = 0
+        while not self.done:
+            if max_events is not None and fired >= max_events:
+                raise RuntimeError(
+                    f"program did not complete within {max_events} events "
+                    f"(t={self.sim.now} ns, unfinished={self.tdg.unfinished_count})"
+                )
+            if not self.sim.step():
+                raise RuntimeError(
+                    "event heap drained before program completion "
+                    f"(unfinished={self.tdg.unfinished_count}, "
+                    f"pending={self.scheduler.pending}) — runtime deadlock"
+                )
+            fired += 1
+        self.energy.finalize()
+        assert self.completion_ns is not None
+        return RunResult(
+            policy=self.policy_name,
+            workload=self.program.name,
+            exec_time_ns=self.completion_ns,
+            energy_j=self.energy.total_energy_j,
+            cores_energy_j=self.energy.cores_energy_j,
+            uncore_energy_j=self.energy.uncore_energy_j,
+            tasks_executed=self.trace.tasks_executed,
+            reconfig_count=self.trace.reconfig_count,
+            freq_transitions=self.trace.freq_transition_count,
+            avg_reconfig_latency_ns=self.trace.avg_reconfig_latency_ns,
+            max_lock_wait_ns=self.trace.max_lock_wait_ns,
+            total_lock_wait_ns=self.trace.total_lock_wait_ns,
+            cpufreq_writes=self.cpufreq.writes,
+            trace=self.trace,
+            extra={
+                "energy_breakdown_j": self.energy.energy_breakdown_j(),
+                "time_breakdown_ns": self.energy.time_breakdown_ns(),
+            },
+        )

@@ -1,0 +1,108 @@
+"""Task model for the task-based runtime (OmpSs/OpenMP-4.0 style).
+
+The paper's terminology (Section II-A):
+
+* a **task type** is one ``#pragma omp task`` annotation site; the extended
+  directive ``criticality(c)`` attaches a static criticality level to it,
+* a **task instance** is one dynamic execution of a task type,
+* dependences between instances form the task dependence graph (TDG).
+
+:class:`Task` also carries the execution-model attributes required by
+:class:`repro.sim.core_model.ExecutableWork` (CPU cycles, memory ns,
+activity, optional in-kernel blocking).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TaskType", "TaskState", "Task"]
+
+
+@dataclass(frozen=True)
+class TaskType:
+    """One task annotation site.
+
+    ``criticality`` is the static annotation of the extended directive
+    ``#pragma omp task criticality(c)``: zero means non-critical, larger
+    values mean more critical (the paper uses small integers).
+    """
+
+    name: str
+    criticality: int = 0
+    #: Dynamic-power activity factor while instances of this type execute.
+    activity: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.criticality < 0:
+            raise ValueError("criticality annotation must be non-negative")
+        if not (0.0 < self.activity <= 1.0):
+            raise ValueError("activity must be in (0, 1]")
+
+    @property
+    def annotated_critical(self) -> bool:
+        return self.criticality > 0
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task instance."""
+
+    CREATED = "created"  # submitted, waiting on dependences
+    READY = "ready"  # all inputs ready, sitting in a ready queue
+    RUNNING = "running"  # executing on a core
+    FINISHED = "finished"
+
+
+@dataclass
+class Task:
+    """One task instance in the TDG."""
+
+    task_id: int
+    ttype: TaskType
+    cpu_cycles: float
+    mem_ns: float
+    activity: float
+    block_at: Optional[float] = None
+    block_ns: float = 0.0
+    phase: int = 0
+
+    # --- TDG linkage (managed by TaskGraph) ---
+    pending_preds: int = 0
+    successors: list["Task"] = field(default_factory=list)
+    bottom_level: int = 0
+
+    # --- runtime state ---
+    state: TaskState = TaskState.CREATED
+    #: Criticality decided by the active estimator when the task became ready.
+    critical: bool = False
+    core_id: Optional[int] = None
+    submit_ns: float = 0.0
+    ready_ns: float = 0.0
+    start_ns: float = 0.0
+    end_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_cycles < 0 or self.mem_ns < 0:
+            raise ValueError("work amounts must be non-negative")
+        if self.cpu_cycles == 0 and self.mem_ns == 0:
+            raise ValueError(f"task {self.task_id} has no work")
+        if self.block_at is not None and not (0.0 < self.block_at < 1.0):
+            raise ValueError("block_at must lie strictly inside (0, 1)")
+        if self.block_ns < 0:
+            raise ValueError("block_ns must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return f"{self.ttype.name}#{self.task_id}"
+
+    def duration_at_ns(self, freq_ghz: float) -> float:
+        """Wall time if executed start-to-finish at one frequency."""
+        return self.cpu_cycles / freq_ghz + self.mem_ns + self.block_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task({self.name}, state={self.state.value}, "
+            f"bl={self.bottom_level}, critical={self.critical})"
+        )

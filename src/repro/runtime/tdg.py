@@ -1,0 +1,235 @@
+"""Task dependence graph (TDG) with incremental bottom-level maintenance.
+
+The runtime builds the TDG as the main thread submits tasks (paper
+Section II-A) and uses it for two things:
+
+* readiness tracking — a task becomes ready when its last predecessor
+  finishes, mirroring how an out-of-order processor wakes instructions;
+* bottom-level (BL) computation for the dynamic criticality estimator
+  (Section II-B): BL(t) is the length in edges of the longest path from
+  *t* to a leaf among the tasks currently known to the runtime.
+
+Bottom-levels are maintained incrementally: a newly submitted task is a
+leaf (BL 0); submission relaxes ancestors upward along dependence edges.
+The number of edges visited by that walk is returned to the caller because
+the paper charges exactly this exploration as the BL estimator's runtime
+overhead (costly in dense TDGs with short tasks — the Fluidanimate
+slowdown).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from .task import Task, TaskState, TaskType
+
+__all__ = ["TaskGraph"]
+
+ReadyCallback = Callable[[Task], None]
+
+
+class TaskGraph:
+    """The runtime's dynamic TDG."""
+
+    def __init__(
+        self,
+        on_ready: Optional[ReadyCallback] = None,
+        bl_edge_budget: Optional[int] = None,
+    ) -> None:
+        """``bl_edge_budget`` caps the edges visited by one submission's
+        bottom-level relaxation walk.  Real runtimes bound this exploration
+        (the paper's limitation: "only a sub-graph of the TDG is considered
+        to estimate criticality"); an unbounded walk is O(n²) on pipeline
+        chains.  ``None`` keeps bottom-levels exact."""
+        if bl_edge_budget is not None and bl_edge_budget < 0:
+            raise ValueError("bl_edge_budget must be non-negative")
+        self._tasks: list[Task] = []
+        self._preds: list[tuple[int, ...]] = []
+        self._on_ready = on_ready
+        self._bl_edge_budget = bl_edge_budget
+        self._max_bottom_level = 0
+        self._unfinished = 0
+        self._bl_edges_visited_total = 0
+        # Histogram of bottom-levels over *unfinished* tasks, so the
+        # estimator can threshold against the longest path among tasks still
+        # waiting (the paper: criticality is estimated on "the TDG of tasks
+        # waiting for execution", not the historical graph).
+        self._bl_counts: dict[int, int] = {}
+        self._max_bl_waiting = 0
+
+    # ------------------------------------------------------------- queries
+    @property
+    def tasks(self) -> Sequence[Task]:
+        return self._tasks
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def unfinished_count(self) -> int:
+        return self._unfinished
+
+    @property
+    def max_bottom_level(self) -> int:
+        """Largest BL among all tasks ever submitted (monotone)."""
+        return self._max_bottom_level
+
+    @property
+    def max_bottom_level_waiting(self) -> int:
+        """Largest BL among tasks not yet finished (the estimator's view)."""
+        return self._max_bl_waiting
+
+    @property
+    def bl_edges_visited_total(self) -> int:
+        return self._bl_edges_visited_total
+
+    def predecessors(self, task: Task) -> list[Task]:
+        return [self._tasks[p] for p in self._preds[task.task_id]]
+
+    # ---------------------------------------------------------- submission
+    def submit(
+        self,
+        ttype: TaskType,
+        cpu_cycles: float,
+        mem_ns: float,
+        deps: Iterable[int] = (),
+        activity: Optional[float] = None,
+        block_at: Optional[float] = None,
+        block_ns: float = 0.0,
+        phase: int = 0,
+        now_ns: float = 0.0,
+    ) -> tuple[Task, int]:
+        """Add a task; returns ``(task, bl_edges_visited)``.
+
+        Dependences must reference already-submitted task ids, which keeps
+        the graph acyclic by construction.  Predecessors that already
+        finished do not gate readiness (their data is available).
+        """
+        task_id = len(self._tasks)
+        dep_ids = tuple(deps)
+        for d in dep_ids:
+            if not (0 <= d < task_id):
+                raise ValueError(f"task {task_id} depends on unknown task {d}")
+        task = Task(
+            task_id=task_id,
+            ttype=ttype,
+            cpu_cycles=cpu_cycles,
+            mem_ns=mem_ns,
+            activity=ttype.activity if activity is None else activity,
+            block_at=block_at,
+            block_ns=block_ns,
+            phase=phase,
+            submit_ns=now_ns,
+        )
+        self._tasks.append(task)
+        self._preds.append(dep_ids)
+        self._unfinished += 1
+
+        pending = 0
+        for d in dep_ids:
+            pred = self._tasks[d]
+            if pred.state is not TaskState.FINISHED:
+                pending += 1
+            pred.successors.append(task)
+        task.pending_preds = pending
+        self._bl_counts[0] = self._bl_counts.get(0, 0) + 1
+
+        edges_visited = self._relax_bottom_levels(task, dep_ids)
+        self._bl_edges_visited_total += edges_visited
+
+        if pending == 0:
+            self._make_ready(task, now_ns)
+        return task, edges_visited
+
+    def _relax_bottom_levels(self, task: Task, dep_ids: tuple[int, ...]) -> int:
+        """Propagate the new leaf's BL upward; returns edges visited.
+
+        The walk stops once ``bl_edge_budget`` edges have been inspected —
+        beyond that the runtime's view of ancestor bottom-levels goes stale,
+        exactly the partial-TDG inaccuracy the paper attributes to the
+        bottom-level method.
+        """
+        budget = self._bl_edge_budget
+        edges = len(dep_ids)  # the new edges themselves are inspected
+        # Worklist of tasks whose BL increased and whose preds need relaxing.
+        frontier = [
+            self._tasks[d] for d in dep_ids if self._tasks[d].bottom_level < 1
+        ]
+        for t in frontier:
+            self._move_bl(t, 1)
+        while frontier:
+            if budget is not None and edges >= budget:
+                break
+            node = frontier.pop()
+            if node.bottom_level > self._max_bottom_level:
+                self._max_bottom_level = node.bottom_level
+            for pid in self._preds[node.task_id]:
+                edges += 1
+                pred = self._tasks[pid]
+                if pred.bottom_level < node.bottom_level + 1:
+                    self._move_bl(pred, node.bottom_level + 1)
+                    frontier.append(pred)
+        return edges
+
+    def _move_bl(self, task: Task, new_bl: int) -> None:
+        """Update a task's BL, keeping the waiting-tasks histogram in sync."""
+        if task.state is not TaskState.FINISHED:
+            old = task.bottom_level
+            self._bl_counts[old] -= 1
+            self._bl_counts[new_bl] = self._bl_counts.get(new_bl, 0) + 1
+            if new_bl > self._max_bl_waiting:
+                self._max_bl_waiting = new_bl
+        task.bottom_level = new_bl
+
+    # ------------------------------------------------------------ progress
+    def _make_ready(self, task: Task, now_ns: float) -> None:
+        task.state = TaskState.READY
+        task.ready_ns = now_ns
+        if self._on_ready is not None:
+            self._on_ready(task)
+
+    def mark_running(self, task: Task, core_id: int, now_ns: float) -> None:
+        if task.state is not TaskState.READY:
+            raise RuntimeError(f"{task.name} started while {task.state.value}")
+        task.state = TaskState.RUNNING
+        task.core_id = core_id
+        task.start_ns = now_ns
+
+    def mark_finished(self, task: Task, now_ns: float) -> list[Task]:
+        """Complete a task; returns the successors that just became ready.
+
+        Ready callbacks fire for each newly ready successor, in submission
+        order, before this method returns.
+        """
+        if task.state is not TaskState.RUNNING:
+            raise RuntimeError(f"{task.name} finished while {task.state.value}")
+        task.state = TaskState.FINISHED
+        task.end_ns = now_ns
+        self._unfinished -= 1
+        self._bl_counts[task.bottom_level] -= 1
+        while self._max_bl_waiting > 0 and not self._bl_counts.get(self._max_bl_waiting):
+            self._max_bl_waiting -= 1
+        newly_ready: list[Task] = []
+        for succ in task.successors:
+            succ.pending_preds -= 1
+            if succ.pending_preds == 0 and succ.state is TaskState.CREATED:
+                newly_ready.append(succ)
+        newly_ready.sort(key=lambda t: t.task_id)
+        for succ in newly_ready:
+            self._make_ready(succ, now_ns)
+        return newly_ready
+
+    # ---------------------------------------------------------- validation
+    def validate_bottom_levels(self) -> None:
+        """Recompute every BL from scratch and compare (test support)."""
+        n = len(self._tasks)
+        exact = [0] * n
+        for t in reversed(self._tasks):
+            for succ in t.successors:
+                exact[t.task_id] = max(exact[t.task_id], exact[succ.task_id] + 1)
+        for t in self._tasks:
+            if t.bottom_level != exact[t.task_id]:
+                raise AssertionError(
+                    f"{t.name}: incremental BL {t.bottom_level} != exact {exact[t.task_id]}"
+                )

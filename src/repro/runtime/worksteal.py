@@ -1,0 +1,74 @@
+"""Work-stealing scheduler baseline.
+
+The paper's FIFO baseline uses one central ready queue.  Real task runtimes
+(Cilk, TBB, Nanos++ with its local-queue policy) often use per-worker
+deques instead: a worker pushes tasks it makes ready onto its own deque,
+pops its own work LIFO (cache-hot), and steals FIFO from a victim when its
+deque runs dry.  The paper's related work (Section VI-B) cites task
+stealing [45] as an alternative criticality-exploitation vehicle; this
+scheduler provides that baseline so the reproduction can show that CATA's
+benefit is orthogonal to the queueing discipline.
+
+Criticality-blind: the decided criticality only affects acceleration
+managers stacked on top (it composes with CATA just like FIFO composes
+with TurboMode).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .scheduler_base import Scheduler
+from .task import Task
+
+__all__ = ["WorkStealingScheduler"]
+
+
+class WorkStealingScheduler(Scheduler):
+    """Per-core deques with LIFO local pops and FIFO steals."""
+
+    name = "fifo_ws"
+
+    def __init__(self, core_count: int) -> None:
+        super().__init__()
+        if core_count <= 0:
+            raise ValueError("core_count must be positive")
+        self._deques: list[deque[Task]] = [deque() for _ in range(core_count)]
+        self._pending = 0
+        self.steals = 0
+        self.local_pops = 0
+
+    # ------------------------------------------------------------- enqueue
+    def on_task_ready(self, task: Task) -> None:
+        """Push onto the deque of the core that made the task ready.
+
+        The runtime system exposes ``ready_context_core`` — the core whose
+        task completion (or whose submission thread) released this task.
+        """
+        owner = getattr(self.system, "ready_context_core", 0)
+        self._deques[owner % len(self._deques)].append(task)
+        self._pending += 1
+
+    # --------------------------------------------------------------- picks
+    def pick(self, core_id: int) -> Optional[Task]:
+        own = self._deques[core_id]
+        if own:
+            self._pending -= 1
+            self.local_pops += 1
+            return own.pop()  # LIFO: newest local work is cache-hot
+        n = len(self._deques)
+        for offset in range(1, n):
+            victim = self._deques[(core_id + offset) % n]
+            if victim:
+                self._pending -= 1
+                self.steals += 1
+                return victim.popleft()  # FIFO: steal the oldest work
+        return None
+
+    def has_work_for(self, core_id: int) -> bool:
+        return self._pending > 0
+
+    @property
+    def pending(self) -> int:
+        return self._pending

@@ -1,0 +1,79 @@
+"""Discrete-event multicore/DVFS simulator substrate.
+
+This package is the reproduction's gem5 substitute: a deterministic
+task-granularity simulator of a 32-core machine with per-core DVFS
+(Table I of the paper), ACPI C-states, an analytic McPAT-style power model,
+and explicit cost models for the software reconfiguration path
+(locks + cpufreq kernel crossings).
+"""
+
+from .config import (
+    FAST_LEVEL,
+    SLOW_LEVEL,
+    CacheConfig,
+    CoreUArchConfig,
+    DVFSLevel,
+    MachineConfig,
+    NoCConfig,
+    OverheadConfig,
+    PowerModelConfig,
+    default_machine,
+)
+from .core_model import Core, CoreError, ExecutableWork
+from .cstates import CStateController
+from .dvfs import DVFSController
+from .energy import EnergyAccountant
+from .engine import MS, NS, SEC, US, Event, SimulationError, Simulator
+from .kernel import CpufreqFramework
+from .locks import LockStats, SimLock
+from .memory import duration_at, speedup_at_fast, split_by_boundedness
+from .power import CoreState, PowerModel, core_power_w
+from .trace import (
+    CStateRecord,
+    FreqChangeRecord,
+    LockWaitRecord,
+    ReconfigRecord,
+    TaskSpan,
+    Trace,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "MachineConfig",
+    "DVFSLevel",
+    "CacheConfig",
+    "NoCConfig",
+    "CoreUArchConfig",
+    "PowerModelConfig",
+    "OverheadConfig",
+    "FAST_LEVEL",
+    "SLOW_LEVEL",
+    "default_machine",
+    "Core",
+    "CoreError",
+    "ExecutableWork",
+    "CStateController",
+    "DVFSController",
+    "EnergyAccountant",
+    "CpufreqFramework",
+    "SimLock",
+    "LockStats",
+    "PowerModel",
+    "CoreState",
+    "core_power_w",
+    "Trace",
+    "TaskSpan",
+    "ReconfigRecord",
+    "LockWaitRecord",
+    "CStateRecord",
+    "FreqChangeRecord",
+    "duration_at",
+    "split_by_boundedness",
+    "speedup_at_fast",
+]

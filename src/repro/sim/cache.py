@@ -1,0 +1,81 @@
+"""Cache-hierarchy latency blend.
+
+Computes the average memory-access latency (in nanoseconds of *wall time*)
+for a task given its miss profile, using the Table I latencies:
+
+* L1 hit: 2 cycles (core clock — scales with the core's frequency, so the
+  blend reports it separately),
+* L2 hit: 15 cycles (uncore clock) plus NoC traversal to the NUCA bank,
+* L2 miss: 300 cycles to memory.
+
+The model is a standard additive AMAT decomposition.  It exists to let
+workload generators express memory behaviour as miss rates per kilo-
+instruction — the numbers PARSEC characterization papers publish — instead
+of raw nanoseconds.  The uncore runs at a fixed 1 GHz reference clock, so
+L2/memory time is frequency-invariant, which is exactly what makes
+memory-bound tasks insensitive to acceleration in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import MachineConfig
+from .noc import hop_latency_cycles, mean_pairwise_distance
+
+__all__ = ["MemoryProfile", "amat_split"]
+
+#: Uncore reference clock used to turn uncore cycles into nanoseconds.
+UNCORE_GHZ = 1.0
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Per-task memory behaviour expressed in architecture-neutral terms."""
+
+    #: L1D misses per kilo-instruction.
+    l1_mpki: float
+    #: L2 misses per kilo-instruction (must not exceed l1_mpki).
+    l2_mpki: float
+    #: Fraction of instructions that access memory (loads + stores).
+    mem_ratio: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.l1_mpki < 0 or self.l2_mpki < 0:
+            raise ValueError("MPKI values must be non-negative")
+        if self.l2_mpki > self.l1_mpki:
+            raise ValueError("L2 MPKI cannot exceed L1 MPKI")
+        if not (0.0 < self.mem_ratio <= 1.0):
+            raise ValueError("mem_ratio must be in (0, 1]")
+
+
+def amat_split(
+    instructions: float, profile: MemoryProfile, machine: MachineConfig
+) -> tuple[float, float]:
+    """Split a task's work into (cpu_cycles, mem_ns).
+
+    Returns
+    -------
+    cpu_cycles:
+        Core cycles that scale with frequency: one cycle per instruction
+        (the 4-wide OoO core is assumed to hide intra-L1 latency, so IPC≈1
+        for compute) plus L1-hit time for memory instructions.
+    mem_ns:
+        Frequency-invariant wall time: time spent in the L2/NoC/memory
+        beyond the L1, at the uncore clock.
+    """
+    if instructions < 0:
+        raise ValueError("instructions must be non-negative")
+    uarch = machine.uarch
+    # Frequency-scaling portion: execution + L1 hits.
+    l1_accesses = instructions * profile.mem_ratio
+    cpu_cycles = instructions + l1_accesses * (uarch.l1d.hit_cycles - 1)
+    # Frequency-invariant portion: beyond-L1 latency at the uncore clock.
+    l1_misses = instructions * profile.l1_mpki / 1000.0
+    l2_misses = instructions * profile.l2_mpki / 1000.0
+    l2_hits = max(0.0, l1_misses - l2_misses)
+    noc_cycles = hop_latency_cycles(mean_pairwise_distance(machine.noc), machine.noc)
+    l2_hit_cycles = machine.l2_hit_cycles + 2 * noc_cycles
+    mem_uncore_cycles = l2_hits * l2_hit_cycles + l2_misses * machine.l2_miss_cycles
+    mem_ns = mem_uncore_cycles / UNCORE_GHZ
+    return cpu_cycles, mem_ns

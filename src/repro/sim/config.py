@@ -1,0 +1,250 @@
+"""Machine configuration — a faithful transcription of Table I of the paper.
+
+The paper simulates a 32-core out-of-order x86 processor with two DVFS
+operating points implemented as dual-rail Vdd (Miller et al. [25]):
+
+* fast:  2 GHz at 1.0 V
+* slow:  1 GHz at 0.8 V
+* DVFS reconfiguration latency: 25 µs
+
+Everything configurable in the reproduction hangs off these dataclasses so
+experiments can sweep any parameter while Table I remains the single default
+source of truth.  The microarchitectural entries of Table I (issue width,
+ROB size, cache geometry, mesh NoC) feed the analytic timing model in
+:mod:`repro.sim.memory` and the power model in :mod:`repro.sim.power`; they
+are retained here verbatim so `harness.table1` can regenerate the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from .engine import US
+
+__all__ = [
+    "DVFSLevel",
+    "CacheConfig",
+    "NoCConfig",
+    "CoreUArchConfig",
+    "PowerModelConfig",
+    "OverheadConfig",
+    "MachineConfig",
+    "FAST_LEVEL",
+    "SLOW_LEVEL",
+    "default_machine",
+]
+
+
+@dataclass(frozen=True)
+class DVFSLevel:
+    """One DVFS operating point (frequency + supply voltage)."""
+
+    name: str
+    freq_ghz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.freq_ghz}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage must be positive, got {self.voltage_v}")
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one core cycle in nanoseconds."""
+        return 1.0 / self.freq_ghz
+
+
+#: The paper's fast operating point: 2 GHz at 1.0 V.
+FAST_LEVEL = DVFSLevel(name="fast", freq_ghz=2.0, voltage_v=1.0)
+#: The paper's slow operating point: 1 GHz at 0.8 V.
+SLOW_LEVEL = DVFSLevel(name="slow", freq_ghz=1.0, voltage_v=0.8)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level (Table I)."""
+
+    name: str
+    size_kb: int
+    assoc: int
+    line_bytes: int
+    hit_cycles: int
+    miss_cycles: int = 0  # only meaningful for the last level
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Mesh network-on-chip parameters (Table I: 4x8 mesh, 1-cycle links)."""
+
+    rows: int = 4
+    cols: int = 8
+    link_cycles: int = 1
+    router_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def node_count(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class CoreUArchConfig:
+    """Out-of-order core microarchitecture (Table I).
+
+    These values parameterize the per-task timing blend in
+    :mod:`repro.sim.memory` and the per-core power scale in
+    :mod:`repro.sim.power`; they are not simulated cycle-by-cycle.
+    """
+
+    fetch_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    rob_entries: int = 128
+    issue_queue_entries: int = 64
+    int_registers: int = 256
+    fp_registers: int = 256
+    btb_entries: int = 4096
+    ras_entries: int = 32
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1I", 32, 2, 64, hit_cycles=2)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 64, 2, 64, hit_cycles=2)
+    )
+    itlb_entries: int = 256
+    dtlb_entries: int = 256
+
+
+@dataclass(frozen=True)
+class PowerModelConfig:
+    """Analytic CMOS power-model constants (substitutes McPAT @ 22 nm).
+
+    Dynamic power of a core running at frequency ``f`` (GHz) and voltage
+    ``V`` with activity factor ``a`` is ``dyn_w_per_ghz_v2 * f * V^2 * a``.
+    Leakage scales linearly with voltage around the nominal point (a first
+    order fit of the exponential; adequate for a 0.8–1.0 V range).
+    """
+
+    #: Dynamic power coefficient in W / (GHz * V^2).  Chosen so a fast core
+    #: (2 GHz, 1.0 V, a=1) burns ~4.5 W, in line with McPAT 22 nm OoO cores.
+    dyn_w_per_ghz_v2: float = 2.25
+    #: Core leakage at 1.0 V in W.
+    leak_w_at_nominal: float = 1.5
+    nominal_voltage_v: float = 1.0
+    #: Fraction of dynamic power still switching when the core idles in C0
+    #: (clock distribution, snoop logic) — Gem5/McPAT default clock gating.
+    idle_c0_activity: float = 0.30
+    #: C1 (halt) keeps leakage and a trickle of clock power.
+    idle_c1_activity: float = 0.04
+    #: C3 power-gates most of the core: residual fraction of leakage.
+    c3_leak_fraction: float = 0.15
+    #: Constant uncore power (shared L2 banks, directory, NoC) in W.
+    uncore_w: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.dyn_w_per_ghz_v2 <= 0:
+            raise ValueError("dynamic power coefficient must be positive")
+        if not (0.0 <= self.idle_c1_activity <= self.idle_c0_activity <= 1.0):
+            raise ValueError("idle activities must satisfy 0 <= C1 <= C0 <= 1")
+
+
+@dataclass(frozen=True)
+class OverheadConfig:
+    """Latency constants for runtime/OS/hardware mechanisms.
+
+    The values land in the ranges the paper reports (Section V-C: average
+    reconfiguration latency 11–65 µs; software path = user→kernel crossing +
+    cpufreq driver + serialized 25 µs hardware transition).
+    """
+
+    #: gem5 DVFS transition latency (Table I): 25 us.
+    dvfs_transition_ns: float = 25.0 * US
+    #: User-space → kernel crossing (interrupt + mode switch) for a cpufreq
+    #: file write.
+    kernel_crossing_ns: float = 2.0 * US
+    #: cpufreq driver execution (writes DVFS controller, updates kernel clock
+    #: bookkeeping).
+    cpufreq_driver_ns: float = 3.0 * US
+    #: Runtime scheduler cost paid by a worker per task request.
+    schedule_request_ns: float = 800.0
+    #: Runtime cost to create/submit one task (allocation, dependence
+    #: registration), excluding criticality estimation.
+    task_submit_ns: float = 600.0
+    #: Bottom-level estimator: cost per TDG edge traversed during the
+    #: upward BL update walk (Section II-B: exploring the TDG on every task
+    #: creation is costly in dense graphs).
+    bl_edge_cost_ns: float = 70.0
+    #: Cost of one RSU ISA operation (rsu_start_task / rsu_end_task).
+    rsu_op_ns: float = 10.0
+    #: Idle worker spins this long before executing `halt` (C0 -> C1).
+    idle_spin_ns: float = 600.0 * US
+    #: OS promotes a C1 core to C3 after this much uninterrupted idleness.
+    c3_promotion_ns: float = 200.0 * US
+    #: Wakeup latency out of C1 (resume from halt).
+    c1_wake_ns: float = 1.0 * US
+    #: Wakeup latency out of C3 (power ungating + state restore).
+    c3_wake_ns: float = 30.0 * US
+    #: Context switch cost used by the RSU virtualization model.
+    context_switch_ns: float = 5.0 * US
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete simulated machine: Table I plus model constants."""
+
+    core_count: int = 32
+    fast: DVFSLevel = FAST_LEVEL
+    slow: DVFSLevel = SLOW_LEVEL
+    uarch: CoreUArchConfig = field(default_factory=CoreUArchConfig)
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    l2_per_core_mb: float = 2.0
+    l2_assoc: int = 8
+    l2_hit_cycles: int = 15
+    l2_miss_cycles: int = 300
+    directory_entries: int = 65536
+    power: PowerModelConfig = field(default_factory=PowerModelConfig)
+    overheads: OverheadConfig = field(default_factory=OverheadConfig)
+    #: Opt-in shared-bandwidth contention: a task's memory time is scaled by
+    #: ``1 + alpha * max(0, busy_fraction - threshold)`` sampled at task
+    #: start.  ``alpha = 0`` (the default) disables the model, keeping the
+    #: paper-calibrated behaviour; the ablation bench sweeps it.
+    mem_contention_alpha: float = 0.0
+    mem_contention_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.core_count <= 0:
+            raise ValueError("core_count must be positive")
+        if self.mem_contention_alpha < 0:
+            raise ValueError("mem_contention_alpha must be non-negative")
+        if not (0.0 <= self.mem_contention_threshold <= 1.0):
+            raise ValueError("mem_contention_threshold must be in [0, 1]")
+        if self.fast.freq_ghz <= self.slow.freq_ghz:
+            raise ValueError("fast level must be faster than slow level")
+        if self.noc.node_count < self.core_count:
+            raise ValueError(
+                f"NoC has {self.noc.node_count} nodes but machine has "
+                f"{self.core_count} cores"
+            )
+
+    @property
+    def levels(self) -> Sequence[DVFSLevel]:
+        """All operating points, slow first."""
+        return (self.slow, self.fast)
+
+    def with_cores(self, core_count: int, noc: NoCConfig | None = None) -> "MachineConfig":
+        """Derive a config with a different core count (for scaling studies)."""
+        if noc is None:
+            # Keep a two-row mesh shape when possible.
+            cols = max(1, (core_count + 1) // 2)
+            noc = NoCConfig(rows=2 if core_count > 1 else 1, cols=cols)
+        return replace(self, core_count=core_count, noc=noc)
+
+
+def default_machine() -> MachineConfig:
+    """The paper's 32-core machine exactly as described by Table I."""
+    return MachineConfig()

@@ -1,0 +1,126 @@
+"""ACPI C-state controller (C0 / C1 / C3) for idle cores.
+
+Models the behaviour the paper's TurboMode comparison depends on
+(Section III-B.5 and V-D):
+
+* an idle worker spins briefly in user space (C0, low activity),
+* then executes ``halt`` — the core enters C1 and the hardware TurboMode
+  microcontroller is notified,
+* if the core stays idle long enough the OS suggests C3 (deep sleep),
+* waking costs :attr:`c1_wake_ns` or :attr:`c3_wake_ns` depending on depth.
+
+The controller exposes halt/wake listener hooks; the TurboMode model in
+:mod:`repro.core.turbomode` subscribes to them.  Blocked-in-kernel tasks
+(handled inside :class:`~repro.sim.core_model.Core`) fire the same halt
+listeners via :meth:`notify_halt` so TurboMode can reclaim their budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .config import MachineConfig
+from .core_model import Core
+from .engine import Event, Simulator
+
+__all__ = ["CStateController"]
+
+HaltListener = Callable[[int], None]
+WakeListener = Callable[[int], None]
+
+
+class CStateController:
+    """Drives the idle-state machine of every core."""
+
+    def __init__(self, sim: Simulator, machine: MachineConfig, cores: list[Core]) -> None:
+        self._sim = sim
+        self._ov = machine.overheads
+        self._cores = cores
+        self._halt_event: list[Optional[Event]] = [None] * len(cores)
+        self._c3_event: list[Optional[Event]] = [None] * len(cores)
+        self._idle: list[bool] = [False] * len(cores)
+        self._halt_listeners: list[HaltListener] = []
+        self._wake_listeners: list[WakeListener] = []
+
+    # ----------------------------------------------------------- listeners
+    def add_halt_listener(self, listener: HaltListener) -> None:
+        """``listener(core_id)`` fires when a core executes halt (C0→C1)."""
+        self._halt_listeners.append(listener)
+
+    def add_wake_listener(self, listener: WakeListener) -> None:
+        """``listener(core_id)`` fires when a sleeping/halted core wakes."""
+        self._wake_listeners.append(listener)
+
+    def notify_halt(self, core_id: int) -> None:
+        """Propagate an externally caused halt (a task blocking in-kernel)."""
+        for listener in self._halt_listeners:
+            listener(core_id)
+
+    def notify_wake(self, core_id: int) -> None:
+        """Propagate an externally caused wake (a blocked task resuming)."""
+        for listener in self._wake_listeners:
+            listener(core_id)
+
+    # ------------------------------------------------------------ idleness
+    def is_idle(self, core_id: int) -> bool:
+        return self._idle[core_id]
+
+    def enter_idle(self, core_id: int) -> None:
+        """The worker on ``core_id`` found no ready task.
+
+        The core spins in C0 for ``idle_spin_ns``, halts to C1, and is
+        promoted to C3 after ``c3_promotion_ns`` of uninterrupted idleness.
+        """
+        if self._idle[core_id]:
+            return
+        self._idle[core_id] = True
+        core = self._cores[core_id]
+        core.set_spinning(False)
+
+        def _halt() -> None:
+            self._halt_event[core_id] = None
+            if not self._idle[core_id]:
+                return
+            core.set_cstate("C1")
+            for listener in self._halt_listeners:
+                listener(core_id)
+
+            def _deep_sleep() -> None:
+                self._c3_event[core_id] = None
+                if not self._idle[core_id]:
+                    return
+                core.set_cstate("C3")
+
+            self._c3_event[core_id] = self._sim.schedule(
+                self._ov.c3_promotion_ns, _deep_sleep
+            )
+
+        self._halt_event[core_id] = self._sim.schedule(self._ov.idle_spin_ns, _halt)
+
+    def wake(self, core_id: int) -> float:
+        """Wake an idle core; returns the wake latency in ns.
+
+        The caller must delay any work start by the returned latency (zero
+        if the core was still spinning in C0).
+        """
+        if not self._idle[core_id]:
+            return 0.0
+        self._idle[core_id] = False
+        for ev_list in (self._halt_event, self._c3_event):
+            ev = ev_list[core_id]
+            if ev is not None:
+                ev.cancel()
+                ev_list[core_id] = None
+        core = self._cores[core_id]
+        state = core.cstate
+        if state == "C0":
+            latency = 0.0
+        elif state == "C1":
+            latency = self._ov.c1_wake_ns
+        else:  # C3
+            latency = self._ov.c3_wake_ns
+        if state != "C0":
+            core.set_cstate("C0")
+            for listener in self._wake_listeners:
+                listener(core_id)
+        return latency

@@ -1,0 +1,179 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the clock of the whole reproduction: every other component
+(cores, DVFS controller, runtime workers, reconfiguration managers) advances
+time exclusively by scheduling events here.
+
+Design notes
+------------
+* Time is a float number of **nanoseconds** since simulation start.  All
+  durations in the code base are expressed in nanoseconds; helper constants
+  (:data:`US`, :data:`MS`) make call sites legible.
+* Events at equal timestamps fire in scheduling order.  The heap entries are
+  ``(time, seq, event)`` where ``seq`` is a monotonically increasing integer,
+  which makes execution fully deterministic — a requirement called out in
+  DESIGN.md (identical seeds must produce identical traces).
+* Events are cancellable.  Cancellation is lazy: the entry stays in the heap
+  and is skipped when popped.  This is the standard idiom for DES written on
+  top of :mod:`heapq` and keeps ``cancel`` O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError", "NS", "US", "MS", "SEC"]
+
+#: One nanosecond, the base time unit of the simulator.
+NS: float = 1.0
+#: One microsecond in nanoseconds.
+US: float = 1_000.0
+#: One millisecond in nanoseconds.
+MS: float = 1_000_000.0
+#: One second in nanoseconds.
+SEC: float = 1_000_000_000.0
+
+
+class SimulationError(RuntimeError):
+    """Raised for violations of engine invariants (e.g. scheduling in the past)."""
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` / :meth:`Simulator.at`
+    and can be cancelled before they fire.  ``payload`` is free-form metadata
+    used only for debugging and tracing.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None]
+    payload: Any = None
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event has neither fired nor been cancelled."""
+        return not self.cancelled and not getattr(self, "_fired", False)
+
+
+class Simulator:
+    """Priority-queue discrete-event simulator.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> out = []
+    >>> _ = sim.schedule(5.0, lambda: out.append(sim.now))
+    >>> sim.run()
+    >>> out
+    [5.0]
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(
+        self, delay: float, callback: Callable[[], None], payload: Any = None
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` ns from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all events
+        already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.at(self._now + delay, callback, payload)
+
+    def at(self, time: float, callback: Callable[[], None], payload: Any = None) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        ev = Event(time=time, seq=next(self._seq), callback=callback, payload=payload)
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        return ev
+
+    # --------------------------------------------------------------- running
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns ``False`` when the heap holds no fireable event.
+        """
+        while self._heap:
+            time, _seq, ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = time
+            ev._fired = True  # type: ignore[attr-defined]
+            self._events_fired += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event heap drains, ``until`` is reached, or
+        ``max_events`` events have fired.
+
+        ``until`` is an inclusive upper bound: events scheduled exactly at
+        ``until`` still fire; the clock is left at ``until`` if it is reached.
+        ``max_events`` guards against runaway schedules in tests.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                time, _seq, ev = self._heap[0]
+                if ev.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and time > until:
+                    self._now = until
+                    return
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+                heapq.heappop(self._heap)
+                self._now = time
+                ev._fired = True  # type: ignore[attr-defined]
+                self._events_fired += 1
+                fired += 1
+                ev.callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False

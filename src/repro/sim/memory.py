@@ -1,0 +1,60 @@
+"""High-level task timing derivation.
+
+Bridges workload descriptions to the execution model: a workload generator
+describes a task either
+
+* directly, as ``(cpu_cycles, mem_ns)``, or
+* behaviourally, as ``(duration at the slow level, memory-boundedness β)``
+  where β is the fraction of slow-level wall time that does **not** scale
+  with frequency, or
+* architecturally, as ``(instruction count, MemoryProfile)`` via
+  :func:`repro.sim.cache.amat_split`.
+
+The second form is the workhorse: published PARSEC characterizations give
+per-benchmark memory-boundedness, and β directly controls how much a task
+benefits from acceleration — a fast core speeds a task up by
+``1 / (β + (1-β)·f_slow/f_fast)``, i.e. 2× for β=0 and 1× for β=1 with the
+paper's 1 GHz/2 GHz pair.
+"""
+
+from __future__ import annotations
+
+from .config import MachineConfig
+
+__all__ = ["split_by_boundedness", "duration_at", "speedup_at_fast"]
+
+
+def split_by_boundedness(
+    duration_slow_ns: float, beta: float, machine: MachineConfig
+) -> tuple[float, float]:
+    """Split a slow-level duration into ``(cpu_cycles, mem_ns)``.
+
+    Parameters
+    ----------
+    duration_slow_ns:
+        Task wall time when running on a slow core.
+    beta:
+        Memory-boundedness in [0, 1]: fraction of that wall time which is
+        frequency-invariant (L2/DRAM/NoC/I-O time).
+    """
+    if duration_slow_ns < 0:
+        raise ValueError("duration must be non-negative")
+    if not (0.0 <= beta <= 1.0):
+        raise ValueError(f"beta must be in [0,1], got {beta}")
+    mem_ns = duration_slow_ns * beta
+    cpu_ns = duration_slow_ns - mem_ns
+    cpu_cycles = cpu_ns * machine.slow.freq_ghz
+    return cpu_cycles, mem_ns
+
+
+def duration_at(cpu_cycles: float, mem_ns: float, freq_ghz: float) -> float:
+    """Wall time of a task at a given core frequency."""
+    if freq_ghz <= 0:
+        raise ValueError("frequency must be positive")
+    return cpu_cycles / freq_ghz + mem_ns
+
+
+def speedup_at_fast(beta: float, machine: MachineConfig) -> float:
+    """Ideal task speedup from slow to fast level given boundedness β."""
+    ratio = machine.slow.freq_ghz / machine.fast.freq_ghz
+    return 1.0 / (beta + (1.0 - beta) * ratio)

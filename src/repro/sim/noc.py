@@ -1,0 +1,57 @@
+"""Mesh network-on-chip latency model (Table I: 4×8 mesh, 1-cycle links).
+
+The reproduction does not route individual packets; it needs the *average*
+round-trip cost a core pays to reach a remote L2 bank or the directory,
+which feeds the per-task memory-time blend in :mod:`repro.sim.memory`.
+Banks are NUCA-interleaved by line address, so the expected one-way distance
+is the mean Manhattan distance from a core's node to a uniformly random node.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .config import NoCConfig
+
+__all__ = ["manhattan_distance", "mean_distance_from", "mean_pairwise_distance", "hop_latency_cycles"]
+
+
+def _coords(node: int, cfg: NoCConfig) -> tuple[int, int]:
+    if not (0 <= node < cfg.node_count):
+        raise ValueError(f"node {node} outside {cfg.rows}x{cfg.cols} mesh")
+    return divmod(node, cfg.cols)
+
+
+def manhattan_distance(a: int, b: int, cfg: NoCConfig) -> int:
+    """Hop count between two mesh nodes under XY routing."""
+    ra, ca = _coords(a, cfg)
+    rb, cb = _coords(b, cfg)
+    return abs(ra - rb) + abs(ca - cb)
+
+
+def mean_distance_from(node: int, cfg: NoCConfig) -> float:
+    """Expected hops from ``node`` to a uniformly random destination node."""
+    total = sum(manhattan_distance(node, other, cfg) for other in range(cfg.node_count))
+    return total / cfg.node_count
+
+
+@lru_cache(maxsize=None)
+def _mean_pairwise(rows: int, cols: int) -> float:
+    cfg = NoCConfig(rows=rows, cols=cols)
+    n = cfg.node_count
+    total = sum(mean_distance_from(node, cfg) for node in range(n))
+    return total / n
+
+
+def mean_pairwise_distance(cfg: NoCConfig) -> float:
+    """Expected hops between two uniformly random nodes."""
+    return _mean_pairwise(cfg.rows, cfg.cols)
+
+
+def hop_latency_cycles(hops: float, cfg: NoCConfig) -> float:
+    """Latency in uncore cycles for a one-way traversal of ``hops`` hops.
+
+    Each hop is one link traversal plus one router stage (Table I's 1-cycle
+    links with single-cycle routers).
+    """
+    return hops * (cfg.link_cycles + cfg.router_cycles)

@@ -1,0 +1,92 @@
+"""Analytic CMOS power model (the McPAT substitute).
+
+The paper evaluates power with McPAT at 22 nm.  For the reproduction we use
+the standard first-order CMOS decomposition McPAT itself is built around:
+
+* dynamic power  ``P_dyn = k * f * V^2 * activity``  (charging capacitance),
+* leakage power  ``P_leak ~ V``  around the nominal point (linearized
+  exponential; the machine only operates between 0.8 V and 1.0 V),
+* C-state gating: C0-idle and C1 keep a trickle of clock power; C3
+  power-gates the core down to a residual leakage fraction,
+* a constant uncore term for the shared L2 banks, directory and NoC.
+
+Only *relative* energy matters for the paper's EDP figures (everything is
+normalized to the FIFO baseline), so the absolute calibration constant is
+documented but not load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import DVFSLevel, MachineConfig, PowerModelConfig
+
+__all__ = ["CoreState", "PowerModel", "core_power_w"]
+
+
+@dataclass(frozen=True)
+class CoreState:
+    """The instantaneous power-relevant state of one core."""
+
+    level: DVFSLevel
+    cstate: str  # "C0" | "C1" | "C3"
+    #: Activity factor in [0, 1]; meaningful only in C0 while busy.
+    activity: float
+    busy: bool
+
+    def __post_init__(self) -> None:
+        if self.cstate not in ("C0", "C1", "C3"):
+            raise ValueError(f"unknown C-state {self.cstate!r}")
+        if not (0.0 <= self.activity <= 1.0):
+            raise ValueError(f"activity must be in [0,1], got {self.activity}")
+
+
+class PowerModel:
+    """Maps :class:`CoreState` to instantaneous power in watts."""
+
+    def __init__(self, config: PowerModelConfig) -> None:
+        self._cfg = config
+
+    @property
+    def config(self) -> PowerModelConfig:
+        return self._cfg
+
+    def dynamic_w(self, level: DVFSLevel, activity: float) -> float:
+        """Switching power at an operating point with a given activity."""
+        c = self._cfg
+        return c.dyn_w_per_ghz_v2 * level.freq_ghz * level.voltage_v**2 * activity
+
+    def leakage_w(self, level: DVFSLevel) -> float:
+        """Leakage power at an operating point (linear in V)."""
+        c = self._cfg
+        return c.leak_w_at_nominal * (level.voltage_v / c.nominal_voltage_v)
+
+    def core_w(self, state: CoreState) -> float:
+        """Total power of one core in the given state."""
+        c = self._cfg
+        if state.cstate == "C3":
+            # Power-gated: no clock, residual (un-gateable) leakage only.
+            return self.leakage_w(state.level) * c.c3_leak_fraction
+        if state.cstate == "C1":
+            activity = c.idle_c1_activity
+        elif state.busy:
+            activity = state.activity
+        else:  # C0 but idle (spinning in the runtime idle loop)
+            activity = c.idle_c0_activity
+        return self.dynamic_w(state.level, activity) + self.leakage_w(state.level)
+
+    def uncore_w(self) -> float:
+        """Constant shared-resource power (L2 banks, directory, NoC)."""
+        return self._cfg.uncore_w
+
+    def chip_peak_w(self, machine: MachineConfig) -> float:
+        """Peak chip power: all cores busy at the fast level, activity 1."""
+        per_core = self.core_w(
+            CoreState(level=machine.fast, cstate="C0", activity=1.0, busy=True)
+        )
+        return per_core * machine.core_count + self.uncore_w()
+
+
+def core_power_w(config: PowerModelConfig, state: CoreState) -> float:
+    """Convenience functional entry point (used by property tests)."""
+    return PowerModel(config).core_w(state)

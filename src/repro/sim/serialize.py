@@ -1,0 +1,73 @@
+"""Machine-configuration serialization.
+
+gem5 experiments live or die by knowing exactly what configuration produced
+a result; this module gives the reproduction the same property: a
+round-trippable JSON form of :class:`~repro.sim.config.MachineConfig`, used
+to stamp experiment outputs and to load swept configurations back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from .config import (
+    CacheConfig,
+    CoreUArchConfig,
+    DVFSLevel,
+    MachineConfig,
+    NoCConfig,
+    OverheadConfig,
+    PowerModelConfig,
+)
+
+__all__ = ["machine_to_dict", "machine_from_dict", "dump_machine", "load_machine"]
+
+
+def machine_to_dict(machine: MachineConfig) -> dict[str, Any]:
+    """Plain-dict form of a machine configuration (JSON-safe)."""
+    return dataclasses.asdict(machine)
+
+
+def _level(d: dict[str, Any]) -> DVFSLevel:
+    return DVFSLevel(**d)
+
+
+def _cache(d: dict[str, Any]) -> CacheConfig:
+    return CacheConfig(**d)
+
+
+def machine_from_dict(data: dict[str, Any]) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from :func:`machine_to_dict` output."""
+    uarch_d = dict(data["uarch"])
+    uarch_d["l1i"] = _cache(uarch_d["l1i"])
+    uarch_d["l1d"] = _cache(uarch_d["l1d"])
+    return MachineConfig(
+        core_count=data["core_count"],
+        fast=_level(data["fast"]),
+        slow=_level(data["slow"]),
+        uarch=CoreUArchConfig(**uarch_d),
+        noc=NoCConfig(**data["noc"]),
+        l2_per_core_mb=data["l2_per_core_mb"],
+        l2_assoc=data["l2_assoc"],
+        l2_hit_cycles=data["l2_hit_cycles"],
+        l2_miss_cycles=data["l2_miss_cycles"],
+        directory_entries=data["directory_entries"],
+        power=PowerModelConfig(**data["power"]),
+        overheads=OverheadConfig(**data["overheads"]),
+        mem_contention_alpha=data.get("mem_contention_alpha", 0.0),
+        mem_contention_threshold=data.get("mem_contention_threshold", 0.5),
+    )
+
+
+def dump_machine(machine: MachineConfig, path: str) -> None:
+    """Write the configuration to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(machine_to_dict(machine), fh, indent=2, sort_keys=True)
+
+
+def load_machine(path: str) -> MachineConfig:
+    """Load a configuration from a JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return machine_from_dict(json.load(fh))

@@ -1,0 +1,28 @@
+"""PARSECSs-shaped synthetic workloads (the benchmark-suite substitute).
+
+Six generators mirror the parallel *structure* of the paper's benchmark
+subset — fork-join (blackscholes, swaptions), 3D stencil (fluidanimate) and
+pipelines (bodytrack, dedup, ferret) — including task-type criticality
+annotations, duration heterogeneity, memory-boundedness and in-kernel
+blocking behaviour.  See each module's docstring and DESIGN.md for the
+fidelity argument.
+"""
+
+from .base import WorkloadBuilder, scaled_count
+from .characterize import WorkloadStats, characterization_rows, characterize
+from .registry import BENCHMARKS, build_program
+from .synthetic import StageSpec, make_forkjoin, make_pipeline, make_stencil
+
+__all__ = [
+    "BENCHMARKS",
+    "build_program",
+    "WorkloadBuilder",
+    "scaled_count",
+    "WorkloadStats",
+    "characterize",
+    "characterization_rows",
+    "StageSpec",
+    "make_forkjoin",
+    "make_pipeline",
+    "make_stencil",
+]

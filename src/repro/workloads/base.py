@@ -1,0 +1,112 @@
+"""Shared machinery for the PARSECSs-shaped workload generators.
+
+Each generator produces a :class:`~repro.runtime.program.Program` whose
+*structure* (parallelization pattern, task-type mix, dependence shape,
+duration heterogeneity, memory-boundedness, in-kernel blocking) mirrors the
+published characterization of the corresponding PARSEC benchmark — that
+structure, not the application arithmetic, is what drives every result in
+the paper (see DESIGN.md's substitution table).
+
+Durations are specified as wall time **on a slow (1 GHz) core** and split
+into frequency-scaling CPU cycles and frequency-invariant memory time via
+the per-task memory-boundedness β (:func:`repro.sim.memory
+.split_by_boundedness`).
+
+All randomness flows through one seeded :class:`numpy.random.Generator`, so
+identical ``(name, scale, seed)`` triples produce identical programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig, default_machine
+from ..sim.engine import US
+from ..sim.memory import split_by_boundedness
+
+__all__ = ["WorkloadBuilder", "scaled_count"]
+
+
+def scaled_count(base: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer size parameter, never below ``minimum``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return max(minimum, int(round(base * scale)))
+
+
+@dataclass
+class WorkloadBuilder:
+    """Convenience wrapper around :class:`Program` construction."""
+
+    name: str
+    seed: int = 0
+    machine: Optional[MachineConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.machine is None:
+            self.machine = default_machine()
+        self.rng = np.random.default_rng(self.seed)
+        self.program = Program(name=self.name)
+
+    # -------------------------------------------------------------- timing
+    def sample_us(self, mean_us: float, cv: float) -> float:
+        """Sample a task duration (µs at 1 GHz) from a lognormal.
+
+        ``cv`` is the coefficient of variation (std/mean); 0 gives the mean
+        deterministically.  Lognormal matches the right-skewed task-duration
+        histograms of PARSEC task decompositions.
+        """
+        if mean_us <= 0:
+            raise ValueError("mean duration must be positive")
+        if cv < 0:
+            raise ValueError("cv must be non-negative")
+        if cv == 0:
+            return mean_us
+        sigma2 = np.log(1.0 + cv * cv)
+        mu = np.log(mean_us) - sigma2 / 2.0
+        return float(self.rng.lognormal(mean=mu, sigma=np.sqrt(sigma2)))
+
+    def work(self, duration_us: float, beta: float) -> tuple[float, float]:
+        """Split a slow-core duration into ``(cpu_cycles, mem_ns)``."""
+        assert self.machine is not None
+        return split_by_boundedness(duration_us * US, beta, self.machine)
+
+    # ---------------------------------------------------------- task adds
+    def add_task(
+        self,
+        ttype: TaskType,
+        mean_us: float,
+        beta: float,
+        cv: float = 0.0,
+        deps: Sequence[int] = (),
+        block_prob: float = 0.0,
+        block_us: float = 0.0,
+    ) -> int:
+        """Sample and append one task; returns its spec index.
+
+        ``block_prob`` is the per-instance probability of blocking inside a
+        kernel service (I/O, contended page-fault lock — paper Section V-D)
+        for ``block_us`` at a uniformly random internal progress point.
+        """
+        dur = self.sample_us(mean_us, cv)
+        cpu, mem = self.work(dur, beta)
+        block_at = None
+        block_ns = 0.0
+        if block_prob > 0 and block_us > 0 and self.rng.random() < block_prob:
+            block_at = float(self.rng.uniform(0.3, 0.7))
+            block_ns = block_us * US
+        return self.program.add(
+            ttype, cpu, mem, deps=deps, block_at=block_at, block_ns=block_ns
+        )
+
+    def taskwait(self) -> None:
+        self.program.taskwait()
+
+    def build(self) -> Program:
+        self.program.validate()
+        return self.program

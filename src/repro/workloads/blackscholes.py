@@ -1,0 +1,48 @@
+"""Blackscholes-shaped workload.
+
+PARSEC's blackscholes prices a large portfolio of European options with the
+Black-Scholes PDE closed form.  The PARSECSs task version splits the
+portfolio into uniform chunks inside an iterative loop — textbook fork-join
+with a taskwait per iteration:
+
+* very many tasks, all of the same type and nearly identical duration
+  (negligible load imbalance),
+* compute-bound (tiny working set, excellent locality → low β),
+* all tasks share one criticality level (the paper: fork-join codes
+  "present tasks with very similar criticality levels"), so criticality-
+  aware *scheduling* (CATS) has nothing to exploit, and CATA's benefit is
+  limited — with many fast cores the per-iteration reconfiguration bursts
+  can even cause a slight slowdown (Figure 4/5's Blackscholes @24).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig
+from .base import WorkloadBuilder, scaled_count
+
+__all__ = ["build"]
+
+PRICE = TaskType("bs_price", criticality=0, activity=0.95)
+REDUCE = TaskType("bs_reduce", criticality=0, activity=0.7)
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, machine: Optional[MachineConfig] = None
+) -> Program:
+    """Fork-join: ``iterations`` barrier phases of uniform pricing chunks."""
+    b = WorkloadBuilder("blackscholes", seed=seed, machine=machine)
+    iterations = scaled_count(5, scale, minimum=2)
+    chunks = scaled_count(448, scale, minimum=8)
+    for _ in range(iterations):
+        ids = [
+            b.add_task(PRICE, mean_us=550.0, beta=0.15, cv=0.10)
+            for _ in range(chunks)
+        ]
+        # A small reduction over the phase's partial sums.
+        b.add_task(REDUCE, mean_us=120.0, beta=0.45, deps=ids[-min(16, len(ids)):])
+        b.taskwait()
+    return b.build()

@@ -1,0 +1,72 @@
+"""Bodytrack-shaped workload.
+
+PARSEC's bodytrack tracks a human body across camera frames with an
+annealed particle filter.  Per frame, the task decomposition is a pipeline
+of heterogeneous stages:
+
+* many small edge-detection/image-processing tasks,
+* a middling number of particle-weight evaluations,
+* one long resample/anneal step that folds all weights together and gates
+  the next frame.
+
+Task durations span more than an order of magnitude across types (the
+paper: "task duration can change up to an order of magnitude among task
+types"), which is why static annotations beat bottom-level here: BL counts
+*edges* to the leaves, and on this TDG the edge-distance of the cheap
+stages is nearly the same as that of the expensive resample chain, so BL
+cannot tell them apart — while the programmer annotates resample (and
+weights) as critical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig
+from .base import WorkloadBuilder, scaled_count
+
+__all__ = ["build"]
+
+EDGE = TaskType("bt_edge", criticality=0, activity=0.85)
+WEIGHT = TaskType("bt_weight", criticality=1, activity=0.95)
+RESAMPLE = TaskType("bt_resample", criticality=2, activity=0.9)
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, machine: Optional[MachineConfig] = None
+) -> Program:
+    """Frame pipeline: edges ×N → weights ×M → one resample, chained."""
+    b = WorkloadBuilder("bodytrack", seed=seed, machine=machine)
+    frames = scaled_count(16, scale, minimum=3)
+    n_edges = scaled_count(40, max(scale, 0.3), minimum=4)
+    n_weights = scaled_count(44, max(scale, 0.3), minimum=3)
+
+    prev_resample: Optional[int] = None
+    for _frame in range(frames):
+        frame_gate = [prev_resample] if prev_resample is not None else []
+        edge_ids = [
+            b.add_task(EDGE, mean_us=150.0, beta=0.30, cv=0.3, deps=frame_gate)
+            for _ in range(n_edges)
+        ]
+        weight_ids = []
+        for _ in range(n_weights):
+            picks = sorted(
+                int(i) for i in b.rng.choice(len(edge_ids), size=3, replace=False)
+            )
+            weight_ids.append(
+                b.add_task(
+                    WEIGHT,
+                    mean_us=700.0,
+                    beta=0.20,
+                    cv=0.4,
+                    deps=[edge_ids[i] for i in picks],
+                    block_prob=0.05,
+                    block_us=200.0,
+                )
+            )
+        prev_resample = b.add_task(
+            RESAMPLE, mean_us=1400.0, beta=0.12, cv=0.2, deps=weight_ids
+        )
+    return b.build()

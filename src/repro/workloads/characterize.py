@@ -1,0 +1,119 @@
+"""Workload characterization.
+
+Computes, for any :class:`~repro.runtime.program.Program`, the structural
+statistics the paper's analysis reasons about — the same axes PARSEC
+characterization papers report:
+
+* task count, type count, barrier count,
+* duration statistics at the slow level (mean, coefficient of variation),
+* memory-boundedness β (work-weighted),
+* available parallelism = total work / critical path (both at 1 GHz),
+* dependence density (edges per task, max in-degree),
+* in-kernel blocking share.
+
+Used by tests to pin each generator's intended shape, and by the
+``characterization`` table in the docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.program import Program
+from ..sim.config import MachineConfig, default_machine
+
+__all__ = ["WorkloadStats", "characterize", "characterization_rows"]
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    name: str
+    tasks: int
+    task_types: int
+    barriers: int
+    mean_duration_us: float
+    duration_cv: float
+    weighted_beta: float
+    parallelism: float
+    edges_per_task: float
+    max_in_degree: int
+    blocking_fraction: float
+    critical_annotated_fraction: float
+
+
+def characterize(program: Program, machine: MachineConfig | None = None) -> WorkloadStats:
+    """Compute the structural statistics of one program."""
+    if machine is None:
+        machine = default_machine()
+    n = program.task_count
+    if n == 0:
+        raise ValueError("cannot characterize an empty program")
+    slow = machine.slow.freq_ghz
+
+    durations = [s.cpu_cycles / slow + s.mem_ns for s in program.specs]
+    total = sum(durations)
+    mean = total / n
+    var = sum((d - mean) ** 2 for d in durations) / n
+    cv = (var**0.5) / mean if mean > 0 else 0.0
+
+    mem_total = sum(s.mem_ns for s in program.specs)
+    beta = mem_total / total if total > 0 else 0.0
+
+    cp = program.critical_path_ns_at(slow)
+    parallelism = total / cp if cp > 0 else float(n)
+
+    edges = sum(len(s.deps) for s in program.specs)
+    max_in = max((len(s.deps) for s in program.specs), default=0)
+    blocking = sum(1 for s in program.specs if s.block_ns > 0) / n
+    critical = sum(1 for s in program.specs if s.ttype.criticality > 0) / n
+
+    return WorkloadStats(
+        name=program.name,
+        tasks=n,
+        task_types=len(program.task_types),
+        barriers=len(program.barriers),
+        mean_duration_us=mean / 1000.0,
+        duration_cv=cv,
+        weighted_beta=beta,
+        parallelism=parallelism,
+        edges_per_task=edges / n,
+        max_in_degree=max_in,
+        blocking_fraction=blocking,
+        critical_annotated_fraction=critical,
+    )
+
+
+def characterization_rows(stats: list[WorkloadStats]) -> tuple[list[str], list[list]]:
+    """(headers, rows) for :func:`repro.analysis.reporting.render_table`."""
+    headers = [
+        "benchmark",
+        "tasks",
+        "types",
+        "barriers",
+        "mean (us)",
+        "cv",
+        "beta",
+        "parallelism",
+        "edges/task",
+        "max indeg",
+        "blocking",
+        "critical",
+    ]
+    rows = [
+        [
+            s.name,
+            s.tasks,
+            s.task_types,
+            s.barriers,
+            s.mean_duration_us,
+            s.duration_cv,
+            s.weighted_beta,
+            s.parallelism,
+            s.edges_per_task,
+            s.max_in_degree,
+            s.blocking_fraction,
+            s.critical_annotated_fraction,
+        ]
+        for s in stats
+    ]
+    return headers, rows

@@ -1,0 +1,66 @@
+"""Dedup-shaped workload.
+
+PARSEC's dedup compresses a data stream with deduplication in a classic
+kernel pipeline: fragment → chunk/anchor → compress → write.  The paper
+singles it out (Section V-A): "there are compute-intensive tasks followed
+by I/O-intensive tasks to write results that are in the critical path of
+the application" — the output must be written in order, so the write tasks
+form a serial chain that gates the whole run.
+
+Consequences the generator reproduces:
+
+* a FIFO scheduler buries the ordered write tasks behind the backlog of
+  compress tasks → the critical chain stalls (this is where CATS's ~20 %
+  Dedup win comes from — priority, not frequency),
+* write tasks are heavily memory/I-O-bound (high β) and frequently *block*
+  in the kernel, so accelerating them is useless and a blocked-but-
+  accelerated core wastes budget under CATA — the Section V-D effect that
+  TurboMode exploits,
+* the fragmentation of the input is itself a serial chain of cheap tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig
+from .base import WorkloadBuilder, scaled_count
+
+__all__ = ["build"]
+
+FRAGMENT = TaskType("dd_fragment", criticality=1, activity=0.7)
+CHUNK = TaskType("dd_chunk", criticality=0, activity=0.85)
+COMPRESS = TaskType("dd_compress", criticality=0, activity=0.95)
+WRITE = TaskType("dd_write", criticality=2, activity=0.6)
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, machine: Optional[MachineConfig] = None
+) -> Program:
+    """Four-stage pipeline with serial fragment and write chains."""
+    b = WorkloadBuilder("dedup", seed=seed, machine=machine)
+    items = scaled_count(140, scale, minimum=10)
+
+    prev_fragment: Optional[int] = None
+    prev_write: Optional[int] = None
+    for _ in range(items):
+        frag_deps = [prev_fragment] if prev_fragment is not None else []
+        prev_fragment = b.add_task(FRAGMENT, mean_us=70.0, beta=0.35, cv=0.2, deps=frag_deps)
+        chunk = b.add_task(CHUNK, mean_us=350.0, beta=0.30, cv=0.3, deps=[prev_fragment])
+        compresses = [
+            b.add_task(COMPRESS, mean_us=1300.0, beta=0.15, cv=0.5, deps=[chunk])
+            for _ in range(2)
+        ]
+        write_deps = compresses if prev_write is None else [*compresses, prev_write]
+        prev_write = b.add_task(
+            WRITE,
+            mean_us=120.0,
+            beta=0.65,
+            cv=0.3,
+            deps=write_deps,
+            block_prob=0.30,
+            block_us=60.0,
+        )
+    return b.build()

@@ -1,0 +1,67 @@
+"""Ferret-shaped workload.
+
+PARSEC's ferret is content-based image similarity search structured as a
+six-stage pipeline: load → segment → extract features → index query →
+rank → output.  Like dedup it ends in an ordered, I/O-flavoured output
+stage on the critical path, and its middle stages (index/rank) are the
+compute-heavy, criticality-annotated work.
+
+The index stage occasionally blocks inside kernel services (the paper
+measured this family of halts in Ferret, Section V-D), giving TurboMode its
+budget-reclaim opportunity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig
+from .base import WorkloadBuilder, scaled_count
+
+__all__ = ["build"]
+
+LOAD = TaskType("fr_load", criticality=0, activity=0.6)
+SEGMENT = TaskType("fr_segment", criticality=0, activity=0.9)
+EXTRACT = TaskType("fr_extract", criticality=0, activity=0.95)
+INDEX = TaskType("fr_index", criticality=0, activity=0.9)
+RANK = TaskType("fr_rank", criticality=1, activity=0.95)
+OUTPUT = TaskType("fr_out", criticality=2, activity=0.6)
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, machine: Optional[MachineConfig] = None
+) -> Program:
+    """Six-stage pipeline with serial load and output chains."""
+    b = WorkloadBuilder("ferret", seed=seed, machine=machine)
+    queries = scaled_count(110, scale, minimum=10)
+
+    prev_load: Optional[int] = None
+    prev_out: Optional[int] = None
+    for _ in range(queries):
+        load_deps = [prev_load] if prev_load is not None else []
+        prev_load = b.add_task(LOAD, mean_us=70.0, beta=0.45, cv=0.2, deps=load_deps)
+        seg = b.add_task(SEGMENT, mean_us=900.0, beta=0.25, cv=0.3, deps=[prev_load])
+        ext = b.add_task(EXTRACT, mean_us=700.0, beta=0.20, cv=0.3, deps=[seg])
+        idx = b.add_task(
+            INDEX,
+            mean_us=900.0,
+            beta=0.30,
+            cv=0.4,
+            deps=[ext],
+            block_prob=0.15,
+            block_us=250.0,
+        )
+        rank = b.add_task(RANK, mean_us=1300.0, beta=0.20, cv=0.4, deps=[idx])
+        out_deps = [rank] if prev_out is None else [rank, prev_out]
+        prev_out = b.add_task(
+            OUTPUT,
+            mean_us=90.0,
+            beta=0.65,
+            cv=0.3,
+            deps=out_deps,
+            block_prob=0.25,
+            block_us=80.0,
+        )
+    return b.build()

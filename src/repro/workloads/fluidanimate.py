@@ -1,0 +1,88 @@
+"""Fluidanimate-shaped workload.
+
+PARSEC's fluidanimate is an SPH fluid solver: each timestep sweeps the
+spatial grid through a fixed sequence of kernels (rebuild grid, compute
+densities, compute forces, handle collisions, advance particles, ...).
+The PARSECSs decomposition creates one task per grid block per kernel, with
+each task depending on the 3×3 neighbourhood of the previous kernel — the
+densest TDG in the suite:
+
+* **eight task types** (the paper: "Fluidanimate has the maximum number of
+  task types, eight"),
+* tasks with **up to nine parent tasks** (self + 8 neighbours), the case
+  the paper calls out for bottom-level overhead ("up to a 9.8 % slowdown in
+  Fluidanimate, where each task can have up to nine parent tasks"),
+* **short tasks**, so per-submission TDG exploration is proportionally
+  expensive,
+* moderate per-block imbalance (particle counts differ per block), giving
+  CATA its wave-tail rebalancing wins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig
+from .base import WorkloadBuilder, scaled_count
+
+__all__ = ["build", "STAGES"]
+
+#: The eight kernels of one timestep: (type, mean µs @1 GHz, β).
+STAGES: tuple[tuple[TaskType, float, float], ...] = (
+    (TaskType("fa_rebuild_grid", criticality=1, activity=0.8), 160.0, 0.40),
+    (TaskType("fa_init_densities", criticality=0, activity=0.85), 120.0, 0.30),
+    (TaskType("fa_compute_densities", criticality=1, activity=0.95), 300.0, 0.25),
+    (TaskType("fa_densities_2", criticality=0, activity=0.9), 140.0, 0.25),
+    (TaskType("fa_compute_forces", criticality=1, activity=0.95), 340.0, 0.20),
+    (TaskType("fa_collisions", criticality=0, activity=0.85), 100.0, 0.30),
+    (TaskType("fa_advance", criticality=1, activity=0.9), 150.0, 0.25),
+    (TaskType("fa_redistribute", criticality=0, activity=0.75), 110.0, 0.45),
+)
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, machine: Optional[MachineConfig] = None
+) -> Program:
+    """3D-stencil phases: grid blocks × 8 kernels × timesteps."""
+    b = WorkloadBuilder("fluidanimate", seed=seed, machine=machine)
+    side = scaled_count(10, max(scale, 0.2), minimum=3)  # grid is side×side blocks
+    timesteps = scaled_count(5, scale, minimum=2)
+
+    # Particle density is a spatial property: a crowded block is expensive in
+    # *every* kernel of *every* timestep.  This persistent imbalance is what
+    # CATA's dynamic budget reassignment exploits (and static CATS cannot).
+    block_weight = [
+        float(w) for w in b.rng.lognormal(mean=-0.36, sigma=0.85, size=side * side)
+    ]
+
+    prev_stage: list[int] | None = None  # spec ids of the previous kernel sweep
+    for _step in range(timesteps):
+        for ttype, mean_us, beta in STAGES:
+            # Each kernel sweep ends in a phase barrier (the original
+            # pthreads code synchronizes between kernels; the task version
+            # keeps the neighbourhood dependences *and* the phase structure).
+            if prev_stage is not None:
+                b.taskwait()
+            current: list[int] = []
+            for y in range(side):
+                for x in range(side):
+                    deps: list[int] = []
+                    if prev_stage is not None:
+                        for dy in (-1, 0, 1):
+                            for dx in (-1, 0, 1):
+                                nx, ny = x + dx, y + dy
+                                if 0 <= nx < side and 0 <= ny < side:
+                                    deps.append(prev_stage[ny * side + nx])
+                    current.append(
+                        b.add_task(
+                            ttype,
+                            mean_us=mean_us * block_weight[y * side + x],
+                            beta=beta,
+                            cv=0.15,
+                            deps=deps,
+                        )
+                    )
+            prev_stage = current
+    return b.build()

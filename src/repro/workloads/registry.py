@@ -1,0 +1,43 @@
+"""Benchmark registry: name → program builder."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..runtime.program import Program
+from ..sim.config import MachineConfig
+from . import blackscholes, bodytrack, dedup, ferret, fluidanimate, swaptions
+
+__all__ = ["BENCHMARKS", "build_program"]
+
+Builder = Callable[..., Program]
+
+#: The six PARSECSs benchmarks of the paper's evaluation, in figure order.
+BENCHMARKS: dict[str, Builder] = {
+    "blackscholes": blackscholes.build,
+    "swaptions": swaptions.build,
+    "fluidanimate": fluidanimate.build,
+    "bodytrack": bodytrack.build,
+    "dedup": dedup.build,
+    "ferret": ferret.build,
+}
+
+
+def build_program(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    machine: Optional[MachineConfig] = None,
+) -> Program:
+    """Build a benchmark program by name.
+
+    ``scale`` shrinks/grows the task count (not task durations); tests use
+    small scales, the figure harnesses use 1.0.
+    """
+    try:
+        builder = BENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; expected one of {sorted(BENCHMARKS)}"
+        ) from None
+    return builder(scale=scale, seed=seed, machine=machine)

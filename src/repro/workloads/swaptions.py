@@ -1,0 +1,51 @@
+"""Swaptions-shaped workload.
+
+PARSEC's swaptions prices a portfolio of swaptions with Heath-Jarrow-Morton
+Monte-Carlo simulation.  The task decomposition is fork-join over swaption
+chunks, but — unlike Blackscholes — tasks are *coarse and imbalanced*
+(simulation trial counts and convergence differ per swaption), so phase
+tails leave cores idle while stragglers finish.
+
+That imbalance is exactly where CATA shines (paper Section V-B): when tasks
+finish before the synchronization point, the freed power budget is
+reassigned to the still-running tasks, shrinking the tail.  CATS cannot do
+this (static binding), so it is ~neutral here.
+
+A small fraction of tasks blocks briefly inside the kernel (the paper
+measured lock contention on page-fault/allocation routines in Swaptions,
+Section V-D), which is the case TurboMode handles and CATA does not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig
+from .base import WorkloadBuilder, scaled_count
+
+__all__ = ["build"]
+
+SIMULATE = TaskType("swp_sim", criticality=1, activity=0.95)
+
+
+def build(
+    scale: float = 1.0, seed: int = 0, machine: Optional[MachineConfig] = None
+) -> Program:
+    """Fork-join with coarse, high-variance tasks and phase barriers."""
+    b = WorkloadBuilder("swaptions", seed=seed, machine=machine)
+    phases = scaled_count(4, scale, minimum=2)
+    swaptions = scaled_count(128, scale, minimum=8)
+    for _ in range(phases):
+        for _ in range(swaptions):
+            b.add_task(
+                SIMULATE,
+                mean_us=2200.0,
+                beta=0.10,
+                cv=0.60,
+                block_prob=0.08,
+                block_us=400.0,
+            )
+        b.taskwait()
+    return b.build()

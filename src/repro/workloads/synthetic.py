@@ -1,0 +1,149 @@
+"""Generic synthetic task-graph generators.
+
+The six named benchmarks are calibrated reproductions of PARSEC programs;
+these generators expose the underlying *patterns* — fork-join phases,
+linear pipelines, stencil sweeps — as parameterizable building blocks for
+users composing their own studies (budget sweeps on custom shapes, stress
+tests, scheduler research).
+
+All three return ordinary :class:`~repro.runtime.program.Program` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..runtime.program import Program
+from ..runtime.task import TaskType
+from ..sim.config import MachineConfig
+from .base import WorkloadBuilder
+
+__all__ = ["StageSpec", "make_forkjoin", "make_pipeline", "make_stencil"]
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One pipeline stage: a task type plus its cost distribution."""
+
+    ttype: TaskType
+    mean_us: float
+    beta: float
+    cv: float = 0.0
+    #: Tasks of this stage per item (>=1 fans out).
+    width: int = 1
+    #: Chain consecutive items through this stage (ordered stage).
+    serial: bool = False
+    block_prob: float = 0.0
+    block_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+
+def make_forkjoin(
+    name: str,
+    phases: int,
+    tasks_per_phase: int,
+    mean_us: float,
+    beta: float,
+    cv: float = 0.0,
+    ttype: Optional[TaskType] = None,
+    seed: int = 0,
+    machine: Optional[MachineConfig] = None,
+) -> Program:
+    """Barrier-separated phases of independent tasks."""
+    if phases < 1 or tasks_per_phase < 1:
+        raise ValueError("phases and tasks_per_phase must be >= 1")
+    if ttype is None:
+        ttype = TaskType(f"{name}_task", criticality=0)
+    b = WorkloadBuilder(name, seed=seed, machine=machine)
+    for _ in range(phases):
+        for _ in range(tasks_per_phase):
+            b.add_task(ttype, mean_us=mean_us, beta=beta, cv=cv)
+        b.taskwait()
+    return b.build()
+
+
+def make_pipeline(
+    name: str,
+    items: int,
+    stages: Sequence[StageSpec],
+    seed: int = 0,
+    machine: Optional[MachineConfig] = None,
+) -> Program:
+    """A per-item pipeline: stage *s* of item *i* depends on stage *s-1* of
+    the same item; ``serial`` stages additionally chain across items."""
+    if items < 1 or not stages:
+        raise ValueError("need at least one item and one stage")
+    b = WorkloadBuilder(name, seed=seed, machine=machine)
+    prev_serial_task: dict[int, int] = {}  # stage index -> last task id
+    prev_stage_tasks: list[int] = []
+    for _item in range(items):
+        prev_stage_tasks = []
+        for s_idx, stage in enumerate(stages):
+            deps = list(prev_stage_tasks)
+            if stage.serial and s_idx in prev_serial_task:
+                deps.append(prev_serial_task[s_idx])
+            current = [
+                b.add_task(
+                    stage.ttype,
+                    mean_us=stage.mean_us,
+                    beta=stage.beta,
+                    cv=stage.cv,
+                    deps=deps,
+                    block_prob=stage.block_prob,
+                    block_us=stage.block_us,
+                )
+                for _ in range(stage.width)
+            ]
+            if stage.serial:
+                prev_serial_task[s_idx] = current[-1]
+            prev_stage_tasks = current
+    return b.build()
+
+
+def make_stencil(
+    name: str,
+    side: int,
+    sweeps: int,
+    mean_us: float,
+    beta: float,
+    cv: float = 0.0,
+    ttype: Optional[TaskType] = None,
+    neighbourhood: int = 1,
+    barrier_per_sweep: bool = False,
+    seed: int = 0,
+    machine: Optional[MachineConfig] = None,
+) -> Program:
+    """2D stencil sweeps: each block depends on its (2r+1)² neighbourhood
+    of the previous sweep (r = ``neighbourhood``)."""
+    if side < 1 or sweeps < 1:
+        raise ValueError("side and sweeps must be >= 1")
+    if neighbourhood < 0:
+        raise ValueError("neighbourhood must be >= 0")
+    if ttype is None:
+        ttype = TaskType(f"{name}_cell", criticality=0)
+    b = WorkloadBuilder(name, seed=seed, machine=machine)
+    prev: list[int] | None = None
+    r = neighbourhood
+    for sweep in range(sweeps):
+        if barrier_per_sweep and sweep > 0:
+            b.taskwait()
+            prev = None
+        current: list[int] = []
+        for y in range(side):
+            for x in range(side):
+                deps: list[int] = []
+                if prev is not None:
+                    for dy in range(-r, r + 1):
+                        for dx in range(-r, r + 1):
+                            nx, ny = x + dx, y + dy
+                            if 0 <= nx < side and 0 <= ny < side:
+                                deps.append(prev[ny * side + nx])
+                current.append(
+                    b.add_task(ttype, mean_us=mean_us, beta=beta, cv=cv, deps=deps)
+                )
+        prev = current
+    return b.build()

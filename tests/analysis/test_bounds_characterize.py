@@ -1,0 +1,117 @@
+"""Tests for makespan bounds and workload characterization."""
+
+import pytest
+
+from repro.analysis.bounds import makespan_bounds
+from repro.core.policies import POLICIES, run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+from repro.workloads import build_program
+from repro.workloads.characterize import characterization_rows, characterize
+
+T = TaskType("t", criticality=0)
+MACHINE4 = default_machine().with_cores(4)
+
+
+class TestBounds:
+    def test_chain_bound_is_critical_path(self):
+        p = Program("chain")
+        prev = None
+        for _ in range(4):
+            prev = p.add(T, 1_000_000, 0, deps=[prev] if prev is not None else [])
+        b = makespan_bounds(p, MACHINE4)
+        assert b.critical_path_ns == pytest.approx(4 * 500_000.0)  # at 2 GHz
+        assert b.best_ns == b.critical_path_ns
+
+    def test_parallel_bound_is_capacity(self):
+        p = Program("par")
+        for _ in range(16):
+            p.add(T, 1_000_000, 0)
+        b = makespan_bounds(p, MACHINE4)
+        assert b.capacity_ns == pytest.approx(16 * 500_000.0 / 4)
+        assert b.best_ns >= b.capacity_ns
+
+    def test_heterogeneous_frequency_bound_tightens(self):
+        p = Program("par")
+        for _ in range(16):
+            p.add(T, 1_000_000, 0)
+        all_fast = makespan_bounds(p, MACHINE4, fast_cores=4)
+        one_fast = makespan_bounds(p, MACHINE4, fast_cores=1)
+        # 1 fast + 3 slow = 5 GHz aggregate vs 8 GHz all-fast.
+        assert one_fast.frequency_capacity_ns > all_fast.frequency_capacity_ns
+        assert one_fast.frequency_capacity_ns == pytest.approx(16e6 / 5.0)
+
+    def test_memory_work_bounded_by_occupancy(self):
+        p = Program("mem")
+        for _ in range(8):
+            p.add(T, 0, 1_000_000)
+        b = makespan_bounds(p, MACHINE4, fast_cores=1)
+        assert b.frequency_capacity_ns == pytest.approx(8e6 / 4)
+
+    def test_check_raises_on_impossible_makespan(self):
+        p = Program("p")
+        p.add(T, 1_000_000, 0)
+        b = makespan_bounds(p, MACHINE4)
+        with pytest.raises(AssertionError):
+            b.check(1.0)
+        b.check(b.best_ns)  # equality is fine
+
+    def test_fast_cores_validated(self):
+        p = Program("p")
+        p.add(T, 1, 0)
+        with pytest.raises(ValueError):
+            makespan_bounds(p, MACHINE4, fast_cores=0)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_simulations_respect_bounds(self, policy):
+        prog = build_program("bodytrack", scale=0.15, seed=2)
+        bounds = makespan_bounds(prog, fast_cores=8)
+        r = run_policy(
+            build_program("bodytrack", scale=0.15, seed=2), policy, fast_cores=8
+        )
+        bounds.check(r.exec_time_ns)
+
+
+class TestCharacterize:
+    def test_rejects_empty_program(self):
+        with pytest.raises(ValueError):
+            characterize(Program("empty"))
+
+    def test_paper_benchmarks_have_expected_shapes(self):
+        stats = {
+            name: characterize(build_program(name, scale=0.3, seed=1))
+            for name in ("blackscholes", "swaptions", "fluidanimate", "dedup")
+        }
+        # Blackscholes: uniform fork-join.
+        assert stats["blackscholes"].duration_cv < 0.25
+        assert stats["blackscholes"].barriers >= 1
+        # Swaptions: imbalanced, coarse.
+        assert stats["swaptions"].duration_cv > 0.4
+        # Fluidanimate: densest dependences, 8 types, 9-parent max.
+        assert stats["fluidanimate"].task_types == 8
+        assert stats["fluidanimate"].max_in_degree == 9
+        assert stats["fluidanimate"].edges_per_task > 4
+        # Dedup: pipeline with blocking I/O and graded criticality.
+        assert stats["dedup"].blocking_fraction > 0
+        assert 0 < stats["dedup"].critical_annotated_fraction < 1
+
+    def test_parallelism_of_serial_chain_is_one(self):
+        p = Program("chain")
+        prev = None
+        for _ in range(6):
+            prev = p.add(T, 1_000_000, 0, deps=[prev] if prev is not None else [])
+        s = characterize(p)
+        assert s.parallelism == pytest.approx(1.0)
+
+    def test_beta_weighting(self):
+        p = Program("b")
+        p.add(T, 1_000_000, 1_000_000)  # half memory at 1 GHz
+        s = characterize(p)
+        assert s.weighted_beta == pytest.approx(0.5)
+
+    def test_rows_align_with_headers(self):
+        s = characterize(build_program("ferret", scale=0.2, seed=1))
+        headers, rows = characterization_rows([s])
+        assert len(headers) == len(rows[0])
+        assert rows[0][0] == "ferret"

@@ -1,0 +1,97 @@
+"""Tests for executed critical-path extraction."""
+
+import pytest
+
+from repro.analysis.critpath import executed_critical_path
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+from repro.sim.trace import Trace
+from repro.workloads import build_program
+
+T = TaskType("t", criticality=0)
+C = TaskType("c", criticality=2)
+MACHINE4 = default_machine().with_cores(4)
+
+
+def run(program, policy="fifo", fast=2):
+    return run_policy(program, policy, machine=MACHINE4, fast_cores=fast)
+
+
+class TestExtraction:
+    def test_chain_program_path_is_whole_chain(self):
+        p = Program("chain")
+        prev = None
+        for _ in range(5):
+            prev = p.add(T, 300_000, 0, deps=[prev] if prev is not None else [])
+        r = run(p)
+        report = executed_critical_path(p, r.trace)
+        assert report.task_ids == (0, 1, 2, 3, 4)
+        assert report.length == 5
+
+    def test_parallel_program_path_is_single_task(self):
+        p = Program("par")
+        for _ in range(8):
+            p.add(T, 300_000, 0)
+        r = run(p)
+        report = executed_critical_path(p, r.trace)
+        assert report.length == 1
+        # The path task is the one that finished last.
+        last = max(r.trace.task_spans, key=lambda s: s.end_ns)
+        assert report.task_ids == (last.task_id,)
+
+    def test_diamond_follows_latest_finisher(self):
+        p = Program("diamond")
+        a = p.add(T, 100_000, 0)
+        heavy = p.add(T, 2_000_000, 0, deps=[a])
+        light = p.add(T, 100_000, 0, deps=[a])
+        p.add(T, 100_000, 0, deps=[heavy, light])
+        r = run(p)
+        report = executed_critical_path(p, r.trace)
+        assert heavy in report.task_ids
+        assert light not in report.task_ids
+
+    def test_decomposition_sums_to_makespan(self):
+        r = run(build_program("dedup", scale=0.15, seed=1), "cats_sa", fast=2)
+        p = build_program("dedup", scale=0.15, seed=1)
+        report = executed_critical_path(p, r.trace)
+        assert report.execution_ns + report.gap_ns == pytest.approx(report.makespan_ns)
+        assert 0.0 < report.execution_share <= 1.0
+        assert report.gap_ns >= 0.0
+
+    def test_requires_complete_trace(self):
+        p = Program("p")
+        p.add(T, 100_000, 0)
+        with pytest.raises(ValueError):
+            executed_critical_path(p, Trace())
+
+    def test_summary_mentions_key_numbers(self):
+        p = Program("chain")
+        a = p.add(T, 500_000, 0)
+        p.add(T, 500_000, 0, deps=[a])
+        r = run(p)
+        out = executed_critical_path(p, r.trace).summary()
+        assert "executed critical path: 2 tasks" in out
+        assert "makespan" in out
+
+
+class TestPolicyContrast:
+    def test_cata_accelerates_the_path_fifo_does_not_always(self):
+        """Under CATA+RSU with full budget, the executed critical path runs
+        accelerated; FIFO's static assignment cannot guarantee that."""
+        prog = build_program("bodytrack", scale=0.2, seed=1)
+        r = run_policy(prog, "cata_rsu", fast_cores=32)
+        report = executed_critical_path(
+            build_program("bodytrack", scale=0.2, seed=1), r.trace
+        )
+        assert report.accelerated_fraction > 0.8
+
+    def test_cats_marks_the_path_critical_on_bodytrack(self):
+        prog = build_program("bodytrack", scale=0.2, seed=1)
+        r = run_policy(prog, "cats_sa", fast_cores=8)
+        report = executed_critical_path(
+            build_program("bodytrack", scale=0.2, seed=1), r.trace
+        )
+        # The resample/weight chain dominates; SA annotates it critical.
+        assert report.critical_marked_fraction > 0.5

@@ -1,0 +1,123 @@
+"""Tests for metrics, aggregation and reporting."""
+
+import pytest
+
+from repro.analysis.metrics import NormalizedPoint, normalize, normalized_edp, speedup
+from repro.analysis.reporting import figure_rows, render_figure, render_table
+from repro.analysis.stats import (
+    arithmetic_mean,
+    average_points,
+    geometric_mean,
+    group_by,
+)
+from repro.runtime.system import RunResult
+from repro.sim.trace import Trace
+
+
+def result(workload="w", policy="p", time_ns=1e9, energy=10.0):
+    return RunResult(
+        policy=policy,
+        workload=workload,
+        exec_time_ns=time_ns,
+        energy_j=energy,
+        cores_energy_j=energy * 0.8,
+        uncore_energy_j=energy * 0.2,
+        tasks_executed=10,
+        reconfig_count=0,
+        freq_transitions=0,
+        avg_reconfig_latency_ns=0.0,
+        max_lock_wait_ns=0.0,
+        total_lock_wait_ns=0.0,
+        cpufreq_writes=0,
+        trace=Trace(enabled=False),
+    )
+
+
+class TestMetrics:
+    def test_speedup(self):
+        base = result(time_ns=2e9)
+        fast = result(time_ns=1e9)
+        assert speedup(base, fast) == pytest.approx(2.0)
+
+    def test_normalized_edp(self):
+        base = result(time_ns=2e9, energy=10.0)  # EDP 20
+        half = result(time_ns=1e9, energy=10.0)  # EDP 10
+        assert normalized_edp(base, half) == pytest.approx(0.5)
+
+    def test_normalize_builds_point(self):
+        base = result(policy="fifo", time_ns=2e9)
+        res = result(policy="cata", time_ns=1e9, energy=8.0)
+        p = normalize(base, res, fast_cores=8)
+        assert p.policy == "cata" and p.fast_cores == 8
+        assert p.speedup == pytest.approx(2.0)
+        assert p.speedup_pct == pytest.approx(100.0)
+
+    def test_normalize_rejects_cross_workload(self):
+        with pytest.raises(ValueError):
+            normalize(result(workload="a"), result(workload="b"), 8)
+
+    def test_edp_improvement_pct(self):
+        p = NormalizedPoint("w", "p", 8, speedup=1.2, normalized_edp=0.75,
+                            exec_time_ns=1.0, energy_j=1.0)
+        assert p.edp_improvement_pct == pytest.approx(25.0)
+
+
+class TestStats:
+    def test_means(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == 2.0
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def _points(self):
+        return [
+            NormalizedPoint("a", "cata", 8, 1.2, 0.8, 1.0, 1.0),
+            NormalizedPoint("b", "cata", 8, 1.4, 0.6, 1.0, 1.0),
+            NormalizedPoint("a", "cata", 16, 1.1, 0.9, 1.0, 1.0),
+        ]
+
+    def test_group_by_policy_and_fast(self):
+        groups = group_by(self._points())
+        assert set(groups) == {("cata", 8), ("cata", 16)}
+        assert len(groups[("cata", 8)]) == 2
+
+    def test_average_points(self):
+        avgs = average_points(self._points())
+        eight = next(p for p in avgs if p.fast_cores == 8)
+        assert eight.workload == "average"
+        assert eight.speedup == pytest.approx(1.3)
+        assert eight.normalized_edp == pytest.approx(0.7)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        out = render_table(["name", "value"], [("x", 1.2345), ("yy", 2.0)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.234" in out  # floats formatted to 3 places
+
+    def test_figure_rows_layout(self):
+        points = [
+            NormalizedPoint("a", "fifo", 8, 1.0, 1.0, 1.0, 1.0),
+            NormalizedPoint("a", "cata", 8, 1.2, 0.8, 1.0, 1.0),
+        ]
+        headers, rows = figure_rows(
+            points, "speedup", ["fifo", "cata"], ["a"], include_average=True
+        )
+        assert headers == ["benchmark", "fast", "fifo", "cata"]
+        assert rows[0][:2] == ["a", 8]
+        assert rows[0][2] == pytest.approx(1.0)
+        assert rows[0][3] == pytest.approx(1.2)
+        assert rows[1][0] == "average"
+
+    def test_figure_rows_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            figure_rows([], "latency", [], [])
+
+    def test_render_figure_mentions_title(self):
+        points = [NormalizedPoint("a", "fifo", 8, 1.0, 1.0, 1.0, 1.0)]
+        out = render_figure(points, "speedup", ["fifo"], ["a"], title="Figure X")
+        assert out.startswith("Figure X")

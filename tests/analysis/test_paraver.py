@@ -1,0 +1,93 @@
+"""Tests for the Paraver exporter."""
+
+import pytest
+
+from repro.analysis.paraver import (
+    EVENT_CRITICALITY,
+    EVENT_FREQ_MHZ,
+    EVENT_TASK_TYPE,
+    export_paraver,
+    paraver_pcf,
+    paraver_prv,
+)
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+from repro.sim.trace import TaskSpan, Trace
+
+T = TaskType("plain", criticality=0)
+C = TaskType("crit", criticality=1)
+MACHINE4 = default_machine().with_cores(4)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    p = Program("pv")
+    for i in range(6):
+        p.add(C if i % 2 else T, 300_000, 0)
+    return run_policy(p, "cata", machine=MACHINE4, fast_cores=2)
+
+
+def test_header_declares_cores(traced_run):
+    prv = paraver_prv(traced_run.trace, core_count=4)
+    header = prv.splitlines()[0]
+    assert header.startswith("#Paraver")
+    assert "1(4):1:1(4:1)" in header
+
+
+def test_state_records_cover_all_spans(traced_run):
+    prv = paraver_prv(traced_run.trace, core_count=4)
+    states = [l for l in prv.splitlines() if l.startswith("1:")]
+    assert len(states) == len(traced_run.trace.task_spans)
+    for line in states:
+        fields = line.split(":")
+        assert len(fields) == 8
+        assert int(fields[5]) <= int(fields[6])  # begin <= end
+        assert fields[7] == "1"  # running
+
+
+def test_event_records_tag_type_and_criticality(traced_run):
+    prv = paraver_prv(traced_run.trace, core_count=4)
+    start_events = [
+        l for l in prv.splitlines()
+        if l.startswith("2:") and f":{EVENT_CRITICALITY}:" in l
+    ]
+    assert len(start_events) == len(traced_run.trace.task_spans)
+    assert any(l.endswith(f":{EVENT_CRITICALITY}:1") for l in start_events)
+    assert any(l.endswith(f":{EVENT_CRITICALITY}:0") for l in start_events)
+
+
+def test_freq_events_present(traced_run):
+    prv = paraver_prv(traced_run.trace, core_count=4)
+    freq = [l for l in prv.splitlines() if f":{EVENT_FREQ_MHZ}:" in l]
+    assert len(freq) == len(traced_run.trace.freq_changes)
+    assert any(l.endswith(":2000") for l in freq)
+
+
+def test_records_sorted_by_time(traced_run):
+    prv = paraver_prv(traced_run.trace, core_count=4)
+    times = [
+        int(l.split(":")[5]) for l in prv.splitlines()[1:]
+    ]
+    assert times == sorted(times)
+
+
+def test_pcf_names_task_types(traced_run):
+    pcf = paraver_pcf(traced_run.trace)
+    assert "plain" in pcf and "crit" in pcf
+    assert str(EVENT_TASK_TYPE) in pcf
+    assert "Critical" in pcf
+
+
+def test_export_writes_both_files(traced_run, tmp_path):
+    prv, pcf = export_paraver(traced_run.trace, str(tmp_path / "run"), core_count=4)
+    assert prv.endswith(".prv") and pcf.endswith(".pcf")
+    assert (tmp_path / "run.prv").read_text().startswith("#Paraver")
+    assert "EVENT_TYPE" in (tmp_path / "run.pcf").read_text()
+
+
+def test_empty_trace_still_has_header():
+    prv = paraver_prv(Trace(), core_count=2)
+    assert prv.startswith("#Paraver")
+    assert len(prv.splitlines()) == 1

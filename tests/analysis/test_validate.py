@@ -1,0 +1,120 @@
+"""Tests for the shape validators on synthetic point sets."""
+
+from repro.analysis.metrics import NormalizedPoint
+from repro.analysis.validate import (
+    FORKJOIN_APPS,
+    PIPELINE_APPS,
+    ShapeReport,
+    check_figure4_shape,
+    check_figure5_shape,
+)
+
+WORKLOADS = list(FORKJOIN_APPS) + list(PIPELINE_APPS)
+
+
+def grid(speedups, edps=None, fast_counts=(8,)):
+    """Build a full synthetic grid from per-policy base values."""
+    points = []
+    for nf in fast_counts:
+        for wl in WORKLOADS:
+            for pol, s in speedups.items():
+                su = s(wl, nf) if callable(s) else s
+                edp = (edps or {}).get(pol, 1.0 / su)
+                points.append(
+                    NormalizedPoint(wl, pol, nf, su, edp, 1.0, 1.0)
+                )
+    return points
+
+
+def paper_like(wl, nf, pol):
+    """A consistent paper-shaped synthetic outcome."""
+    table = {
+        "fifo": 1.0,
+        "cats_bl": 0.93 if wl == "fluidanimate" else 1.04,
+        "cats_sa": 1.07,
+        "cata": 1.30 if wl == "swaptions" else 1.16,
+        "cata_rsu": 1.33 if wl == "swaptions" else 1.20,
+        "turbomode": 1.02 if wl in PIPELINE_APPS else 1.15,
+    }
+    return table[pol]
+
+
+def paper_grid(policies, fast_counts=(8, 16, 24)):
+    points = []
+    for nf in fast_counts:
+        for wl in WORKLOADS:
+            for pol in policies:
+                s = paper_like(wl, nf, pol)
+                points.append(NormalizedPoint(wl, pol, nf, s, 1.0 / s, 1.0, 1.0))
+    return points
+
+
+class TestShapeReport:
+    def test_accumulates_violations(self):
+        r = ShapeReport()
+        r.expect(True, "fine")
+        r.expect(False, "broken")
+        assert not r.ok
+        assert r.checks == 2
+        assert "broken" in r.summary()
+        assert "FAIL" in r.summary()
+
+    def test_pass_summary(self):
+        r = ShapeReport()
+        r.expect(True, "fine")
+        assert r.ok and "PASS" in r.summary()
+
+
+class TestFigure4Checks:
+    def test_paper_shaped_grid_passes(self):
+        points = paper_grid(["fifo", "cats_bl", "cats_sa", "cata"])
+        report = check_figure4_shape(points)
+        assert report.ok, report.summary()
+
+    def test_detects_cata_not_beating_cats(self):
+        points = paper_grid(["fifo", "cats_bl", "cats_sa", "cata"])
+        bad = [
+            NormalizedPoint(p.workload, p.policy, p.fast_cores,
+                            1.0 if p.policy == "cata" else p.speedup,
+                            p.normalized_edp, 1.0, 1.0)
+            for p in points
+        ]
+        report = check_figure4_shape(bad)
+        assert not report.ok
+
+    def test_detects_missing_fluidanimate_bl_slowdown(self):
+        points = [
+            p if not (p.workload == "fluidanimate" and p.policy == "cats_bl")
+            else NormalizedPoint(p.workload, p.policy, p.fast_cores, 1.06,
+                                 p.normalized_edp, 1.0, 1.0)
+            for p in paper_grid(["fifo", "cats_bl", "cats_sa", "cata"])
+        ]
+        report = check_figure4_shape(points)
+        assert not report.ok
+
+
+class TestFigure5Checks:
+    def test_paper_shaped_grid_passes(self):
+        points = paper_grid(["fifo", "cata", "cata_rsu", "turbomode"])
+        report = check_figure5_shape(points)
+        assert report.ok, report.summary()
+
+    def test_detects_turbomode_beating_rsu_on_pipelines(self):
+        points = [
+            p if not (p.workload in PIPELINE_APPS and p.policy == "turbomode")
+            else NormalizedPoint(p.workload, p.policy, p.fast_cores, 1.5,
+                                 p.normalized_edp, 1.0, 1.0)
+            for p in paper_grid(["fifo", "cata", "cata_rsu", "turbomode"])
+        ]
+        report = check_figure5_shape(points)
+        assert not report.ok
+
+    def test_detects_rsu_not_beating_software_cata(self):
+        points = [
+            p if p.policy != "cata_rsu"
+            else NormalizedPoint(p.workload, p.policy, p.fast_cores, 1.0,
+                                 p.normalized_edp, 1.0, 1.0)
+            for p in paper_grid(["fifo", "cata", "cata_rsu", "turbomode"])
+        ]
+        report = check_figure5_shape(points)
+        assert not report.ok

@@ -1,0 +1,105 @@
+"""Tests for the RSU+TurboMode hybrid (Section V-D's suggested fusion)."""
+
+import pytest
+
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+CRIT = TaskType("crit", criticality=2, activity=0.9)
+PLAIN = TaskType("plain", criticality=0, activity=0.9)
+MACHINE4 = default_machine().with_cores(4)
+MS = 1_000_000.0
+
+
+def blocking_scenario():
+    """One critical task blocks in the kernel for 3 ms while another
+    critical task runs; budget is a single fast slot."""
+    p = Program("kernel-block")
+    # The blocker grabs the only budget slot, then stalls in the kernel.
+    p.add(CRIT, 2_000_000, 0, block_at=0.5, block_ns=3_000_000)
+    # The other critical task would love that slot during the stall.
+    p.add(CRIT, 6_000_000, 0)
+    return p
+
+
+def test_plain_rsu_strands_budget_on_blocked_core():
+    r = run_policy(blocking_scenario(), "cata_rsu", machine=MACHINE4, fast_cores=1)
+    # The slot stays with the blocked core until its task *finishes*
+    # (~4 ms), so the other critical task runs slow for most of its life.
+    other = next(s for s in r.trace.task_spans if s.task_id == 1)
+    assert other.duration_ns >= 4.9 * MS
+
+
+def test_hybrid_lends_budget_during_the_block():
+    r = run_policy(blocking_scenario(), "cata_rsu_tm", machine=MACHINE4, fast_cores=1)
+    other = next(s for s in r.trace.task_spans if s.task_id == 1)
+    # The slot moves to the running critical task as soon as the blocker
+    # halts (~0.5 ms in), not when it finishes (~4 ms in).
+    assert other.duration_ns < 4.5 * MS
+
+
+def test_hybrid_beats_plain_rsu_end_to_end():
+    rsu = run_policy(blocking_scenario(), "cata_rsu", machine=MACHINE4, fast_cores=1)
+    tm = run_policy(blocking_scenario(), "cata_rsu_tm", machine=MACHINE4, fast_cores=1)
+    assert tm.exec_time_ns < rsu.exec_time_ns
+
+
+def test_reclaim_and_return_counters():
+    from repro.core.policies import build_system
+
+    system = build_system(
+        blocking_scenario(), "cata_rsu_tm", machine=MACHINE4, fast_cores=1
+    )
+    system.run()
+    mgr = system.manager
+    assert mgr.reclaims >= 1
+    # The blocker's core wakes and re-asserts its criticality.
+    assert mgr.returns >= 1
+    mgr.rsu.table.check_invariant()
+
+
+def test_turbomode_fallback_lends_to_busy_noncritical():
+    """With no critical beneficiary, the slot goes to any busy core."""
+    p = Program("fallback")
+    p.add(CRIT, 2_000_000, 0, block_at=0.5, block_ns=3_000_000)
+    p.add(PLAIN, 6_000_000, 0)
+    r = run_policy(p, "cata_rsu_tm", machine=MACHINE4, fast_cores=1)
+    lends = [
+        rec
+        for rec in r.trace.reconfigs
+        if rec.decelerated_core is not None and rec.accelerated_core is not None
+    ]
+    assert lends, "the halt should have lent the slot to the busy filler"
+
+
+def test_no_gain_without_blocking():
+    """Without kernel blocks the hybrid must behave like the plain RSU."""
+    p = Program("noblock")
+    for i in range(8):
+        p.add(CRIT if i % 2 else PLAIN, 1_000_000, 0)
+    p2 = Program("noblock")
+    for i in range(8):
+        p2.add(CRIT if i % 2 else PLAIN, 1_000_000, 0)
+    rsu = run_policy(p, "cata_rsu", machine=MACHINE4, fast_cores=2)
+    tm = run_policy(p2, "cata_rsu_tm", machine=MACHINE4, fast_cores=2)
+    assert tm.exec_time_ns == pytest.approx(rsu.exec_time_ns, rel=0.05)
+
+
+def test_budget_invariant_with_lending():
+    from repro.core.policies import build_system
+
+    p = Program("many-blocks")
+    for i in range(12):
+        p.add(
+            CRIT if i % 2 else PLAIN,
+            1_500_000,
+            0,
+            block_at=0.5,
+            block_ns=400_000,
+        )
+    system = build_system(p, "cata_rsu_tm", machine=MACHINE4, fast_cores=2)
+    system.run()
+    system.manager.rsu.table.check_invariant()
+    assert system.manager.rsu.table.accelerated_count <= 2

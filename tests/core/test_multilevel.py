@@ -1,0 +1,136 @@
+"""Tests for the multi-level DVFS extension (paper future work)."""
+
+import pytest
+
+from repro.core.multilevel import MultiLevelStateTable, default_ladder
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+T = TaskType("plain", criticality=0)
+C = TaskType("crit", criticality=2)
+MACHINE4 = default_machine().with_cores(4)
+
+
+class TestLadder:
+    def test_default_ladder_is_slow_mid_fast(self):
+        machine = default_machine()
+        ladder = default_ladder(machine)
+        assert [lv.name for lv in ladder] == ["slow", "mid", "fast"]
+        assert ladder[0].freq_ghz < ladder[1].freq_ghz < ladder[2].freq_ghz
+        assert ladder[1].freq_ghz == pytest.approx(1.5)
+        assert ladder[1].voltage_v == pytest.approx(0.9)
+
+
+class TestStateTable:
+    def make(self, cores=4, levels=3, units=4):
+        return MultiLevelStateTable(cores, levels, units)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiLevelStateTable(4, 1, 1)
+        with pytest.raises(ValueError):
+            MultiLevelStateTable(4, 3, 0)
+        with pytest.raises(ValueError):
+            MultiLevelStateTable(4, 3, 9)  # > (3-1)*4
+
+    def test_assign_claims_top_level_within_budget(self):
+        t = self.make()
+        changes = t.on_assign(0, critical=True)
+        assert changes == [(0, 2)]
+        assert t.units_used == 2
+
+    def test_budget_partially_grants(self):
+        t = self.make(units=3)
+        t.on_assign(0, critical=True)  # takes 2
+        changes = t.on_assign(1, critical=False)  # only 1 unit left
+        assert changes == [(1, 1)]
+        assert t.units_free == 0
+
+    def test_critical_downgrades_noncritical_holders(self):
+        t = self.make(units=4)
+        t.on_assign(0, critical=False)
+        t.on_assign(1, critical=False)
+        changes = t.on_assign(2, critical=True)
+        # Core 2 reaches the top by pulling units off NC holders.
+        assert (2, 2) in changes
+        assert t.level[2] == 2
+        assert t.units_used <= 4
+
+    def test_noncritical_never_downgrades_others(self):
+        t = self.make(units=4)
+        t.on_assign(0, critical=True)
+        t.on_assign(1, critical=True)
+        before = list(t.level)
+        changes = t.on_assign(2, critical=False)
+        assert changes == []
+        assert t.level[:2] == before[:2]
+
+    def test_release_funds_starved_criticals(self):
+        t = self.make(units=2)
+        t.on_assign(0, critical=True)  # takes both units
+        t.on_assign(1, critical=True)  # starved at level 0
+        changes = t.on_release(0)
+        assert (0, 0) in changes
+        assert t.level[1] == 2
+
+    def test_invariant_checked(self):
+        t = self.make(units=2)
+        t.level[0] = 2
+        t.level[1] = 2
+        with pytest.raises(RuntimeError):
+            t.check_invariant()
+
+
+class TestEndToEnd:
+    def prog(self):
+        p = Program("mix")
+        for i in range(12):
+            p.add(C if i % 2 else T, 250_000, 20_000)
+        return p
+
+    def test_policy_completes(self):
+        r = run_policy(self.prog(), "cata_rsu_ml", machine=MACHINE4, fast_cores=2)
+        assert r.tasks_executed == 12
+        assert r.reconfig_count > 0
+
+    def test_mid_level_actually_used(self):
+        r = run_policy(self.prog(), "cata_rsu_ml", machine=MACHINE4, fast_cores=1)
+        levels_seen = {rec.new_level for rec in r.trace.freq_changes}
+        assert "mid" in levels_seen
+
+    def test_unit_budget_bounded_on_physical_trace(self):
+        """Physically, the spend may transiently exceed the budget by at most
+        one core's units for at most one DVFS ramp window: a core whose
+        down-ramp is cancelled by a re-acceleration never actually leaves the
+        fast level while its freed units already fund another core.  The
+        bookkeeping invariant (checked in the state-table tests) is strict;
+        the physical one is budget + (level_count - 1), transiently.
+        """
+        r = run_policy(self.prog(), "cata_rsu_ml", machine=MACHINE4, fast_cores=2)
+        cost = {"slow": 0, "mid": 1, "fast": 2}
+        budget_units = 2 * 2
+        ramp = MACHINE4.overheads.dvfs_transition_ns
+        per_core = {i: 0 for i in range(4)}
+        over_since = None
+        for rec in r.trace.freq_changes:
+            per_core[rec.core_id] = cost[rec.new_level]
+            total = sum(per_core.values())
+            assert total <= budget_units + 2, "transient exceeded one core's units"
+            if total > budget_units:
+                if over_since is None:
+                    over_since = rec.time_ns
+                assert rec.time_ns - over_since <= ramp, (
+                    "physical overshoot persisted beyond one ramp window"
+                )
+            else:
+                over_since = None
+        assert sum(per_core.values()) <= budget_units
+
+    def test_not_slower_than_two_level_rsu(self):
+        two = run_policy(self.prog(), "cata_rsu", machine=MACHINE4, fast_cores=2)
+        ml = run_policy(self.prog(), "cata_rsu_ml", machine=MACHINE4, fast_cores=2)
+        # Equal peak budget; the ladder only adds placement freedom.  Allow
+        # scheduling noise.
+        assert ml.exec_time_ns <= two.exec_time_ns * 1.10

@@ -1,0 +1,70 @@
+"""Tests for the ondemand-governor baseline."""
+
+import pytest
+
+from repro.core.ondemand import OndemandGovernor
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+T = TaskType("t", criticality=0)
+MACHINE4 = default_machine().with_cores(4)
+
+
+def prog(n=16, cycles=2_000_000):
+    p = Program("od")
+    for _ in range(n):
+        p.add(T, cycles, 0)
+    return p
+
+
+def test_sampling_interval_validated():
+    with pytest.raises(ValueError):
+        OndemandGovernor(budget=2, sampling_interval_ns=0.0)
+
+
+def test_completes_and_reconfigures():
+    r = run_policy(prog(), "ondemand", machine=MACHINE4, fast_cores=2)
+    assert r.tasks_executed == 16
+    assert r.reconfig_count > 0
+    assert all(rec.mechanism == "ondemand" for rec in r.trace.reconfigs)
+
+
+def test_budget_respected():
+    r = run_policy(prog(), "ondemand", machine=MACHINE4, fast_cores=2)
+    fast = 0
+    for rec in r.trace.freq_changes:
+        if rec.new_level == "fast" and rec.old_level != "fast":
+            fast += 1
+        elif rec.old_level == "fast" and rec.new_level != "fast":
+            fast -= 1
+        assert fast <= 2
+
+
+def test_busy_cores_get_boosted_eventually():
+    r = run_policy(prog(), "ondemand", machine=MACHINE4, fast_cores=2)
+    boosted = [rec for rec in r.trace.reconfigs if rec.accelerated_core is not None]
+    assert boosted, "long-running busy cores must be raised by the governor"
+
+
+def test_slower_reaction_than_task_driven_cata():
+    """The governor is tick-quantized, so it trails task-boundary CATA."""
+    od = run_policy(prog(), "ondemand", machine=MACHINE4, fast_cores=2)
+    rsu = run_policy(prog(), "cata_rsu", machine=MACHINE4, fast_cores=2)
+    assert rsu.exec_time_ns <= od.exec_time_ns * 1.02
+
+
+def test_idle_cores_released():
+    # A parallel burst boosts several cores; the serial tail that follows
+    # leaves them idle, and the governor must decelerate them.
+    p = Program("burst-then-chain")
+    burst = [p.add(T, 3_000_000, 0) for _ in range(4)]
+    p.taskwait()
+    prev = None
+    for _ in range(4):
+        deps = [prev] if prev is not None else []
+        prev = p.add(T, 3_000_000, 0, deps=deps)
+    r = run_policy(p, "ondemand", machine=MACHINE4, fast_cores=2)
+    released = [rec for rec in r.trace.reconfigs if rec.decelerated_core is not None]
+    assert released

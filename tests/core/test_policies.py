@@ -1,0 +1,88 @@
+"""Tests for the policy registry wiring."""
+
+import pytest
+
+from repro.core.policies import EXTRA_POLICIES, POLICIES, build_system, run_policy
+from repro.runtime.cats import CATAScheduler, CATSScheduler
+from repro.runtime.criticality import BottomLevelEstimator, StaticAnnotationEstimator
+from repro.runtime.fifo import FIFOScheduler
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+T = TaskType("t", criticality=1)
+MACHINE4 = default_machine().with_cores(4)
+
+
+def tiny_program():
+    p = Program("tiny")
+    for _ in range(6):
+        p.add(T, 100_000, 0)
+    return p
+
+
+def test_policy_list_matches_paper_configurations():
+    assert POLICIES == ("fifo", "cats_bl", "cats_sa", "cata", "cata_rsu", "turbomode")
+    assert "cata_bl" in EXTRA_POLICIES
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError, match="unknown policy"):
+        build_system(tiny_program(), "nonsense")
+
+
+def test_fast_cores_validated():
+    with pytest.raises(ValueError):
+        build_system(tiny_program(), "fifo", machine=MACHINE4, fast_cores=0)
+    with pytest.raises(ValueError):
+        build_system(tiny_program(), "fifo", machine=MACHINE4, fast_cores=5)
+
+
+@pytest.mark.parametrize("policy", ["fifo", "turbomode"])
+def test_fifo_family_uses_single_queue(policy):
+    s = build_system(tiny_program(), policy, machine=MACHINE4, fast_cores=2)
+    assert isinstance(s.scheduler, FIFOScheduler)
+
+
+@pytest.mark.parametrize("policy", ["cats_bl", "cats_sa"])
+def test_cats_family_uses_cats_scheduler(policy):
+    s = build_system(tiny_program(), policy, machine=MACHINE4, fast_cores=2)
+    assert isinstance(s.scheduler, CATSScheduler)
+
+
+@pytest.mark.parametrize("policy", ["cata", "cata_rsu", "cata_bl"])
+def test_cata_family_uses_cata_scheduler(policy):
+    s = build_system(tiny_program(), policy, machine=MACHINE4, fast_cores=2)
+    assert isinstance(s.scheduler, CATAScheduler)
+
+
+def test_estimator_selection():
+    bl = build_system(tiny_program(), "cats_bl", machine=MACHINE4, fast_cores=2)
+    sa = build_system(tiny_program(), "cats_sa", machine=MACHINE4, fast_cores=2)
+    assert isinstance(bl.estimator, BottomLevelEstimator)
+    assert isinstance(sa.estimator, StaticAnnotationEstimator)
+
+
+def test_static_policies_start_heterogeneous():
+    s = build_system(tiny_program(), "fifo", machine=MACHINE4, fast_cores=2)
+    levels = [s.dvfs.level_of(i).name for i in range(4)]
+    assert levels == ["fast", "fast", "slow", "slow"]
+
+
+def test_dynamic_policies_start_all_slow():
+    for policy in ("cata", "cata_rsu", "turbomode"):
+        s = build_system(tiny_program(), policy, machine=MACHINE4, fast_cores=2)
+        assert all(s.dvfs.level_of(i).name == "slow" for i in range(4))
+
+
+@pytest.mark.parametrize("policy", list(POLICIES) + list(EXTRA_POLICIES))
+def test_every_policy_completes_a_program(policy):
+    r = run_policy(tiny_program(), policy, machine=MACHINE4, fast_cores=2)
+    assert r.tasks_executed == 6
+    assert r.exec_time_ns > 0
+    assert r.policy == policy
+
+
+def test_default_machine_is_32_cores():
+    s = build_system(tiny_program(), "fifo", fast_cores=8)
+    assert s.machine.core_count == 32

@@ -1,0 +1,138 @@
+"""Tests for the Runtime Support Unit device model."""
+
+import pytest
+
+from repro.core.budget import Criticality
+from repro.core.rsu import RuntimeSupportUnit
+from repro.sim.config import default_machine
+from repro.sim.dvfs import DVFSController
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    machine = default_machine()
+    trace = Trace()
+    dvfs = DVFSController(sim, machine, trace)
+    rsu = RuntimeSupportUnit(sim, machine, dvfs, trace, budget=2)
+    return sim, machine, dvfs, trace, rsu
+
+
+class TestIsaOperations:
+    def test_start_task_accelerates_within_budget(self, rig):
+        sim, machine, dvfs, _trace, rsu = rig
+        d = rsu.rsu_start_task(0, critic=True)
+        assert d.accel == 0
+        sim.run()
+        assert dvfs.is_fast(0)
+
+    def test_budget_respected(self, rig):
+        sim, _machine, dvfs, _trace, rsu = rig
+        rsu.rsu_start_task(0, critic=True)
+        rsu.rsu_start_task(1, critic=True)
+        d = rsu.rsu_start_task(2, critic=True)
+        assert d.empty
+        sim.run()
+        assert dvfs.fast_count() == 2
+
+    def test_critical_steals_from_non_critical(self, rig):
+        sim, _machine, dvfs, _trace, rsu = rig
+        rsu.rsu_start_task(0, critic=False)
+        rsu.rsu_start_task(1, critic=False)
+        d = rsu.rsu_start_task(2, critic=True)
+        assert d.accel == 2 and d.decel == 0
+        sim.run()
+        assert dvfs.is_fast(2) and not dvfs.is_fast(0)
+
+    def test_end_task_releases_eagerly_to_waiting_critical(self, rig):
+        sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.rsu_start_task(0, critic=True)
+        rsu.rsu_start_task(1, critic=True)
+        rsu.rsu_start_task(2, critic=True)  # runs slow, waiting
+        d = rsu.rsu_end_task(0)
+        assert d.decel == 0 and d.accel == 2
+
+    def test_read_critic(self, rig):
+        _sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.rsu_start_task(3, critic=True)
+        assert rsu.rsu_read_critic(3) == Criticality.CRITICAL
+        rsu.rsu_end_task(3)
+        assert rsu.rsu_read_critic(3) == Criticality.NO_TASK
+
+    def test_disable_stops_reactions(self, rig):
+        sim, _machine, dvfs, _trace, rsu = rig
+        rsu.rsu_disable()
+        d = rsu.rsu_start_task(0, critic=True)
+        assert d.empty
+        sim.run()
+        assert dvfs.fast_count() == 0
+
+    def test_reset_clears_state(self, rig):
+        _sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.rsu_start_task(0, critic=True)
+        rsu.rsu_reset()
+        assert rsu.table.accelerated_count == 0
+
+    def test_init_reconfigures_budget(self, rig):
+        sim, _machine, dvfs, _trace, rsu = rig
+        rsu.rsu_init(budget=1)
+        rsu.rsu_start_task(0, critic=True)
+        d = rsu.rsu_start_task(1, critic=False)
+        assert d.empty
+
+
+class TestVirtualization:
+    """Section III-B.3: OS context-switch save/restore."""
+
+    def test_save_context_returns_and_clears_criticality(self, rig):
+        _sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.rsu_start_task(0, critic=True)
+        saved = rsu.save_context(0)
+        assert saved == Criticality.CRITICAL
+        assert rsu.rsu_read_critic(0) == Criticality.NO_TASK
+
+    def test_save_releases_budget_to_other_thread(self, rig):
+        _sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.rsu_init(budget=1)
+        rsu.rsu_start_task(0, critic=True)
+        rsu.table.set_criticality(1, Criticality.CRITICAL)  # other app's task
+        rsu.save_context(0)
+        assert rsu.table.is_accelerated(1)
+
+    def test_restore_context_reacquires_acceleration(self, rig):
+        _sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.rsu_start_task(0, critic=True)
+        saved = rsu.save_context(0)
+        rsu.restore_context(0, saved)
+        assert rsu.rsu_read_critic(0) == Criticality.CRITICAL
+        assert rsu.table.is_accelerated(0)
+
+    def test_restore_no_task_is_noop(self, rig):
+        _sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.restore_context(0, Criticality.NO_TASK)
+        assert rsu.table.accelerated_count == 0
+
+    def test_two_applications_share_rsu(self, rig):
+        """Round-trip: app A preempted by app B, then resumed."""
+        _sim, _machine, _dvfs, _trace, rsu = rig
+        rsu.rsu_init(budget=1)
+        rsu.rsu_start_task(0, critic=True)  # app A
+        saved_a = rsu.save_context(0)
+        rsu.restore_context(0, Criticality.NON_CRITICAL)  # app B's thread
+        assert rsu.table.is_accelerated(0)  # B gets the budget meanwhile
+        saved_b = rsu.save_context(0)
+        assert saved_b == Criticality.NON_CRITICAL
+        rsu.restore_context(0, saved_a)
+        assert rsu.rsu_read_critic(0) == Criticality.CRITICAL
+
+
+class TestTrace:
+    def test_reconfigs_recorded_with_rsu_mechanism(self, rig):
+        _sim, _machine, _dvfs, trace, rsu = rig
+        rsu.rsu_start_task(0, critic=True)
+        assert trace.reconfig_count == 1
+        assert trace.reconfigs[0].mechanism == "rsu"
+        # RSU reconfigurations are instantaneous from the initiator's view.
+        assert trace.reconfigs[0].latency_ns == 0.0

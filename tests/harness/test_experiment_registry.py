@@ -1,0 +1,64 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.harness.experiment import EXPERIMENTS, list_experiments, run_experiment
+
+
+def test_registry_covers_every_paper_artifact():
+    ids = {e.exp_id for e in EXPERIMENTS}
+    assert {"table1", "figure4", "figure5", "section5c", "rsu-overhead", "scaling"} <= ids
+
+
+def test_ids_unique():
+    ids = [e.exp_id for e in EXPERIMENTS]
+    assert len(ids) == len(set(ids))
+
+
+def test_every_experiment_names_its_artifact_and_checks():
+    for e in EXPERIMENTS:
+        assert e.paper_artifact
+        assert e.description
+        assert e.asserts
+
+
+def test_unknown_id_rejected():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_experiment("nonesuch")
+
+
+def test_table1_runs_instantly():
+    out = run_experiment("table1")
+    assert "Core count" in out
+
+
+def test_rsu_overhead_runs_instantly():
+    out = run_experiment("rsu-overhead")
+    assert "103" in out
+
+
+def test_figure_experiment_runs_at_small_scale():
+    out = run_experiment("figure4", scale=0.1, seeds=(1,))
+    assert "Figure 4" in out
+    assert "shape checks" in out
+
+
+def test_list_returns_copies():
+    a = list_experiments()
+    a.pop()
+    assert len(list_experiments()) == len(EXPERIMENTS)
+
+
+def test_estimator_study_registered():
+    from repro.harness.experiment import EXPERIMENTS
+
+    assert any(e.exp_id == "estimators" for e in EXPERIMENTS)
+
+
+def test_estimator_study_small_scale():
+    from repro.harness import GridRunner, run_estimator_study
+
+    runner = GridRunner(scale=0.1, seeds=(1,))
+    res = run_estimator_study(runner, fast_counts=(8,), workloads=("bodytrack",))
+    assert {p.policy for p in res.points} == {"fifo", "cats_bl", "cats_wbl", "cats_sa"}
+    assert "Extension figure" in res.render()

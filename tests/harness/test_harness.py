@@ -1,0 +1,133 @@
+"""Tests for the experiment harnesses (small scales for speed)."""
+
+import pytest
+
+from repro.harness import (
+    PAPER_FAST_COUNTS,
+    PAPER_WORKLOADS,
+    GridRunner,
+    render_rsu_overhead,
+    render_section5c,
+    render_table1,
+    run_figure4,
+    run_figure5,
+    run_rsu_overhead,
+    run_section5c,
+    table1_rows,
+)
+from repro.harness.figure4 import FIGURE4_POLICIES
+from repro.harness.figure5 import FIGURE5_POLICIES
+
+
+class TestTable1:
+    def test_rows_cover_paper_parameters(self):
+        rows = dict(table1_rows())
+        assert rows["Core count"] == "32"
+        assert "2 GHz, 1 V" in rows["DVFS configurations"]
+        assert "1 GHz, 0.8 V" in rows["DVFS configurations"]
+        assert rows["Reconfiguration latency"] == "25 us"
+        assert rows["Reorder buffer"] == "128 entries"
+        assert "4x8 Mesh" in rows["NoC"]
+        assert "2MB/core" in rows["L2"]
+
+    def test_render_is_nonempty_table(self):
+        out = render_table1()
+        assert "Table I" in out
+        assert "Core count" in out
+
+
+class TestGridRunner:
+    def test_memoizes_runs(self):
+        runner = GridRunner(scale=0.08)
+        a = runner.run_one("swaptions", "fifo", 8)
+        b = runner.run_one("swaptions", "fifo", 8)
+        assert a is b
+
+    def test_multi_seed_points_average(self):
+        runner = GridRunner(scale=0.08, seeds=(1, 2))
+        grid = runner.run_grid(["cata_rsu"], workloads=["swaptions"], fast_counts=[8])
+        pts = [p for p in grid.points if p.policy == "cata_rsu"]
+        assert len(pts) == 1  # averaged into one point per cell
+
+    def test_requires_a_seed(self):
+        with pytest.raises(ValueError):
+            GridRunner(seeds=())
+
+    def test_grid_contains_fifo_baseline_points(self):
+        runner = GridRunner(scale=0.08)
+        grid = runner.run_grid(["cats_sa"], workloads=["swaptions"], fast_counts=[8])
+        fifo = grid.point("swaptions", "fifo", 8)
+        assert fifo.speedup == pytest.approx(1.0)
+        assert fifo.normalized_edp == pytest.approx(1.0)
+
+    def test_paper_constants(self):
+        assert PAPER_FAST_COUNTS == (8, 16, 24)
+        assert len(PAPER_WORKLOADS) == 6
+
+
+class TestFigureHarnesses:
+    def test_figure4_small_scale_runs(self):
+        runner = GridRunner(scale=0.08)
+        res = run_figure4(
+            runner, fast_counts=(8,), workloads=("swaptions", "bodytrack"),
+            check_shape=False,
+        )
+        assert {p.policy for p in res.points} == set(FIGURE4_POLICIES)
+        out = res.render()
+        assert "Figure 4" in out and "speedup" in out
+
+    def test_figure5_small_scale_runs(self):
+        runner = GridRunner(scale=0.08)
+        res = run_figure5(
+            runner, fast_counts=(8,), workloads=("swaptions",), check_shape=False
+        )
+        assert {p.policy for p in res.points} == set(FIGURE5_POLICIES)
+        assert "Figure 5" in res.render()
+
+    def test_figures_share_runner_cache(self):
+        runner = GridRunner(scale=0.08)
+        run_figure4(runner, fast_counts=(8,), workloads=("swaptions",), check_shape=False)
+        cached = len(runner._cache)
+        run_figure5(runner, fast_counts=(8,), workloads=("swaptions",), check_shape=False)
+        # fifo + cata were already simulated by figure 4.
+        assert len(runner._cache) == cached + 2
+
+
+class TestSection5C:
+    def test_statistics_extracted(self):
+        runner = GridRunner(scale=0.12, trace_enabled=True)
+        rows = run_section5c(runner, workloads=("swaptions",), fast_cores=8)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.reconfig_count > 0
+        assert row.avg_reconfig_latency_us > 0
+        assert 0 <= row.overhead_fraction_pct < 100
+        out = render_section5c(rows)
+        assert "Section V-C" in out
+
+    def test_requires_tracing(self):
+        with pytest.raises(ValueError):
+            run_section5c(GridRunner(scale=0.1, trace_enabled=False))
+
+
+class TestRsuOverheadHarness:
+    def test_sweep_and_render(self):
+        rows = run_rsu_overhead(core_counts=(32, 64))
+        assert [r.num_cores for r in rows] == [32, 64]
+        assert rows[0].meets_paper_claims
+        out = render_rsu_overhead(rows)
+        assert "III-B.4" in out
+
+
+class TestCsvExport:
+    def test_csv_round_trips_points(self, tmp_path):
+        runner = GridRunner(scale=0.08)
+        grid = runner.run_grid(["cata_rsu"], workloads=["swaptions"], fast_counts=[8])
+        csv = grid.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("workload,policy,fast_cores")
+        assert len(lines) == 1 + len(grid.points)
+        assert any(line.startswith("swaptions,cata_rsu,8,") for line in lines)
+        path = tmp_path / "grid.csv"
+        grid.write_csv(str(path))
+        assert path.read_text().strip() == csv

@@ -1,0 +1,25 @@
+"""Tests for the core-count scaling harness."""
+
+from repro.harness.scaling import render_scaling_study, run_scaling_study
+
+
+def test_small_scaling_study_runs():
+    rows = run_scaling_study(core_counts=(8, 16), base_scale=0.2)
+    assert [r.core_count for r in rows] == [8, 16]
+    for r in rows:
+        assert r.budget == r.core_count // 4
+        assert r.cata_speedup > 0 and r.rsu_speedup > 0
+        assert r.cata_reconfig_overhead_pct >= 0
+
+
+def test_lock_contention_grows_with_cores():
+    rows = run_scaling_study(core_counts=(8, 32), base_scale=0.4)
+    by = {r.core_count: r for r in rows}
+    assert by[32].cata_avg_lock_wait_us > by[8].cata_avg_lock_wait_us
+
+
+def test_render():
+    rows = run_scaling_study(core_counts=(8,), base_scale=0.2)
+    out = render_scaling_study(rows, "fluidanimate")
+    assert "Core-count scaling" in out
+    assert "RSU adv" in out

@@ -1,0 +1,56 @@
+"""Tests for the McPAT-style chip report."""
+
+import pytest
+
+from repro.hw.power_report import chip_report, render_chip_report
+from repro.sim.config import default_machine
+
+
+@pytest.fixture(scope="module")
+def report():
+    return chip_report()
+
+
+def test_all_expected_components_present(report):
+    names = {c.name for c in report}
+    assert {"L1I", "L1D", "ROB", "IssueQueue", "RegisterFile", "BTB",
+            "TLBs", "L2 (NUCA)", "Directory", "RSU"} <= names
+
+
+def test_per_core_components_counted_32_times(report):
+    l1d = next(c for c in report if c.name == "L1D")
+    assert l1d.count == 32
+    assert l1d.bits_per_instance == 64 * 1024 * 8
+
+
+def test_l2_dominates_storage_area(report):
+    l2 = next(c for c in report if c.name == "L2 (NUCA)")
+    total = sum(c.area_mm2 for c in report)
+    assert l2.area_mm2 / total > 0.5
+
+
+def test_rsu_is_negligible(report):
+    rsu = next(c for c in report if c.name == "RSU")
+    total = sum(c.area_mm2 for c in report)
+    assert rsu.area_mm2 / total < 1e-5
+    assert rsu.total_bits == 103
+
+
+def test_areas_and_leakage_positive(report):
+    for c in report:
+        assert c.area_mm2 > 0
+        assert c.leakage_w > 0
+
+
+def test_scales_with_core_count():
+    small = chip_report(default_machine().with_cores(8))
+    big = chip_report(default_machine())
+    area = lambda comps: sum(c.area_mm2 for c in comps)  # noqa: E731
+    assert area(big) > area(small)
+
+
+def test_render_mentions_rsu_share():
+    out = render_chip_report()
+    assert "RSU share" in out
+    assert "TOTAL" in out
+    assert "peak dynamic" in out

@@ -1,0 +1,73 @@
+"""Tests for the RSU hardware-overhead estimation (Section III-B.4)."""
+
+import pytest
+
+from repro.hw.cacti import TECH_22NM, access_energy_j, sram_area_mm2, sram_leakage_w
+from repro.hw.rsu_cost import estimate_rsu_overhead, rsu_storage_bits
+
+
+class TestStorageFormula:
+    def test_paper_formula_at_32_cores_2_states(self):
+        # 3*32 + log2(32) + 2*log2(2) = 96 + 5 + 2 = 103 bits.
+        assert rsu_storage_bits(32, 2) == 103
+
+    def test_formula_components(self):
+        # 3 bits/core + budget register + two power-state registers.
+        assert rsu_storage_bits(64, 2) == 3 * 64 + 6 + 2
+        assert rsu_storage_bits(32, 4) == 96 + 5 + 4
+
+    def test_single_core_minimum_widths(self):
+        # log2(1)=0 but a register still needs at least one bit.
+        assert rsu_storage_bits(1, 2) == 3 + 1 + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rsu_storage_bits(0)
+        with pytest.raises(ValueError):
+            rsu_storage_bits(32, 1)
+
+
+class TestPaperClaims:
+    def test_32_core_rsu_meets_paper_claims(self):
+        o = estimate_rsu_overhead(32)
+        assert o.meets_paper_claims
+        # "less than 0.0001% in area"
+        assert o.area_fraction_of_chip < 1e-6
+        # "less than 50 uW in power"
+        assert o.leakage_w < 50e-6
+
+    def test_overhead_grows_with_cores(self):
+        small = estimate_rsu_overhead(32)
+        big = estimate_rsu_overhead(256)
+        assert big.storage_bits > small.storage_bits
+        assert big.area_mm2 > small.area_mm2
+        assert big.leakage_w > small.leakage_w
+
+    def test_access_energy_is_femtojoule_scale(self):
+        o = estimate_rsu_overhead(32)
+        assert 0 < o.access_energy_j < 1e-12
+
+
+class TestMiniCacti:
+    def test_area_scales_with_bits(self):
+        assert sram_area_mm2(200) == pytest.approx(2 * sram_area_mm2(100))
+
+    def test_register_cells_larger_than_sram(self):
+        assert sram_area_mm2(100, register_file=True) > sram_area_mm2(
+            100, register_file=False
+        )
+
+    def test_leakage_scales_with_bits(self):
+        assert sram_leakage_w(1000) == pytest.approx(10 * sram_leakage_w(100))
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            sram_area_mm2(-1)
+        with pytest.raises(ValueError):
+            sram_leakage_w(-1)
+        with pytest.raises(ValueError):
+            access_energy_j(-1)
+
+    def test_22nm_constants_sane(self):
+        assert TECH_22NM.sram_cell_um2 < TECH_22NM.register_cell_um2
+        assert TECH_22NM.chip_area_mm2 > 100

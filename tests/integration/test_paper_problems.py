@@ -1,0 +1,117 @@
+"""The two scheduling problems of Section II-C, demonstrated and fixed.
+
+The paper motivates CATA with two failure modes of criticality-aware
+*scheduling* on statically heterogeneous machines:
+
+* **priority inversion** — a critical task arrives while all fast cores run
+  non-critical work, so it executes on a slow core;
+* **static binding** — once a task starts, its core's speed is fixed; a
+  fast core freed later cannot help a critical task already running slow.
+
+These tests build dependency-controlled scenarios exhibiting each problem
+under CATS and assert that CATA (software) and CATA+RSU (hardware) resolve
+them by moving the DVFS budget — including accelerating a task
+*mid-execution*, which no static scheduler can do.
+"""
+
+import pytest
+
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+FILLER = TaskType("filler", criticality=0, activity=0.9)
+CRIT = TaskType("critical", criticality=2, activity=0.9)
+
+MACHINE4 = default_machine().with_cores(4)
+MS = 1_000_000.0
+
+
+def span_of(result, task_id):
+    return next(s for s in result.trace.task_spans if s.task_id == task_id)
+
+
+class TestPriorityInversion:
+    """The critical task becomes ready while every fast core is committed
+    to long non-critical fillers; only slow cores are free to take it."""
+
+    def build(self):
+        p = Program("priority-inversion")
+        # Fillers sized so the budget/fast cores are committed to
+        # non-critical work through the window where the critical task
+        # becomes ready (~1.5 ms): three 4M-cycle fillers and one 1M-cycle
+        # filler whose worker will execute the trigger chain.
+        for cycles in (4_000_000, 4_000_000, 1_000_000, 4_000_000):
+            p.add(FILLER, float(cycles), 0)
+        trigger = p.add(FILLER, 500_000, 0)
+        self.crit_id = p.add(CRIT, 6_000_000, 0, deps=[trigger])
+        return p
+
+    def test_cats_suffers_the_inversion(self):
+        r = run_policy(self.build(), "cats_sa", machine=MACHINE4, fast_cores=2)
+        crit = span_of(r, self.crit_id)
+        assert not crit.accelerated_at_start
+        # 6M cycles at 1 GHz: the inverted critical task takes ~6 ms.
+        assert crit.duration_ns >= 5.9 * MS
+
+    @pytest.mark.parametrize("policy", ["cata", "cata_rsu"])
+    def test_cata_moves_budget_to_the_critical_task(self, policy):
+        r = run_policy(self.build(), policy, machine=MACHINE4, fast_cores=2)
+        crit = span_of(r, self.crit_id)
+        # The critical task runs (almost) entirely accelerated: either its
+        # core stole the budget from a non-critical holder at assignment,
+        # or it inherited a freed slot immediately.
+        assert crit.duration_ns <= 3.3 * MS
+
+    def test_cata_beats_cats_end_to_end(self):
+        cats = run_policy(self.build(), "cats_sa", machine=MACHINE4, fast_cores=2)
+        rsu = run_policy(self.build(), "cata_rsu", machine=MACHINE4, fast_cores=2)
+        assert rsu.exec_time_ns < cats.exec_time_ns
+
+
+class TestStaticBinding:
+    """A short critical task releases its budget while a long critical task
+    is already running slow: only dynamic reconfiguration can help it."""
+
+    def build(self):
+        p = Program("static-binding")
+        # The short critical task holds the budget for its 2 ms lifetime...
+        self.short_id = p.add(CRIT, 4_000_000, 0)
+        # ...while a trigger chain routes the long critical task onto an
+        # unaccelerated worker at ~0.5 ms, well inside the short's span.
+        trigger = p.add(FILLER, 500_000, 0)
+        for _ in range(2):
+            p.add(FILLER, 5_000_000, 0)
+        self.long_id = p.add(CRIT, 6_000_000, 0, deps=[trigger])
+        return p
+
+    def test_cats_never_rebinds(self):
+        r = run_policy(self.build(), "cats_sa", machine=MACHINE4, fast_cores=1)
+        # Static machine: no DVFS transitions can exist at all.
+        assert r.freq_transitions == 0
+        long_span = span_of(r, self.long_id)
+        # The long critical task landed on a slow core and stayed slow for
+        # all 6M of its cycles, even though the fast core freed up midway.
+        assert not long_span.accelerated_at_start
+        assert long_span.duration_ns >= 5.9 * MS
+
+    @pytest.mark.parametrize("policy", ["cata", "cata_rsu"])
+    def test_cata_accelerates_the_running_task_mid_flight(self, policy):
+        r = run_policy(self.build(), policy, machine=MACHINE4, fast_cores=1)
+        long_span = span_of(r, self.long_id)
+        mid_accels = [
+            rec
+            for rec in r.trace.freq_changes
+            if rec.core_id == long_span.core_id
+            and rec.new_level == "fast"
+            and long_span.start_ns < rec.time_ns < long_span.end_ns
+        ]
+        assert mid_accels, f"{policy} should accelerate the task mid-flight"
+        # Rebinding cuts the 6 ms all-slow duration substantially.
+        assert long_span.duration_ns < 5.5 * MS
+
+    def test_makespan_improves_over_cats(self):
+        cats = run_policy(self.build(), "cats_sa", machine=MACHINE4, fast_cores=1)
+        rsu = run_policy(self.build(), "cata_rsu", machine=MACHINE4, fast_cores=1)
+        assert rsu.exec_time_ns < cats.exec_time_ns

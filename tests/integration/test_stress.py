@@ -1,0 +1,98 @@
+"""Stress tests: large programs, event-count scaling, long chains.
+
+These guard the simulator against accidental O(n²) behaviour — a runtime
+regression in dispatch, the ready queues, or bottom-level maintenance shows
+up as a superlinear event count or wall-time blowup long before anything
+functionally breaks.
+"""
+
+import time
+
+import pytest
+
+from repro.core.policies import build_system
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+T = TaskType("t", criticality=0)
+C = TaskType("c", criticality=1)
+
+
+def wide_program(n):
+    p = Program("wide")
+    for i in range(n):
+        p.add(C if i % 4 == 0 else T, 150_000, 20_000)
+    return p
+
+
+def test_ten_thousand_tasks_complete():
+    system = build_system(
+        wide_program(10_000), "cata_rsu", fast_cores=8, trace_enabled=False
+    )
+    t0 = time.monotonic()
+    r = system.run()
+    wall = time.monotonic() - t0
+    assert r.tasks_executed == 10_000
+    assert wall < 60.0, f"10k tasks took {wall:.1f}s — runtime regression?"
+
+
+def test_event_count_scales_linearly_with_tasks():
+    def events_for(n):
+        system = build_system(
+            wide_program(n), "cata_rsu", fast_cores=8, trace_enabled=False
+        )
+        system.run()
+        return system.sim.events_fired
+
+    small = events_for(1_000)
+    large = events_for(4_000)
+    # Linear scaling with generous slack; O(n^2) would give ratio ~16.
+    assert large / small < 6.0
+
+
+def test_long_chain_no_quadratic_bottom_levels():
+    p = Program("chain")
+    prev = None
+    for _ in range(4_000):
+        prev = p.add(T, 50_000, 0, deps=[prev] if prev is not None else [])
+    system = build_system(p, "fifo", fast_cores=8, trace_enabled=False)
+    t0 = time.monotonic()
+    r = system.run()
+    wall = time.monotonic() - t0
+    assert r.tasks_executed == 4_000
+    assert wall < 30.0
+
+
+def test_very_wide_fanout():
+    """One root with thousands of children, then a full fan-in."""
+    p = Program("fan")
+    root = p.add(T, 100_000, 0)
+    children = [p.add(T, 100_000, 0, deps=[root]) for _ in range(2_000)]
+    p.add(C, 100_000, 0, deps=children)
+    system = build_system(p, "cata", fast_cores=8, trace_enabled=False)
+    r = system.run()
+    assert r.tasks_executed == 2_002
+
+
+def test_many_barriers():
+    p = Program("barriers")
+    for _ in range(200):
+        for _ in range(8):
+            p.add(T, 100_000, 0)
+        p.taskwait()
+    system = build_system(p, "cata", fast_cores=8, trace_enabled=False)
+    r = system.run()
+    assert r.tasks_executed == 1_600
+
+
+def test_deep_recursion_free_event_chains():
+    """A dense same-instant burst must not blow the Python stack."""
+    machine = default_machine()
+    p = Program("burst")
+    root = p.add(T, 100_000, 0)
+    for _ in range(machine.core_count * 8):
+        p.add(T, 100_000, 0, deps=[root])
+    system = build_system(p, "cata", fast_cores=8, trace_enabled=False)
+    r = system.run()
+    assert r.tasks_executed == machine.core_count * 8 + 1

@@ -1,0 +1,92 @@
+"""Property-based tests: the power-budget invariant under random event
+sequences (the paper's central safety property — the number of accelerated
+cores never exceeds the budget)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import AccelStateTable, Criticality
+
+
+@st.composite
+def event_sequences(draw):
+    cores = draw(st.integers(min_value=2, max_value=16))
+    budget = draw(st.integers(min_value=1, max_value=cores))
+    n = draw(st.integers(min_value=1, max_value=120))
+    events = [
+        (
+            draw(st.sampled_from(["assign", "release"])),
+            draw(st.integers(min_value=0, max_value=cores - 1)),
+            draw(st.booleans()),
+        )
+        for _ in range(n)
+    ]
+    return cores, budget, events
+
+
+def drive(table: AccelStateTable, events) -> None:
+    busy: dict[int, bool] = {}
+    for kind, core, critical in events:
+        if kind == "assign":
+            table.set_criticality(
+                core, Criticality.CRITICAL if critical else Criticality.NON_CRITICAL
+            )
+            d = table.decide_assign(core, critical)
+        else:
+            table.set_criticality(core, Criticality.NO_TASK)
+            d = table.decide_release(core)
+        if not d.empty:
+            table.commit(d)
+        table.check_invariant()
+
+
+@given(event_sequences())
+@settings(max_examples=150)
+def test_invariant_under_random_sequences(seq):
+    cores, budget, events = seq
+    table = AccelStateTable(cores, budget)
+    drive(table, events)
+    assert table.accelerated_count <= budget
+
+
+@given(event_sequences())
+@settings(max_examples=80)
+def test_release_after_everything_empties_acceleration(seq):
+    cores, budget, events = seq
+    table = AccelStateTable(cores, budget)
+    drive(table, events)
+    for core in range(cores):
+        table.set_criticality(core, Criticality.NO_TASK)
+        d = table.decide_release(core)
+        if not d.empty:
+            table.commit(d)
+    assert table.accelerated_count == 0
+
+
+@given(event_sequences())
+@settings(max_examples=80)
+def test_critical_task_never_starved_while_noncritical_accelerated(seq):
+    """After any decision point, if a critical task runs unaccelerated then
+    either the budget is full of critical/no-victim cores — never a stable
+    state with an NC-accelerated core and budget pressure unresolved at the
+    next decision."""
+    cores, budget, events = seq
+    table = AccelStateTable(cores, budget)
+    drive(table, events)
+    # Take one more decision for every unaccelerated critical core: it must
+    # succeed whenever a non-critical or idle core holds a slot.
+    for core in range(cores):
+        if (
+            table.criticality_of(core) == Criticality.CRITICAL
+            and not table.is_accelerated(core)
+        ):
+            d = table.decide_assign(core, critical=True)
+            holders_nc = any(
+                table.is_accelerated(c)
+                and table.criticality_of(c) != Criticality.CRITICAL
+                for c in range(cores)
+            )
+            if table.budget_available or holders_nc:
+                assert d.accel == core
+                table.commit(d)
+                table.check_invariant()

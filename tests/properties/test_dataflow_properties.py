@@ -1,0 +1,94 @@
+"""Property-based tests for dataflow dependence detection.
+
+A brute-force oracle recomputes, for each task, the exact dependence set
+implied by sequential semantics (the task must observe every prior write to
+its read set and order against prior accesses to its write set); the
+builder's *direct* edges, transitively closed, must impose exactly the
+orderings the oracle requires.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.dataflow import DataflowProgramBuilder
+from repro.runtime.task import TaskType
+
+T = TaskType("t")
+
+REGIONS = ["a", "b", "c"]
+
+
+@st.composite
+def access_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    seq = []
+    for _ in range(n):
+        ins = draw(st.sets(st.sampled_from(REGIONS), max_size=2))
+        outs = draw(st.sets(st.sampled_from(REGIONS), max_size=2))
+        inouts = draw(st.sets(st.sampled_from(REGIONS), max_size=1))
+        seq.append((sorted(ins), sorted(outs), sorted(inouts)))
+    return seq
+
+
+def oracle_orderings(seq):
+    """All (before, after) pairs sequential semantics requires."""
+    must = set()
+    for j, (ins_j, outs_j, inouts_j) in enumerate(seq):
+        reads_j = set(ins_j) | set(inouts_j)
+        writes_j = set(outs_j) | set(inouts_j)
+        for i in range(j):
+            ins_i, outs_i, inouts_i = seq[i]
+            reads_i = set(ins_i) | set(inouts_i)
+            writes_i = set(outs_i) | set(inouts_i)
+            conflict = (
+                (writes_i & reads_j)  # RAW
+                or (reads_i & writes_j)  # WAR
+                or (writes_i & writes_j)  # WAW
+            )
+            if conflict:
+                must.add((i, j))
+    return must
+
+
+def transitive_closure(n, edges):
+    reach = [set() for _ in range(n)]
+    for j in range(n):
+        for i in edges[j]:
+            reach[j].add(i)
+            reach[j] |= reach[i]
+    return reach
+
+
+@given(access_sequences())
+@settings(max_examples=120)
+def test_builder_edges_enforce_exactly_the_required_orderings(seq):
+    b = DataflowProgramBuilder("p")
+    for ins, outs, inouts in seq:
+        b.task(T, 100, 0, ins=ins, outs=outs, inouts=inouts)
+    edges = [set(spec.deps) for spec in b.program.specs]
+    reach = transitive_closure(len(seq), edges)
+    must = oracle_orderings(seq)
+
+    # Completeness: every required ordering is enforced (possibly
+    # transitively).
+    for i, j in must:
+        assert i in reach[j], f"missing ordering {i} -> {j}"
+
+    # Soundness: no spurious orderings — anything the builder enforces must
+    # be required by some conflict chain (i.e., be in the oracle's closure).
+    oracle_edges = [set() for _ in range(len(seq))]
+    for i, j in must:
+        oracle_edges[j].add(i)
+    oracle_reach = transitive_closure(len(seq), oracle_edges)
+    for j in range(len(seq)):
+        for i in reach[j]:
+            assert i in oracle_reach[j], f"spurious ordering {i} -> {j}"
+
+
+@given(access_sequences())
+@settings(max_examples=60)
+def test_programs_from_dataflow_always_validate(seq):
+    b = DataflowProgramBuilder("p")
+    for ins, outs, inouts in seq:
+        b.task(T, 100, 0, ins=ins, outs=outs, inouts=inouts)
+    b.build()  # validates dependences point backwards

@@ -1,0 +1,124 @@
+"""Property-based end-to-end tests: random programs under every policy.
+
+These drive the full stack (workload → runtime → simulator → metrics) with
+randomly generated programs and check the invariants no schedule may break:
+
+* every task executes exactly once, after all of its dependences,
+* per-core execution spans never overlap,
+* the makespan is bounded below by the all-fast critical path and by the
+  aggregate-work capacity bound,
+* identical inputs reproduce identical outputs (determinism).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import EXTRA_POLICIES, POLICIES, run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+MACHINE = default_machine().with_cores(6)
+TYPES = [
+    TaskType("low", criticality=0, activity=0.8),
+    TaskType("mid", criticality=1, activity=0.9),
+    TaskType("high", criticality=2, activity=0.95),
+]
+
+
+@st.composite
+def programs(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    p = Program("random")
+    for i in range(n):
+        ttype = draw(st.sampled_from(TYPES))
+        cycles = draw(st.integers(min_value=10_000, max_value=400_000))
+        mem = draw(st.integers(min_value=0, max_value=150_000))
+        k = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        deps = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=i - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        ) if i else []
+        p.add(ttype, float(cycles), float(mem), deps=deps)
+        if draw(st.booleans()) and draw(st.integers(0, 9)) == 0:
+            p.taskwait()
+    return p
+
+
+@st.composite
+def program_and_policy(draw):
+    return draw(programs()), draw(st.sampled_from(POLICIES + EXTRA_POLICIES)), draw(
+        st.integers(min_value=1, max_value=6)
+    )
+
+
+@given(program_and_policy())
+@settings(max_examples=40, deadline=None)
+def test_schedule_validity(case):
+    program, policy, fast = case
+    n = program.task_count
+    r = run_policy(program, policy, machine=MACHINE, fast_cores=fast)
+
+    # Exactly-once execution.
+    assert r.tasks_executed == n
+    spans = sorted(r.trace.task_spans, key=lambda s: s.task_id)
+    assert [s.task_id for s in spans] == list(range(n))
+
+    # Dependence order.
+    for i, spec in enumerate(program.specs):
+        for d in spec.deps:
+            assert spans[i].start_ns >= spans[d].end_ns - 1e-6
+
+    # No per-core overlap.
+    by_core: dict[int, list] = {}
+    for s in spans:
+        by_core.setdefault(s.core_id, []).append(s)
+    for core_spans in by_core.values():
+        core_spans.sort(key=lambda s: s.start_ns)
+        for a, b in zip(core_spans, core_spans[1:]):
+            assert b.start_ns >= a.end_ns - 1e-6
+
+
+@given(program_and_policy())
+@settings(max_examples=30, deadline=None)
+def test_makespan_lower_bounds(case):
+    program, policy, fast = case
+    if program.task_count == 0:
+        return
+    r = run_policy(program, policy, machine=MACHINE, fast_cores=fast)
+    cp_fast = program.critical_path_ns_at(MACHINE.fast.freq_ghz)
+    assert r.exec_time_ns >= cp_fast - 1e-6
+    # Capacity bound: even with every core fast the work takes this long.
+    work_fast = program.total_work_ns_at(MACHINE.fast.freq_ghz)
+    assert r.exec_time_ns >= work_fast / MACHINE.core_count - 1e-6
+
+
+@given(program_and_policy())
+@settings(max_examples=15, deadline=None)
+def test_determinism(case):
+    program, policy, fast = case
+    # Rebuild an identical program for the second run (Program is mutable).
+    clone = Program(program.name)
+    for spec in program.specs:
+        clone.specs.append(spec)
+    clone.barriers = list(program.barriers)
+    a = run_policy(program, policy, machine=MACHINE, fast_cores=fast, seed=5)
+    b = run_policy(clone, policy, machine=MACHINE, fast_cores=fast, seed=5)
+    assert a.exec_time_ns == b.exec_time_ns
+    assert a.energy_j == pytest.approx(b.energy_j, rel=1e-12)
+    assert a.freq_transitions == b.freq_transitions
+
+
+@given(programs())
+@settings(max_examples=20, deadline=None)
+def test_energy_positive_for_nonempty_programs(program):
+    if program.task_count == 0:
+        return
+    r = run_policy(program, "cata_rsu", machine=MACHINE, fast_cores=3)
+    assert r.energy_j > 0
+    assert r.edp > 0

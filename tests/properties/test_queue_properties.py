@@ -1,0 +1,61 @@
+"""Property-based tests for the ready queues."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.queues import PriorityReadyQueue, ReadyQueue
+from repro.runtime.task import Task, TaskType
+
+T = TaskType("t")
+
+
+def make_task(tid, bl):
+    t = Task(task_id=tid, ttype=T, cpu_cycles=1.0, mem_ns=0.0, activity=0.9)
+    t.bottom_level = bl
+    return t
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60))
+@settings(max_examples=80)
+def test_priority_queue_pops_stable_descending(priorities):
+    q = PriorityReadyQueue(priority=lambda t: float(t.bottom_level))
+    for i, bl in enumerate(priorities):
+        q.push(make_task(i, bl))
+    popped = []
+    while q:
+        popped.append(q.pop())
+    # Descending by priority; FIFO (task_id) among equal priorities.
+    keys = [(-t.bottom_level, t.task_id) for t in popped]
+    assert keys == sorted(keys)
+    assert len(popped) == len(priorities)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=40))
+@settings(max_examples=50)
+def test_fifo_queue_preserves_order(ids):
+    q = ReadyQueue()
+    for i in ids:
+        q.push(make_task(i, 0))
+    out = [q.pop().task_id for _ in ids]
+    assert out == ids
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=20)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50)
+def test_interleaved_push_pop_never_loses_tasks(ops):
+    q = PriorityReadyQueue(priority=lambda t: float(t.bottom_level))
+    pushed = popped = 0
+    for is_push, bl in ops:
+        if is_push:
+            q.push(make_task(pushed, bl))
+            pushed += 1
+        elif q:
+            assert q.pop() is not None
+            popped += 1
+    assert len(q) == pushed - popped

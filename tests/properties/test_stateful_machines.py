@@ -1,0 +1,105 @@
+"""Hypothesis stateful tests for the lock and DVFS state machines.
+
+Rule-based machines fire arbitrary interleavings of operations against the
+simulated primitives and check their invariants after every step — the
+strongest guard against ordering bugs in callback-driven DES code (the
+lock-handoff race fixed during development is exactly the class of bug
+these catch).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.sim.config import default_machine
+from repro.sim.dvfs import DVFSController
+from repro.sim.engine import Simulator
+from repro.sim.locks import SimLock
+from repro.sim.trace import Trace
+
+
+class LockMachine(RuleBasedStateMachine):
+    """Random acquire/advance sequences against a SimLock."""
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.lock = SimLock(self.sim, "m")
+        self.granted: list[int] = []
+        self.requested: list[int] = []
+        self.next_core = 0
+
+    @rule(hold=st.floats(min_value=0.0, max_value=100.0))
+    def acquire(self, hold):
+        core = self.next_core
+        self.next_core += 1
+        self.requested.append(core)
+
+        def critical():
+            self.granted.append(core)
+            self.sim.schedule(hold, self.lock.release)
+
+        self.lock.acquire(core, critical)
+
+    @rule()
+    def advance(self):
+        self.sim.step()
+
+    @invariant()
+    def grants_are_fifo(self):
+        assert self.granted == self.requested[: len(self.granted)]
+
+    @invariant()
+    def holder_is_latest_grant(self):
+        if self.lock.held:
+            assert self.lock.holder == self.granted[-1]
+
+    def teardown(self):
+        self.sim.run()
+        assert self.granted == self.requested
+        assert not self.lock.held
+
+
+class DvfsMachine(RuleBasedStateMachine):
+    """Random request/advance sequences against the DVFS controller."""
+
+    CORES = 4
+
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulator()
+        self.machine = default_machine().with_cores(self.CORES)
+        self.dvfs = DVFSController(self.sim, self.machine, Trace())
+        self.last_target = [self.machine.slow] * self.CORES
+
+    @rule(core=st.integers(min_value=0, max_value=CORES - 1), fast=st.booleans())
+    def request(self, core, fast):
+        level = self.machine.fast if fast else self.machine.slow
+        self.dvfs.request(core, level)
+        self.last_target[core] = level
+
+    @rule()
+    def advance(self):
+        self.sim.step()
+
+    @invariant()
+    def target_tracks_latest_request(self):
+        for core in range(self.CORES):
+            assert self.dvfs.target_of(core) is self.last_target[core]
+
+    @invariant()
+    def current_level_is_a_valid_level(self):
+        for core in range(self.CORES):
+            assert self.dvfs.level_of(core) in (self.machine.slow, self.machine.fast)
+
+    def teardown(self):
+        self.sim.run()
+        for core in range(self.CORES):
+            assert self.dvfs.level_of(core) is self.last_target[core]
+            assert not self.dvfs.in_transition(core)
+
+
+TestLockMachine = LockMachine.TestCase
+TestLockMachine.settings = settings(max_examples=50, stateful_step_count=30)
+TestDvfsMachine = DvfsMachine.TestCase
+TestDvfsMachine.settings = settings(max_examples=50, stateful_step_count=30)

@@ -1,0 +1,101 @@
+"""Property-based tests for the TDG against networkx ground truth."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.task import TaskType
+from repro.runtime.tdg import TaskGraph
+
+T = TaskType("t")
+
+
+@st.composite
+def random_dag_edges(draw):
+    """A random DAG as (node_count, edges-to-earlier-nodes)."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    edges = []
+    for i in range(1, n):
+        k = draw(st.integers(min_value=0, max_value=min(i, 4)))
+        preds = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=i - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        edges.append(tuple(sorted(preds)))
+    return n, edges
+
+
+def build_graph(n, edges):
+    g = TaskGraph()
+    g.submit(T, 100, 0)
+    for preds in edges:
+        g.submit(T, 100, 0, deps=preds)
+    return g
+
+
+@given(random_dag_edges())
+@settings(max_examples=60)
+def test_incremental_bottom_levels_match_networkx(dag):
+    n, edges = dag
+    g = build_graph(n, edges)
+
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(n))
+    for child, preds in enumerate(edges, start=1):
+        for p in preds:
+            nxg.add_edge(p, child)
+    # Bottom level of v = longest path (in edges) from v to any sink.
+    order = list(nx.topological_sort(nxg))
+    bl = {v: 0 for v in nxg}
+    for v in reversed(order):
+        for succ in nxg.successors(v):
+            bl[v] = max(bl[v], bl[succ] + 1)
+
+    for task in g.tasks:
+        assert task.bottom_level == bl[task.task_id]
+    assert g.max_bottom_level == max(bl.values())
+    g.validate_bottom_levels()
+
+
+@given(random_dag_edges())
+@settings(max_examples=40)
+def test_waiting_max_bl_matches_live_set(dag):
+    """Finishing tasks in topological order keeps the waiting-max exact."""
+    n, edges = dag
+    g = build_graph(n, edges)
+    for task in list(g.tasks):
+        live = [t.bottom_level for t in g.tasks if t.state.value != "finished"]
+        assert g.max_bottom_level_waiting == max(live)
+        g.mark_running(task, 0, 0.0)
+        g.mark_finished(task, 1.0)
+    assert g.max_bottom_level_waiting == 0
+
+
+@given(random_dag_edges())
+@settings(max_examples=40)
+def test_readiness_follows_topological_completion(dag):
+    n, edges = dag
+    ready_order = []
+    g = TaskGraph(on_ready=lambda t: ready_order.append(t.task_id))
+    g.submit(T, 100, 0)
+    for preds in edges:
+        g.submit(T, 100, 0, deps=preds)
+    executed = set()
+    # Execute in ready order; every ready task's preds must be finished.
+    preds_of = {0: ()}
+    for child, preds in enumerate(edges, start=1):
+        preds_of[child] = preds
+    i = 0
+    while i < len(ready_order):
+        tid = ready_order[i]
+        assert all(p in executed for p in preds_of[tid])
+        task = g.tasks[tid]
+        g.mark_running(task, 0, 0.0)
+        g.mark_finished(task, 1.0)
+        executed.add(tid)
+        i += 1
+    assert len(executed) == n

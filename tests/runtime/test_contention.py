@@ -1,0 +1,88 @@
+"""Tests for the opt-in shared-bandwidth contention model."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import MachineConfig, default_machine
+
+T = TaskType("t", criticality=0)
+
+
+def contended_machine(alpha=2.0, threshold=0.25, cores=4):
+    return replace(
+        default_machine().with_cores(cores),
+        mem_contention_alpha=alpha,
+        mem_contention_threshold=threshold,
+    )
+
+
+def memory_program(n=12):
+    p = Program("membound")
+    for _ in range(n):
+        p.add(T, 100_000, 400_000)  # heavily memory-bound
+    return p
+
+
+def test_default_machine_has_contention_off():
+    assert default_machine().mem_contention_alpha == 0.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        replace(default_machine(), mem_contention_alpha=-1.0)
+    with pytest.raises(ValueError):
+        replace(default_machine(), mem_contention_threshold=1.5)
+
+
+def test_contention_slows_saturated_runs():
+    off = run_policy(memory_program(), "fifo",
+                     machine=contended_machine(alpha=0.0), fast_cores=2)
+    on = run_policy(memory_program(), "fifo",
+                    machine=contended_machine(alpha=2.0), fast_cores=2)
+    assert on.exec_time_ns > off.exec_time_ns * 1.1
+
+
+def test_no_effect_below_threshold():
+    """A serial chain keeps one core busy: under the threshold, no scaling."""
+    p = Program("serial")
+    prev = None
+    for _ in range(4):
+        prev = p.add(T, 100_000, 400_000, deps=[prev] if prev is not None else [])
+    p2 = Program("serial")
+    prev = None
+    for _ in range(4):
+        prev = p2.add(T, 100_000, 400_000, deps=[prev] if prev is not None else [])
+    off = run_policy(p, "fifo", machine=contended_machine(alpha=0.0, threshold=0.5),
+                     fast_cores=2)
+    on = run_policy(p2, "fifo", machine=contended_machine(alpha=2.0, threshold=0.5),
+                    fast_cores=2)
+    assert on.exec_time_ns == pytest.approx(off.exec_time_ns)
+
+
+def test_cpu_bound_tasks_unaffected():
+    p = Program("cpubound")
+    for _ in range(12):
+        p.add(T, 400_000, 0)
+    p2 = Program("cpubound")
+    for _ in range(12):
+        p2.add(T, 400_000, 0)
+    off = run_policy(p, "fifo", machine=contended_machine(alpha=0.0), fast_cores=2)
+    on = run_policy(p2, "fifo", machine=contended_machine(alpha=2.0), fast_cores=2)
+    assert on.exec_time_ns == pytest.approx(off.exec_time_ns)
+
+
+def test_acceleration_value_shrinks_under_contention():
+    """Contention inflates the frequency-invariant portion, so DVFS gains
+    shrink — the classic memory-wall effect."""
+    def sp(machine):
+        fifo = run_policy(memory_program(16), "fifo", machine=machine, fast_cores=2)
+        rsu = run_policy(memory_program(16), "cata_rsu", machine=machine, fast_cores=2)
+        return fifo.exec_time_ns / rsu.exec_time_ns
+
+    gain_off = sp(contended_machine(alpha=0.0))
+    gain_on = sp(contended_machine(alpha=3.0))
+    assert gain_on <= gain_off + 0.02

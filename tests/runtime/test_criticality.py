@@ -1,0 +1,102 @@
+"""Tests for the two criticality estimators."""
+
+import pytest
+
+from repro.runtime.criticality import BottomLevelEstimator, StaticAnnotationEstimator
+from repro.runtime.task import TaskType
+from repro.runtime.tdg import TaskGraph
+from repro.sim.config import OverheadConfig
+
+CRIT = TaskType("crit", criticality=2)
+PLAIN = TaskType("plain", criticality=0)
+
+
+class TestStaticAnnotations:
+    def test_follows_annotation(self):
+        est = StaticAnnotationEstimator()
+        g = TaskGraph()
+        c, _ = g.submit(CRIT, 100, 0)
+        p, _ = g.submit(PLAIN, 100, 0)
+        assert est.is_critical(c, g)
+        assert not est.is_critical(p, g)
+
+    def test_zero_submit_cost(self):
+        est = StaticAnnotationEstimator()
+        g = TaskGraph()
+        t, edges = g.submit(CRIT, 100, 0)
+        assert est.submit_cost_ns(t, edges) == 0.0
+
+
+class TestBottomLevel:
+    def make(self, threshold=0.75, cap=64):
+        return BottomLevelEstimator(
+            OverheadConfig(), threshold=threshold, exploration_cap=cap
+        )
+
+    def test_flat_graph_everything_critical(self):
+        est = self.make()
+        g = TaskGraph()
+        tasks = [g.submit(PLAIN, 100, 0)[0] for _ in range(5)]
+        assert all(est.is_critical(t, g) for t in tasks)
+
+    def test_long_path_critical_short_path_not(self):
+        est = self.make()
+        g = TaskGraph()
+        # A 10-deep chain plus one shallow independent task.
+        prev = None
+        for _ in range(10):
+            deps = [prev.task_id] if prev is not None else []
+            prev, _ = g.submit(PLAIN, 100, 0, deps=deps)
+        head = g.tasks[0]
+        shallow, _ = g.submit(PLAIN, 100, 0)
+        g.submit(PLAIN, 100, 0, deps=[shallow.task_id])
+        assert est.is_critical(head, g)  # BL 9 of max 9
+        assert not est.is_critical(shallow, g)  # BL 1 of max 9
+
+    def test_threshold_controls_cut(self):
+        g = TaskGraph()
+        prev = None
+        for _ in range(5):
+            deps = [prev.task_id] if prev is not None else []
+            prev, _ = g.submit(PLAIN, 100, 0, deps=deps)
+        mid = g.tasks[2]  # BL 2 of max 4
+        assert not self.make(threshold=0.75).is_critical(mid, g)
+        assert self.make(threshold=0.5).is_critical(mid, g)
+
+    def test_cost_proportional_to_edges(self):
+        ov = OverheadConfig()
+        est = self.make()
+        g = TaskGraph()
+        t, _ = g.submit(PLAIN, 100, 0)
+        assert est.submit_cost_ns(t, 10) == pytest.approx(10 * ov.bl_edge_cost_ns)
+
+    def test_cost_capped_by_exploration_cap(self):
+        ov = OverheadConfig()
+        est = self.make(cap=8)
+        g = TaskGraph()
+        t, _ = g.submit(PLAIN, 100, 0)
+        assert est.submit_cost_ns(t, 1000) == pytest.approx(8 * ov.bl_edge_cost_ns)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(threshold=0.0)
+        with pytest.raises(ValueError):
+            self.make(threshold=1.5)
+        with pytest.raises(ValueError):
+            self.make(cap=-1)
+
+    def test_uses_waiting_max_not_historical(self):
+        est = self.make()
+        g = TaskGraph()
+        # Deep chain that then completes entirely.
+        prev = None
+        for _ in range(10):
+            deps = [prev.task_id] if prev is not None else []
+            prev, _ = g.submit(PLAIN, 100, 0, deps=deps)
+        for t in list(g.tasks):
+            g.mark_running(t, 0, 0.0)
+            g.mark_finished(t, 1.0)
+        # A fresh shallow pair: relative to the *live* TDG it is critical.
+        a, _ = g.submit(PLAIN, 100, 0)
+        g.submit(PLAIN, 100, 0, deps=[a.task_id])
+        assert est.is_critical(a, g)

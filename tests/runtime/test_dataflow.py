@@ -1,0 +1,113 @@
+"""Tests for data-region dependence detection."""
+
+import pytest
+
+from repro.core.policies import run_policy
+from repro.runtime.dataflow import DataflowProgramBuilder
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+W = TaskType("writer", criticality=0)
+R = TaskType("reader", criticality=0)
+
+
+def deps_of(builder, idx):
+    return set(builder.program.specs[idx].deps)
+
+
+class TestDependenceKinds:
+    def test_raw_reader_depends_on_last_writer(self):
+        b = DataflowProgramBuilder("raw")
+        w = b.task(W, 100, 0, outs=["x"])
+        r = b.task(R, 100, 0, ins=["x"])
+        assert deps_of(b, r) == {w}
+
+    def test_war_writer_depends_on_readers(self):
+        b = DataflowProgramBuilder("war")
+        w0 = b.task(W, 100, 0, outs=["x"])
+        r0 = b.task(R, 100, 0, ins=["x"])
+        r1 = b.task(R, 100, 0, ins=["x"])
+        w1 = b.task(W, 100, 0, outs=["x"])
+        assert deps_of(b, w1) >= {r0, r1}
+
+    def test_waw_writer_depends_on_previous_writer(self):
+        b = DataflowProgramBuilder("waw")
+        w0 = b.task(W, 100, 0, outs=["x"])
+        w1 = b.task(W, 100, 0, outs=["x"])
+        assert deps_of(b, w1) == {w0}
+
+    def test_readers_do_not_depend_on_each_other(self):
+        b = DataflowProgramBuilder("rr")
+        w = b.task(W, 100, 0, outs=["x"])
+        r0 = b.task(R, 100, 0, ins=["x"])
+        r1 = b.task(R, 100, 0, ins=["x"])
+        assert deps_of(b, r1) == {w}
+
+    def test_inout_acts_as_read_and_write(self):
+        b = DataflowProgramBuilder("io")
+        w = b.task(W, 100, 0, outs=["x"])
+        a = b.task(W, 100, 0, inouts=["x"])  # RAW/WAW on w
+        c = b.task(R, 100, 0, ins=["x"])  # RAW on a, not w
+        assert deps_of(b, a) == {w}
+        assert deps_of(b, c) == {a}
+
+    def test_write_resets_reader_set(self):
+        b = DataflowProgramBuilder("reset")
+        w0 = b.task(W, 100, 0, outs=["x"])
+        r0 = b.task(R, 100, 0, ins=["x"])
+        w1 = b.task(W, 100, 0, outs=["x"])
+        r1 = b.task(R, 100, 0, ins=["x"])
+        w2 = b.task(W, 100, 0, outs=["x"])
+        assert r0 not in deps_of(b, w2)
+        assert deps_of(b, w2) == {w1, r1}
+
+    def test_independent_regions_independent_tasks(self):
+        b = DataflowProgramBuilder("indep")
+        b.task(W, 100, 0, outs=["x"])
+        t = b.task(W, 100, 0, outs=["y"])
+        assert deps_of(b, t) == set()
+
+    def test_untouched_region_has_no_history(self):
+        b = DataflowProgramBuilder("fresh")
+        r = b.task(R, 100, 0, ins=["never-written"])
+        assert deps_of(b, r) == set()
+
+
+class TestEndToEnd:
+    def test_stencil_via_regions_executes_in_order(self):
+        """A 1D Jacobi sweep: each cell reads its neighbourhood's previous
+        values and writes its own — the classic dataflow pattern."""
+        b = DataflowProgramBuilder("jacobi")
+        cells = 8
+        steps = 3
+        for step in range(steps):
+            for i in range(cells):
+                reads = [
+                    ("v", step % 2, j)
+                    for j in (i - 1, i, i + 1)
+                    if 0 <= j < cells
+                ]
+                b.task(
+                    W, 150_000, 0,
+                    ins=reads,
+                    outs=[("v", (step + 1) % 2, i)],
+                )
+        program = b.build()
+        machine = default_machine().with_cores(4)
+        r = run_policy(program, "cata_rsu", machine=machine, fast_cores=2)
+        assert r.tasks_executed == cells * steps
+        spans = {s.task_id: s for s in r.trace.task_spans}
+        for idx, spec in enumerate(program.specs):
+            for d in spec.deps:
+                assert spans[idx].start_ns >= spans[d].end_ns
+
+    def test_chain_through_one_region_serializes(self):
+        b = DataflowProgramBuilder("serial")
+        for _ in range(5):
+            b.task(W, 200_000, 0, inouts=["acc"])
+        program = b.build()
+        machine = default_machine().with_cores(4)
+        r = run_policy(program, "fifo", machine=machine, fast_cores=2)
+        spans = sorted(r.trace.task_spans, key=lambda s: s.task_id)
+        for a, c in zip(spans, spans[1:]):
+            assert c.start_ns >= a.end_ns

@@ -1,0 +1,102 @@
+"""Tests for the Program representation."""
+
+import pytest
+
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+
+T = TaskType("t")
+
+
+def test_add_returns_sequential_indices():
+    p = Program("p")
+    assert p.add(T, 100, 0) == 0
+    assert p.add(T, 100, 0) == 1
+    assert p.task_count == 2
+
+
+def test_deps_must_point_backwards():
+    p = Program("p")
+    p.add(T, 100, 0)
+    with pytest.raises(ValueError):
+        p.add(T, 100, 0, deps=[1])  # self-dependence
+    with pytest.raises(ValueError):
+        p.add(T, 100, 0, deps=[5])  # forward
+
+
+def test_taskwait_records_boundary_once():
+    p = Program("p")
+    p.add(T, 100, 0)
+    p.taskwait()
+    p.taskwait()  # duplicate collapses
+    assert p.barriers == [1]
+
+
+def test_taskwait_on_empty_program_is_noop():
+    p = Program("p")
+    p.taskwait()
+    assert p.barriers == []
+
+
+def test_task_types_in_first_appearance_order():
+    a, b = TaskType("a"), TaskType("b")
+    p = Program("p")
+    p.add(b, 1, 0)
+    p.add(a, 1, 0)
+    p.add(b, 1, 0)
+    assert [t.name for t in p.task_types] == ["b", "a"]
+
+
+def test_total_work_at_frequency():
+    p = Program("p")
+    p.add(T, cpu_cycles=2000, mem_ns=500)
+    p.add(T, cpu_cycles=1000, mem_ns=0, block_ns=100)
+    assert p.total_work_ns_at(1.0) == pytest.approx(2500 + 1100)
+    assert p.total_work_ns_at(2.0) == pytest.approx(1500 + 600)
+
+
+def test_critical_path_of_chain_is_sum():
+    p = Program("p")
+    a = p.add(T, 1000, 0)
+    b = p.add(T, 1000, 0, deps=[a])
+    p.add(T, 1000, 0, deps=[b])
+    assert p.critical_path_ns_at(1.0) == pytest.approx(3000.0)
+
+
+def test_critical_path_of_independent_tasks_is_max():
+    p = Program("p")
+    p.add(T, 1000, 0)
+    p.add(T, 5000, 0)
+    p.add(T, 2000, 0)
+    assert p.critical_path_ns_at(1.0) == pytest.approx(5000.0)
+
+
+def test_critical_path_diamond():
+    p = Program("p")
+    a = p.add(T, 100, 0)
+    b = p.add(T, 900, 0, deps=[a])
+    c = p.add(T, 200, 0, deps=[a])
+    p.add(T, 100, 0, deps=[b, c])
+    assert p.critical_path_ns_at(1.0) == pytest.approx(100 + 900 + 100)
+
+
+def test_critical_path_scales_with_frequency_for_cpu_work():
+    p = Program("p")
+    p.add(T, cpu_cycles=1000, mem_ns=1000)
+    assert p.critical_path_ns_at(1.0) == pytest.approx(2000.0)
+    assert p.critical_path_ns_at(2.0) == pytest.approx(1500.0)
+
+
+def test_validate_passes_on_well_formed_program():
+    p = Program("p")
+    a = p.add(T, 1, 0)
+    p.taskwait()
+    p.add(T, 1, 0, deps=[a])
+    p.validate()
+
+
+def test_empty_program_properties():
+    p = Program("p")
+    assert p.task_count == 0
+    assert p.critical_path_ns_at(1.0) == 0.0
+    assert p.total_work_ns_at(1.0) == 0.0

@@ -1,0 +1,102 @@
+"""Tests for ready queues (FIFO, priority, dual)."""
+
+from repro.runtime.queues import (
+    DualReadyQueues,
+    PriorityReadyQueue,
+    ReadyQueue,
+    bottom_level_priority,
+)
+from repro.runtime.task import Task, TaskType
+
+
+def make_task(tid, crit_level=0, bl=0, critical=False):
+    t = Task(
+        task_id=tid,
+        ttype=TaskType(f"t{crit_level}", criticality=crit_level),
+        cpu_cycles=100.0,
+        mem_ns=0.0,
+        activity=0.9,
+    )
+    t.bottom_level = bl
+    t.critical = critical
+    return t
+
+
+class TestReadyQueue:
+    def test_fifo_order(self):
+        q = ReadyQueue()
+        for i in range(3):
+            q.push(make_task(i))
+        assert [q.pop().task_id for _ in range(3)] == [0, 1, 2]
+
+    def test_pop_empty_returns_none(self):
+        assert ReadyQueue().pop() is None
+
+    def test_peek_does_not_remove(self):
+        q = ReadyQueue()
+        q.push(make_task(0))
+        assert q.peek().task_id == 0
+        assert len(q) == 1
+
+    def test_len_and_bool(self):
+        q = ReadyQueue()
+        assert not q and len(q) == 0
+        q.push(make_task(0))
+        assert q and len(q) == 1
+
+    def test_total_enqueued_counts(self):
+        q = ReadyQueue()
+        q.push(make_task(0))
+        q.pop()
+        q.push(make_task(1))
+        assert q.total_enqueued == 2
+
+
+class TestPriorityReadyQueue:
+    def test_highest_priority_first(self):
+        q = PriorityReadyQueue(priority=lambda t: float(t.ttype.criticality))
+        q.push(make_task(0, crit_level=1))
+        q.push(make_task(1, crit_level=3))
+        q.push(make_task(2, crit_level=2))
+        assert [q.pop().task_id for _ in range(3)] == [1, 2, 0]
+
+    def test_fifo_among_ties(self):
+        q = PriorityReadyQueue(priority=lambda t: 1.0)
+        for i in range(4):
+            q.push(make_task(i))
+        assert [q.pop().task_id for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_bottom_level_priority(self):
+        q = PriorityReadyQueue(priority=bottom_level_priority)
+        q.push(make_task(0, bl=1))
+        q.push(make_task(1, bl=9))
+        assert q.pop().task_id == 1
+
+    def test_peek_and_empty(self):
+        q = PriorityReadyQueue(priority=lambda t: 0.0)
+        assert q.pop() is None and q.peek() is None
+        q.push(make_task(5))
+        assert q.peek().task_id == 5
+
+
+class TestDualReadyQueues:
+    def test_routes_by_decided_criticality(self):
+        d = DualReadyQueues()
+        d.push(make_task(0, critical=True))
+        d.push(make_task(1, critical=False))
+        assert len(d.hprq) == 1 and len(d.lprq) == 1
+        assert d.hprq.pop().task_id == 0
+        assert d.lprq.pop().task_id == 1
+
+    def test_pending_counts_both(self):
+        d = DualReadyQueues()
+        d.push(make_task(0, critical=True))
+        d.push(make_task(1))
+        assert d.pending == 2
+        assert bool(d)
+
+    def test_hprq_default_order_by_annotation(self):
+        d = DualReadyQueues()
+        d.push(make_task(0, crit_level=1, critical=True))
+        d.push(make_task(1, crit_level=2, critical=True))
+        assert d.hprq.pop().task_id == 1

@@ -1,0 +1,126 @@
+"""Tests for the FIFO, CATS and CATA scheduling policies."""
+
+import pytest
+
+from repro.runtime.cats import CATAScheduler, CATSScheduler
+from repro.runtime.fifo import FIFOScheduler
+from repro.runtime.task import Task, TaskType
+
+
+def make_task(tid, critical=False, crit_level=None):
+    if crit_level is None:
+        crit_level = 1 if critical else 0
+    t = Task(
+        task_id=tid,
+        ttype=TaskType(f"t{crit_level}", criticality=crit_level),
+        cpu_cycles=100.0,
+        mem_ns=0.0,
+        activity=0.9,
+    )
+    t.critical = critical
+    return t
+
+
+class FakeSystem:
+    """Only what CATS asks of the runtime system: worker availability."""
+
+    def __init__(self, available_ids=()):
+        self.available_ids = set(available_ids)
+
+    def any_worker_available(self, core_ids):
+        return any(i in self.available_ids for i in core_ids)
+
+
+class TestFIFO:
+    def test_any_core_takes_head(self):
+        s = FIFOScheduler()
+        s.on_task_ready(make_task(0))
+        s.on_task_ready(make_task(1))
+        assert s.pick(31).task_id == 0
+        assert s.pick(0).task_id == 1
+        assert s.pick(0) is None
+
+    def test_has_work_for_ignores_core(self):
+        s = FIFOScheduler()
+        assert not s.has_work_for(3)
+        s.on_task_ready(make_task(0))
+        assert s.has_work_for(3) and s.has_work_for(30)
+        assert s.pending == 1
+
+
+class TestCATS:
+    def make(self, fast=(0, 1), available=()):
+        s = CATSScheduler(fast)
+        s.attach(FakeSystem(available))
+        return s
+
+    def test_requires_fast_cores(self):
+        with pytest.raises(ValueError):
+            CATSScheduler([])
+
+    def test_fast_core_prefers_hprq(self):
+        s = self.make()
+        s.on_task_ready(make_task(0, critical=False))
+        s.on_task_ready(make_task(1, critical=True))
+        assert s.pick(0).task_id == 1
+
+    def test_fast_core_falls_back_to_lprq(self):
+        s = self.make()
+        s.on_task_ready(make_task(0, critical=False))
+        assert s.pick(0).task_id == 0
+
+    def test_slow_core_takes_lprq(self):
+        s = self.make()
+        s.on_task_ready(make_task(0, critical=False))
+        assert s.pick(5).task_id == 0
+
+    def test_slow_core_steals_hprq_only_without_available_fast(self):
+        # Fast core 0 is available: the critical task must wait for it.
+        s = self.make(available=(0,))
+        s.on_task_ready(make_task(0, critical=True))
+        assert s.pick(5) is None
+        assert not s.has_work_for(5)
+        # No fast core available: stealing is allowed.
+        s2 = self.make(available=())
+        s2.on_task_ready(make_task(0, critical=True))
+        assert s2.has_work_for(5)
+        assert s2.pick(5).task_id == 0
+        assert s2.steals == 1
+
+    def test_slow_core_prefers_lprq_over_stealing(self):
+        s = self.make(available=())
+        s.on_task_ready(make_task(0, critical=True))
+        s.on_task_ready(make_task(1, critical=False))
+        assert s.pick(5).task_id == 1
+
+    def test_has_work_for_fast_core(self):
+        s = self.make()
+        assert not s.has_work_for(0)
+        s.on_task_ready(make_task(0, critical=True))
+        assert s.has_work_for(0)
+
+    def test_is_fast(self):
+        s = self.make(fast=(0, 3))
+        assert s.is_fast(0) and s.is_fast(3)
+        assert not s.is_fast(1)
+
+    def test_hprq_ordering_by_annotation_level(self):
+        s = self.make()
+        s.on_task_ready(make_task(0, critical=True, crit_level=1))
+        s.on_task_ready(make_task(1, critical=True, crit_level=3))
+        assert s.pick(0).task_id == 1
+
+
+class TestCATA:
+    def test_every_core_serves_hprq_first(self):
+        s = CATAScheduler()
+        s.on_task_ready(make_task(0, critical=False))
+        s.on_task_ready(make_task(1, critical=True))
+        assert s.pick(31).task_id == 1
+        assert s.pick(31).task_id == 0
+
+    def test_pending_and_has_work(self):
+        s = CATAScheduler()
+        assert s.pending == 0 and not s.has_work_for(0)
+        s.on_task_ready(make_task(0))
+        assert s.pending == 1 and s.has_work_for(17)

@@ -1,0 +1,82 @@
+"""Focused tests for the submission controller."""
+
+import pytest
+
+from repro.core.policies import build_system
+from repro.runtime.program import Program
+from repro.runtime.submission import SubmissionController
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+T = TaskType("t", criticality=0)
+MACHINE4 = default_machine().with_cores(4)
+
+
+def test_segment_splitting():
+    p = Program("segs")
+    p.add(T, 100, 0)
+    p.add(T, 100, 0)
+    p.taskwait()
+    p.add(T, 100, 0)
+    system = build_system(p, "fifo", machine=MACHINE4, fast_cores=2)
+    assert system.submission._segments == [(0, 2), (2, 3)]
+
+
+def test_empty_program_finishes_immediately():
+    system = build_system(Program("empty"), "fifo", machine=MACHINE4, fast_cores=2)
+    r = system.run()
+    assert system.submission.finished_submitting
+    assert r.exec_time_ns == 0.0
+
+
+def test_submission_costs_delay_task_creation():
+    """N tasks at task_submit_ns each: the last task cannot be submitted
+    before N * cost."""
+    n = 10
+    p = Program("costed")
+    for _ in range(n):
+        p.add(T, 1_000_000, 0)
+    system = build_system(p, "fifo", machine=MACHINE4, fast_cores=2)
+    system.run()
+    cost = MACHINE4.overheads.task_submit_ns
+    last_submit = max(t.submit_ns for t in system.tdg.tasks)
+    assert last_submit >= (n - 1) * cost
+
+
+def test_bl_estimator_inflates_submission_time():
+    def chain_program():
+        p = Program("chain")
+        prev = None
+        for _ in range(20):
+            prev = p.add(T, 500_000, 0, deps=[prev] if prev is not None else [])
+        return p
+
+    sa = build_system(chain_program(), "cats_sa", machine=MACHINE4, fast_cores=2)
+    sa.run()
+    bl = build_system(chain_program(), "cats_bl", machine=MACHINE4, fast_cores=2)
+    bl.run()
+    assert max(t.submit_ns for t in bl.tdg.tasks) > max(
+        t.submit_ns for t in sa.tdg.tasks
+    )
+
+
+def test_phases_tagged_on_tasks():
+    p = Program("phases")
+    p.add(T, 100_000, 0)
+    p.taskwait()
+    p.add(T, 100_000, 0)
+    system = build_system(p, "fifo", machine=MACHINE4, fast_cores=2)
+    system.run()
+    assert [t.phase for t in system.tdg.tasks] == [0, 1]
+
+
+def test_worker_zero_executes_tasks_after_submitting():
+    """With a single-core machine, core 0 both submits and executes."""
+    machine1 = default_machine().with_cores(1)
+    p = Program("solo")
+    for _ in range(3):
+        p.add(T, 200_000, 0)
+    system = build_system(p, "fifo", machine=machine1, fast_cores=1)
+    r = system.run()
+    assert r.tasks_executed == 3
+    assert all(s.core_id == 0 for s in r.trace.task_spans)

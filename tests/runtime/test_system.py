@@ -1,0 +1,150 @@
+"""End-to-end tests of the runtime system on small hand-built programs."""
+
+import pytest
+
+from repro.core.policies import build_system, run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+
+T = TaskType("plain", criticality=0)
+C = TaskType("crit", criticality=2)
+
+MACHINE4 = default_machine().with_cores(4)
+
+
+def chain_program(n=5, cycles=100_000):
+    p = Program("chain")
+    prev = None
+    for _ in range(n):
+        prev = p.add(T, cycles, 0, deps=[prev] if prev is not None else [])
+    return p
+
+
+def parallel_program(n=12, cycles=100_000):
+    p = Program("par")
+    for _ in range(n):
+        p.add(T, cycles, 0)
+    return p
+
+
+def test_all_tasks_execute_exactly_once():
+    r = run_policy(parallel_program(), "fifo", machine=MACHINE4, fast_cores=2)
+    assert r.tasks_executed == 12
+    assert len(r.trace.task_spans) == 12
+    assert sorted(s.task_id for s in r.trace.task_spans) == list(range(12))
+
+
+def test_spans_respect_dependences():
+    r = run_policy(chain_program(), "fifo", machine=MACHINE4, fast_cores=2)
+    spans = {s.task_id: s for s in r.trace.task_spans}
+    for i in range(1, 5):
+        assert spans[i].start_ns >= spans[i - 1].end_ns
+
+
+def test_spans_do_not_overlap_per_core():
+    r = run_policy(parallel_program(32), "fifo", machine=MACHINE4, fast_cores=2)
+    by_core = {}
+    for s in r.trace.task_spans:
+        by_core.setdefault(s.core_id, []).append(s)
+    for spans in by_core.values():
+        spans.sort(key=lambda s: s.start_ns)
+        for a, b in zip(spans, spans[1:]):
+            assert b.start_ns >= a.end_ns
+
+
+def test_chain_runs_no_faster_than_critical_path():
+    prog = chain_program(5)
+    cp_fast = prog.critical_path_ns_at(2.0)
+    r = run_policy(prog, "cata_rsu", machine=MACHINE4, fast_cores=4)
+    assert r.exec_time_ns >= cp_fast
+
+
+def test_parallel_program_uses_multiple_cores():
+    r = run_policy(parallel_program(12), "fifo", machine=MACHINE4, fast_cores=2)
+    cores_used = {s.core_id for s in r.trace.task_spans}
+    assert len(cores_used) == 4
+
+
+def test_barrier_separates_phases():
+    p = Program("barrier")
+    for _ in range(4):
+        p.add(T, 100_000, 0)
+    p.taskwait()
+    for _ in range(4):
+        p.add(T, 100_000, 0)
+    r = run_policy(p, "fifo", machine=MACHINE4, fast_cores=2)
+    spans = {s.task_id: s for s in r.trace.task_spans}
+    phase1_end = max(spans[i].end_ns for i in range(4))
+    phase2_start = min(spans[i].start_ns for i in range(4, 8))
+    assert phase2_start >= phase1_end
+
+
+def test_determinism_same_seed_same_result():
+    a = run_policy(parallel_program(20), "cata", machine=MACHINE4, fast_cores=2)
+    b = run_policy(parallel_program(20), "cata", machine=MACHINE4, fast_cores=2)
+    assert a.exec_time_ns == b.exec_time_ns
+    assert a.energy_j == b.energy_j
+    assert a.reconfig_count == b.reconfig_count
+
+
+def test_execution_time_at_least_work_over_capacity():
+    prog = parallel_program(16, cycles=200_000)
+    r = run_policy(prog, "fifo", machine=MACHINE4, fast_cores=4)
+    # All-fast capacity bound: 16 tasks * 100 us each on 4 cores at 2 GHz.
+    lower_bound = 16 * 100_000.0 / 4
+    assert r.exec_time_ns >= lower_bound
+
+
+def test_energy_positive_and_edp_consistent():
+    r = run_policy(parallel_program(8), "fifo", machine=MACHINE4, fast_cores=2)
+    assert r.energy_j > 0
+    assert r.edp == pytest.approx(r.energy_j * r.exec_time_s)
+    assert r.cores_energy_j + r.uncore_energy_j == pytest.approx(r.energy_j)
+
+
+def test_submission_occupies_core_zero_first():
+    r = run_policy(parallel_program(4), "fifo", machine=MACHINE4, fast_cores=2)
+    first_start = min(s.start_ns for s in r.trace.task_spans)
+    # The first task cannot start before its own submission cost is paid.
+    assert first_start >= MACHINE4.overheads.task_submit_ns
+
+
+def test_empty_program_completes_immediately():
+    p = Program("empty")
+    r = run_policy(p, "fifo", machine=MACHINE4, fast_cores=2)
+    assert r.tasks_executed == 0
+    assert r.exec_time_ns == 0.0
+
+
+def test_single_task_program():
+    p = Program("single")
+    p.add(T, 500_000, 0)
+    r = run_policy(p, "fifo", machine=MACHINE4, fast_cores=2)
+    assert r.tasks_executed == 1
+    # One 500 us task at 1 GHz (slow core) dominates the run time... unless
+    # it was placed on a fast core (250 us).  Either way, bounded below.
+    assert r.exec_time_ns >= 250_000.0
+
+
+def test_run_result_reports_policy_and_workload():
+    p = parallel_program(4)
+    r = run_policy(p, "cats_sa", machine=MACHINE4, fast_cores=2)
+    assert r.policy == "cats_sa"
+    assert r.workload == "par"
+
+
+def test_blocking_task_completes():
+    p = Program("blocky")
+    p.add(T, 100_000, 0, block_at=0.5, block_ns=50_000)
+    r = run_policy(p, "fifo", machine=MACHINE4, fast_cores=2)
+    assert r.tasks_executed == 1
+    span = r.trace.task_spans[0]
+    # Even on a fast core: 50 us of CPU work plus the 50 us kernel block.
+    assert span.duration_ns >= 100_000.0
+
+
+def test_max_events_guard_raises():
+    system = build_system(parallel_program(8), "fifo", machine=MACHINE4, fast_cores=2)
+    with pytest.raises(RuntimeError, match="did not complete"):
+        system.run(max_events=3)

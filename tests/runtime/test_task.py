@@ -1,0 +1,82 @@
+"""Tests for the task model."""
+
+import pytest
+
+from repro.runtime.task import Task, TaskState, TaskType
+
+
+class TestTaskType:
+    def test_annotated_critical(self):
+        assert TaskType("t", criticality=1).annotated_critical
+        assert TaskType("t", criticality=3).annotated_critical
+        assert not TaskType("t", criticality=0).annotated_critical
+
+    def test_rejects_negative_criticality(self):
+        with pytest.raises(ValueError):
+            TaskType("t", criticality=-1)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            TaskType("t", activity=0.0)
+        with pytest.raises(ValueError):
+            TaskType("t", activity=1.5)
+
+    def test_is_frozen(self):
+        tt = TaskType("t")
+        with pytest.raises(Exception):
+            tt.criticality = 2  # type: ignore[misc]
+
+
+class TestTask:
+    def make(self, **kw):
+        defaults = dict(
+            task_id=0,
+            ttype=TaskType("t", criticality=1),
+            cpu_cycles=1000.0,
+            mem_ns=500.0,
+            activity=0.9,
+        )
+        defaults.update(kw)
+        return Task(**defaults)
+
+    def test_initial_state(self):
+        t = self.make()
+        assert t.state is TaskState.CREATED
+        assert not t.critical
+        assert t.bottom_level == 0
+        assert t.core_id is None
+
+    def test_name_includes_type_and_id(self):
+        t = self.make(task_id=7)
+        assert t.name == "t#7"
+
+    def test_duration_at(self):
+        t = self.make(cpu_cycles=2000.0, mem_ns=500.0)
+        assert t.duration_at_ns(2.0) == pytest.approx(1500.0)
+        assert t.duration_at_ns(1.0) == pytest.approx(2500.0)
+
+    def test_duration_at_includes_blocking(self):
+        t = self.make(block_at=0.5, block_ns=300.0)
+        assert t.duration_at_ns(1.0) == pytest.approx(1000.0 + 500.0 + 300.0)
+
+    def test_rejects_workless_task(self):
+        with pytest.raises(ValueError):
+            self.make(cpu_cycles=0.0, mem_ns=0.0)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            self.make(cpu_cycles=-1.0)
+
+    def test_rejects_block_at_boundaries(self):
+        with pytest.raises(ValueError):
+            self.make(block_at=0.0, block_ns=10.0)
+        with pytest.raises(ValueError):
+            self.make(block_at=1.0, block_ns=10.0)
+
+    def test_rejects_negative_block(self):
+        with pytest.raises(ValueError):
+            self.make(block_at=0.5, block_ns=-1.0)
+
+    def test_pure_memory_task_allowed(self):
+        t = self.make(cpu_cycles=0.0, mem_ns=100.0)
+        assert t.duration_at_ns(1.0) == t.duration_at_ns(2.0) == 100.0

@@ -1,0 +1,160 @@
+"""Tests for the task dependence graph."""
+
+import pytest
+
+from repro.runtime.task import TaskState, TaskType
+from repro.runtime.tdg import TaskGraph
+
+T = TaskType("t")
+C = TaskType("c", criticality=1)
+
+
+def submit_chain(g, n):
+    ids = []
+    for i in range(n):
+        deps = [ids[-1]] if ids else []
+        task, _ = g.submit(T, 100, 0, deps=deps)
+        ids.append(task.task_id)
+    return ids
+
+
+class TestReadiness:
+    def test_independent_task_ready_immediately(self):
+        ready = []
+        g = TaskGraph(on_ready=lambda t: ready.append(t.task_id))
+        g.submit(T, 100, 0)
+        assert ready == [0]
+
+    def test_dependent_task_waits(self):
+        ready = []
+        g = TaskGraph(on_ready=lambda t: ready.append(t.task_id))
+        a, _ = g.submit(T, 100, 0)
+        g.submit(T, 100, 0, deps=[0])
+        assert ready == [0]
+        g.mark_running(a, core_id=0, now_ns=1.0)
+        newly = g.mark_finished(a, now_ns=2.0)
+        assert [t.task_id for t in newly] == [1]
+        assert ready == [0, 1]
+
+    def test_multi_pred_task_waits_for_all(self):
+        ready = []
+        g = TaskGraph(on_ready=lambda t: ready.append(t.task_id))
+        a, _ = g.submit(T, 100, 0)
+        b, _ = g.submit(T, 100, 0)
+        g.submit(T, 100, 0, deps=[0, 1])
+        g.mark_running(a, 0, 0.0)
+        g.mark_finished(a, 1.0)
+        assert 2 not in ready
+        g.mark_running(b, 1, 0.0)
+        g.mark_finished(b, 2.0)
+        assert 2 in ready
+
+    def test_dep_on_already_finished_task(self):
+        ready = []
+        g = TaskGraph(on_ready=lambda t: ready.append(t.task_id))
+        a, _ = g.submit(T, 100, 0)
+        g.mark_running(a, 0, 0.0)
+        g.mark_finished(a, 1.0)
+        g.submit(T, 100, 0, deps=[0])
+        assert ready == [0, 1]
+
+    def test_newly_ready_sorted_by_id(self):
+        ready = []
+        g = TaskGraph(on_ready=lambda t: ready.append(t.task_id))
+        a, _ = g.submit(T, 100, 0)
+        g.submit(T, 100, 0, deps=[0])
+        g.submit(T, 100, 0, deps=[0])
+        g.mark_running(a, 0, 0.0)
+        g.mark_finished(a, 1.0)
+        assert ready == [0, 1, 2]
+
+    def test_unknown_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.submit(T, 100, 0, deps=[3])
+
+    def test_lifecycle_enforced(self):
+        g = TaskGraph()
+        t, _ = g.submit(T, 100, 0)
+        with pytest.raises(RuntimeError):
+            g.mark_finished(t, 1.0)  # not running yet
+        g.mark_running(t, 0, 0.0)
+        with pytest.raises(RuntimeError):
+            g.mark_running(t, 0, 0.0)
+
+    def test_unfinished_count(self):
+        g = TaskGraph()
+        a, _ = g.submit(T, 100, 0)
+        g.submit(T, 100, 0, deps=[0])
+        assert g.unfinished_count == 2
+        g.mark_running(a, 0, 0.0)
+        g.mark_finished(a, 1.0)
+        assert g.unfinished_count == 1
+
+
+class TestBottomLevels:
+    def test_chain_bottom_levels(self):
+        g = TaskGraph()
+        submit_chain(g, 5)
+        bls = [t.bottom_level for t in g.tasks]
+        assert bls == [4, 3, 2, 1, 0]
+        g.validate_bottom_levels()
+
+    def test_diamond_bottom_levels(self):
+        g = TaskGraph()
+        g.submit(T, 100, 0)  # 0
+        g.submit(T, 100, 0, deps=[0])  # 1
+        g.submit(T, 100, 0, deps=[0])  # 2
+        g.submit(T, 100, 0, deps=[1, 2])  # 3
+        assert [t.bottom_level for t in g.tasks] == [2, 1, 1, 0]
+        g.validate_bottom_levels()
+
+    def test_max_bottom_level_is_monotone(self):
+        g = TaskGraph()
+        submit_chain(g, 3)
+        assert g.max_bottom_level == 2
+        g.submit(T, 100, 0)  # unrelated leaf
+        assert g.max_bottom_level == 2
+
+    def test_waiting_max_decays_as_tasks_finish(self):
+        g = TaskGraph()
+        submit_chain(g, 4)
+        assert g.max_bottom_level_waiting == 3
+        for tid in range(3):
+            t = g.tasks[tid]
+            g.mark_running(t, 0, 0.0)
+            g.mark_finished(t, 1.0)
+            assert g.max_bottom_level_waiting == 3 - tid - 1
+        assert g.max_bottom_level == 3  # historical max unchanged
+
+    def test_edges_visited_counts_dependences(self):
+        g = TaskGraph()
+        g.submit(T, 100, 0)
+        _, edges = g.submit(T, 100, 0, deps=[0])
+        assert edges >= 1
+
+    def test_edge_budget_bounds_walk(self):
+        unbounded = TaskGraph()
+        bounded = TaskGraph(bl_edge_budget=2)
+        for g in (unbounded, bounded):
+            for i in range(20):
+                deps = [i - 1] if i else []
+                g.submit(T, 100, 0, deps=deps)
+        # The bounded graph stops relaxing: deep ancestors go stale.
+        assert unbounded.tasks[0].bottom_level == 19
+        assert bounded.tasks[0].bottom_level < 19
+        assert bounded.bl_edges_visited_total < unbounded.bl_edges_visited_total
+
+    def test_negative_edge_budget_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(bl_edge_budget=-1)
+
+    def test_fanin_bottom_levels_with_nine_parents(self):
+        """The Fluidanimate shape: a task with 9 parents."""
+        g = TaskGraph()
+        parents = [g.submit(T, 100, 0)[0].task_id for _ in range(9)]
+        child, edges = g.submit(T, 100, 0, deps=parents)
+        assert edges >= 9
+        assert all(g.tasks[p].bottom_level == 1 for p in parents)
+        assert child.bottom_level == 0
+        g.validate_bottom_levels()

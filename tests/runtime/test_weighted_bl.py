@@ -1,0 +1,127 @@
+"""Tests for the duration-weighted bottom-level estimator (extension)."""
+
+import pytest
+
+from repro.core.policies import run_policy
+from repro.runtime.criticality import WeightedBottomLevelEstimator
+from repro.runtime.task import TaskType
+from repro.runtime.tdg import TaskGraph
+from repro.sim.config import OverheadConfig
+from repro.workloads import build_program
+
+CHEAP = TaskType("cheap", criticality=0)
+HEAVY = TaskType("heavy", criticality=0)
+
+
+def estimator(threshold=0.75):
+    return WeightedBottomLevelEstimator(OverheadConfig(), threshold=threshold)
+
+
+def submit(g, est, ttype, cycles, deps=()):
+    task, _ = g.submit(ttype, cycles, 0, deps=deps)
+    est.on_submit(task, g)
+    return task
+
+
+class TestWeightedValues:
+    def test_leaf_wbl_is_its_own_duration(self):
+        g = TaskGraph()
+        est = estimator()
+        t = submit(g, est, HEAVY, 1000)
+        assert est.wbl_of(t) == pytest.approx(1000.0)
+
+    def test_chain_wbl_accumulates_durations(self):
+        g = TaskGraph()
+        est = estimator()
+        a = submit(g, est, CHEAP, 100)
+        b = submit(g, est, HEAVY, 1000, deps=[a.task_id])
+        c = submit(g, est, CHEAP, 10, deps=[b.task_id])
+        assert est.wbl_of(c) == pytest.approx(10.0)
+        assert est.wbl_of(b) == pytest.approx(1010.0)
+        assert est.wbl_of(a) == pytest.approx(1110.0)
+
+    def test_diamond_takes_heavier_branch(self):
+        g = TaskGraph()
+        est = estimator()
+        root = submit(g, est, CHEAP, 100)
+        heavy = submit(g, est, HEAVY, 1000, deps=[root.task_id])
+        light = submit(g, est, CHEAP, 10, deps=[root.task_id])
+        submit(g, est, CHEAP, 10, deps=[heavy.task_id, light.task_id])
+        assert est.wbl_of(root) == pytest.approx(100 + 1000 + 10)
+
+
+class TestCriticalityDecision:
+    def test_distinguishes_equal_hopcount_unequal_duration(self):
+        """The case plain BL cannot see: two 2-hop chains, one heavy."""
+        g = TaskGraph()
+        est = estimator()
+        h1 = submit(g, est, HEAVY, 10_000)
+        h2 = submit(g, est, HEAVY, 10_000, deps=[h1.task_id])
+        c1 = submit(g, est, CHEAP, 100)
+        c2 = submit(g, est, CHEAP, 100, deps=[c1.task_id])
+        # Plain BL: both heads have bottom_level 1 — indistinguishable.
+        assert h1.bottom_level == c1.bottom_level == 1
+        # Weighted BL tells them apart.
+        assert est.is_critical(h1, g)
+        assert not est.is_critical(c1, g)
+
+    def test_waiting_max_decays_with_finishes(self):
+        g = TaskGraph()
+        est = estimator()
+        a = submit(g, est, HEAVY, 10_000)
+        b = submit(g, est, CHEAP, 100)
+        g.mark_running(a, 0, 0.0)
+        g.mark_finished(a, 1.0)
+        est.on_finish(a, g)
+        # With the heavy chain gone, the cheap task tops the live TDG.
+        assert est.is_critical(b, g)
+
+    def test_empty_graph_defaults_critical(self):
+        g = TaskGraph()
+        est = estimator()
+        t = submit(g, est, CHEAP, 100)
+        g.mark_running(t, 0, 0.0)
+        g.mark_finished(t, 1.0)
+        est.on_finish(t, g)
+        fresh = submit(g, est, CHEAP, 100)
+        assert est.is_critical(fresh, g)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedBottomLevelEstimator(OverheadConfig(), threshold=0.0)
+        with pytest.raises(ValueError):
+            WeightedBottomLevelEstimator(OverheadConfig(), exploration_cap=-1)
+
+    def test_cost_capped_like_plain_bl(self):
+        est = WeightedBottomLevelEstimator(OverheadConfig(), exploration_cap=8)
+        g = TaskGraph()
+        t = submit(g, est, CHEAP, 100)
+        assert est.submit_cost_ns(t, 1000) == pytest.approx(
+            8 * OverheadConfig().bl_edge_cost_ns
+        )
+
+
+class TestEndToEnd:
+    def test_wbl_beats_plain_bl_on_bodytrack(self):
+        """The headline extension result: weighting the bottom-level by
+        duration fixes BL's blindness to Bodytrack's 10x stage imbalance."""
+        def sp(policy):
+            base = run_policy(
+                build_program("bodytrack", scale=1.0, seed=1), "fifo",
+                fast_cores=8, trace_enabled=False,
+            )
+            res = run_policy(
+                build_program("bodytrack", scale=1.0, seed=1), policy,
+                fast_cores=8, trace_enabled=False,
+            )
+            return base.exec_time_ns / res.exec_time_ns
+
+        assert sp("cats_wbl") > sp("cats_bl") + 0.05
+
+    def test_wbl_completes_all_benchmarks(self):
+        for wl in ("dedup", "fluidanimate"):
+            r = run_policy(
+                build_program(wl, scale=0.2, seed=1), "cats_wbl",
+                fast_cores=8, trace_enabled=False,
+            )
+            assert r.tasks_executed > 0

@@ -1,0 +1,99 @@
+"""Tests for the work-stealing scheduler."""
+
+import pytest
+
+from repro.core.policies import run_policy
+from repro.runtime.program import Program
+from repro.runtime.task import Task, TaskType
+from repro.runtime.worksteal import WorkStealingScheduler
+from repro.sim.config import default_machine
+
+T = TaskType("t", criticality=0)
+MACHINE4 = default_machine().with_cores(4)
+
+
+class FakeSystem:
+    def __init__(self, ready_context_core=0):
+        self.ready_context_core = ready_context_core
+
+
+def make_task(tid):
+    return Task(task_id=tid, ttype=T, cpu_cycles=100.0, mem_ns=0.0, activity=0.9)
+
+
+class TestUnit:
+    def make(self, cores=4, owner=0):
+        s = WorkStealingScheduler(cores)
+        s.attach(FakeSystem(ready_context_core=owner))
+        return s
+
+    def test_requires_positive_cores(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(0)
+
+    def test_local_pop_is_lifo(self):
+        s = self.make(owner=1)
+        s.on_task_ready(make_task(0))
+        s.on_task_ready(make_task(1))
+        assert s.pick(1).task_id == 1
+        assert s.pick(1).task_id == 0
+        assert s.local_pops == 2 and s.steals == 0
+
+    def test_steal_is_fifo_from_victim(self):
+        s = self.make(owner=2)
+        s.on_task_ready(make_task(0))
+        s.on_task_ready(make_task(1))
+        assert s.pick(0).task_id == 0  # stolen: oldest first
+        assert s.steals == 1
+
+    def test_steal_scans_from_next_core(self):
+        s = self.make(cores=4)
+        s._system.ready_context_core = 1
+        s.on_task_ready(make_task(0))
+        s._system.ready_context_core = 3
+        s.on_task_ready(make_task(1))
+        # Core 2 steals from core 3 (nearest going forward), not core 1.
+        assert s.pick(2).task_id == 1
+
+    def test_empty_returns_none(self):
+        s = self.make()
+        assert s.pick(0) is None
+        assert not s.has_work_for(0)
+
+    def test_pending_counts(self):
+        s = self.make()
+        s.on_task_ready(make_task(0))
+        s.on_task_ready(make_task(1))
+        assert s.pending == 2
+        s.pick(0)
+        assert s.pending == 1
+        assert s.has_work_for(3)  # stealing makes work global
+
+
+class TestEndToEnd:
+    def prog(self, n=20):
+        p = Program("ws")
+        prev = None
+        for i in range(n):
+            deps = [prev] if prev is not None and i % 3 == 0 else []
+            prev = p.add(T, 150_000, 10_000, deps=deps)
+        return p
+
+    def test_completes_all_tasks(self):
+        r = run_policy(self.prog(), "fifo_ws", machine=MACHINE4, fast_cores=2)
+        assert r.tasks_executed == 20
+
+    def test_composes_with_rsu_acceleration(self):
+        r = run_policy(self.prog(), "cata_rsu_ws", machine=MACHINE4, fast_cores=2)
+        assert r.tasks_executed == 20
+        assert r.reconfig_count > 0
+
+    def test_comparable_to_central_fifo(self):
+        fifo = run_policy(self.prog(), "fifo", machine=MACHINE4, fast_cores=2)
+        ws = run_policy(self.prog(), "fifo_ws", machine=MACHINE4, fast_cores=2)
+        assert 0.7 < ws.exec_time_ns / fifo.exec_time_ns < 1.3
+
+    def test_deterministic(self):
+        a = run_policy(self.prog(), "fifo_ws", machine=MACHINE4, fast_cores=2)
+        b = run_policy(self.prog(), "fifo_ws", machine=MACHINE4, fast_cores=2)
+        assert a.exec_time_ns == b.exec_time_ns

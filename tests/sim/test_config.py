@@ -1,0 +1,126 @@
+"""Tests for the Table I machine configuration."""
+
+import pytest
+
+from repro.sim.config import (
+    FAST_LEVEL,
+    SLOW_LEVEL,
+    DVFSLevel,
+    MachineConfig,
+    NoCConfig,
+    PowerModelConfig,
+    default_machine,
+)
+
+
+class TestTableIDefaults:
+    """The defaults must transcribe Table I of the paper."""
+
+    def test_core_count(self):
+        assert default_machine().core_count == 32
+
+    def test_dvfs_levels(self):
+        m = default_machine()
+        assert m.fast.freq_ghz == 2.0 and m.fast.voltage_v == 1.0
+        assert m.slow.freq_ghz == 1.0 and m.slow.voltage_v == 0.8
+
+    def test_reconfiguration_latency_is_25us(self):
+        assert default_machine().overheads.dvfs_transition_ns == 25_000.0
+
+    def test_pipeline_widths(self):
+        u = default_machine().uarch
+        assert u.fetch_width == u.issue_width == u.commit_width == 4
+
+    def test_window_sizes(self):
+        u = default_machine().uarch
+        assert u.rob_entries == 128
+        assert u.issue_queue_entries == 64
+        assert u.int_registers == 256 and u.fp_registers == 256
+
+    def test_l1_caches(self):
+        u = default_machine().uarch
+        assert (u.l1i.size_kb, u.l1i.assoc, u.l1i.line_bytes, u.l1i.hit_cycles) == (
+            32, 2, 64, 2,
+        )
+        assert (u.l1d.size_kb, u.l1d.assoc, u.l1d.line_bytes, u.l1d.hit_cycles) == (
+            64, 2, 64, 2,
+        )
+
+    def test_tlbs(self):
+        u = default_machine().uarch
+        assert u.itlb_entries == 256 and u.dtlb_entries == 256
+
+    def test_l2_nuca(self):
+        m = default_machine()
+        assert m.l2_per_core_mb == 2.0
+        assert m.l2_assoc == 8
+        assert (m.l2_hit_cycles, m.l2_miss_cycles) == (15, 300)
+
+    def test_directory(self):
+        assert default_machine().directory_entries == 64 * 1024
+
+    def test_mesh_noc(self):
+        noc = default_machine().noc
+        assert (noc.rows, noc.cols) == (4, 8)
+        assert noc.link_cycles == 1
+        assert noc.node_count == 32
+
+
+class TestDVFSLevel:
+    def test_cycle_ns(self):
+        assert FAST_LEVEL.cycle_ns == 0.5
+        assert SLOW_LEVEL.cycle_ns == 1.0
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            DVFSLevel("bad", freq_ghz=0.0, voltage_v=1.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ValueError):
+            DVFSLevel("bad", freq_ghz=1.0, voltage_v=-0.1)
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            MachineConfig(core_count=0)
+
+    def test_rejects_fast_slower_than_slow(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                fast=DVFSLevel("f", 1.0, 1.0), slow=DVFSLevel("s", 2.0, 0.8)
+            )
+
+    def test_rejects_noc_smaller_than_core_count(self):
+        with pytest.raises(ValueError):
+            MachineConfig(core_count=64)  # default 4x8 mesh has 32 nodes
+
+    def test_rejects_bad_mesh(self):
+        with pytest.raises(ValueError):
+            NoCConfig(rows=0, cols=8)
+
+    def test_power_model_validation(self):
+        with pytest.raises(ValueError):
+            PowerModelConfig(dyn_w_per_ghz_v2=0.0)
+        with pytest.raises(ValueError):
+            PowerModelConfig(idle_c0_activity=0.1, idle_c1_activity=0.5)
+
+
+class TestDerivation:
+    def test_levels_ordering(self):
+        m = default_machine()
+        assert list(m.levels) == [m.slow, m.fast]
+
+    def test_with_cores_builds_matching_mesh(self):
+        m = default_machine().with_cores(16)
+        assert m.core_count == 16
+        assert m.noc.node_count >= 16
+
+    def test_with_cores_keeps_dvfs(self):
+        m = default_machine().with_cores(8)
+        assert m.fast == FAST_LEVEL and m.slow == SLOW_LEVEL
+
+    def test_config_is_frozen(self):
+        m = default_machine()
+        with pytest.raises(Exception):
+            m.core_count = 4  # type: ignore[misc]

@@ -1,0 +1,178 @@
+"""Tests for the core execution model (progress under DVFS, blocking)."""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.sim.config import default_machine
+from repro.sim.core_model import Core, CoreError
+from repro.sim.cstates import CStateController
+from repro.sim.dvfs import DVFSController
+from repro.sim.energy import EnergyAccountant
+from repro.sim.engine import US, Simulator
+from repro.sim.power import PowerModel
+from repro.sim.trace import Trace
+
+
+@dataclass
+class Work:
+    cpu_cycles: float
+    mem_ns: float
+    activity: float = 0.9
+    block_at: Optional[float] = None
+    block_ns: float = 0.0
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    machine = default_machine()
+    trace = Trace()
+    dvfs = DVFSController(sim, machine, trace)
+    energy = EnergyAccountant(sim, PowerModel(machine.power), machine.core_count)
+    cores = [Core(i, sim, machine, dvfs, energy, trace) for i in range(2)]
+    dvfs.add_listener(
+        lambda cid, old, new: cores[cid].on_level_changed(old_level=old) if cid < 2 else None
+    )
+    return sim, machine, dvfs, cores
+
+
+def test_duration_at_slow_level(rig):
+    sim, machine, dvfs, cores = rig
+    done = []
+    # 100k cycles at 1 GHz = 100 us, plus 50 us of memory time.
+    cores[0].begin_work(Work(cpu_cycles=100_000, mem_ns=50_000), lambda: done.append(sim.now))
+    sim.run()
+    assert done == [150_000.0]
+
+
+def test_duration_at_fast_level(rig):
+    sim, machine, dvfs, cores = rig
+    dvfs.request(0, machine.fast)
+    sim.run()  # complete the ramp first
+    done = []
+    cores[0].begin_work(Work(cpu_cycles=100_000, mem_ns=50_000), lambda: done.append(sim.now))
+    sim.run()
+    # CPU half time at 2 GHz; memory time unchanged.
+    assert done[0] - 25_000.0 == pytest.approx(100_000.0)
+
+
+def test_mid_task_acceleration_shortens_remaining_cpu_work(rig):
+    sim, machine, dvfs, cores = rig
+    done = []
+    cores[0].begin_work(Work(cpu_cycles=200_000, mem_ns=0), lambda: done.append(sim.now))
+    # At t=100us the task is half done; request fast (lands at t=125us).
+    sim.run(until=100_000.0)
+    dvfs.request(0, machine.fast)
+    sim.run()
+    # 100us done slow + 25us ramp (still slow) + remaining 75k cycles at 2GHz.
+    assert done[0] == pytest.approx(125_000.0 + 75_000.0 / 2.0)
+
+
+def test_memory_bound_work_ignores_frequency(rig):
+    sim, machine, dvfs, cores = rig
+    dvfs.request(0, machine.fast)
+    sim.run()
+    done = []
+    cores[0].begin_work(Work(cpu_cycles=0, mem_ns=80_000), lambda: done.append(sim.now))
+    sim.run()
+    assert done[0] - 25_000.0 == pytest.approx(80_000.0)
+
+
+def test_blocking_task_halts_and_resumes(rig):
+    sim, machine, dvfs, cores = rig
+    done, blocks, resumes = [], [], []
+    cores[0].begin_work(
+        Work(cpu_cycles=100_000, mem_ns=0, block_at=0.5, block_ns=30_000),
+        lambda: done.append(sim.now),
+        on_block=lambda: blocks.append(sim.now),
+        on_resume=lambda: resumes.append(sim.now),
+    )
+    sim.run()
+    assert blocks == [50_000.0]
+    assert cores[0].cstate == "C0"  # resumed by the end
+    assert resumes == [80_000.0]
+    wake = machine.overheads.c1_wake_ns
+    assert done[0] == pytest.approx(50_000.0 + 30_000.0 + wake + 50_000.0)
+
+
+def test_block_enters_c1(rig):
+    sim, machine, dvfs, cores = rig
+    cores[0].begin_work(
+        Work(cpu_cycles=100_000, mem_ns=0, block_at=0.5, block_ns=30_000), lambda: None
+    )
+    sim.run(until=60_000.0)
+    assert cores[0].cstate == "C1"
+    assert cores[0].blocked
+
+
+def test_cannot_start_two_tasks(rig):
+    sim, _machine, _dvfs, cores = rig
+    cores[0].begin_work(Work(cpu_cycles=1000, mem_ns=0), lambda: None)
+    with pytest.raises(CoreError):
+        cores[0].begin_work(Work(cpu_cycles=1000, mem_ns=0), lambda: None)
+
+
+def test_cannot_start_task_while_in_overhead(rig):
+    sim, _machine, _dvfs, cores = rig
+    cores[0].run_overhead(1000.0, lambda: None)
+    with pytest.raises(CoreError):
+        cores[0].begin_work(Work(cpu_cycles=1000, mem_ns=0), lambda: None)
+
+
+def test_cannot_start_task_on_sleeping_core(rig):
+    sim, _machine, _dvfs, cores = rig
+    cores[0].set_cstate("C1")
+    with pytest.raises(CoreError):
+        cores[0].begin_work(Work(cpu_cycles=1000, mem_ns=0), lambda: None)
+
+
+def test_run_overhead_duration_and_flags(rig):
+    sim, _machine, _dvfs, cores = rig
+    done = []
+    cores[0].run_overhead(5 * US, lambda: done.append(sim.now))
+    assert cores[0].busy
+    sim.run()
+    assert done == [5_000.0]
+    assert not cores[0].busy
+
+
+def test_overhead_rejects_negative_duration(rig):
+    _sim, _machine, _dvfs, cores = rig
+    with pytest.raises(CoreError):
+        cores[0].run_overhead(-1.0, lambda: None)
+
+
+def test_spinning_flag(rig):
+    _sim, _machine, _dvfs, cores = rig
+    cores[0].set_spinning(True)
+    assert cores[0].busy
+    cores[0].set_spinning(False)
+    assert not cores[0].busy
+
+
+def test_cannot_spin_while_executing(rig):
+    sim, _machine, _dvfs, cores = rig
+    cores[0].begin_work(Work(cpu_cycles=1000, mem_ns=0), lambda: None)
+    with pytest.raises(CoreError):
+        cores[0].set_spinning(True)
+
+
+def test_remaining_ns_tracks_progress(rig):
+    sim, _machine, _dvfs, cores = rig
+    cores[0].begin_work(Work(cpu_cycles=100_000, mem_ns=0), lambda: None)
+    assert cores[0].remaining_ns() == pytest.approx(100_000.0)
+    with pytest.raises(CoreError):
+        cores[1].remaining_ns()
+
+
+def test_cstate_change_recorded_in_trace(rig):
+    sim, _machine, _dvfs, cores = rig
+    trace = cores[0]._trace
+    cores[0].set_cstate("C1")
+    cores[0].set_cstate("C0")
+    assert [(r.old_state, r.new_state) for r in trace.cstate_changes] == [
+        ("C0", "C1"),
+        ("C1", "C0"),
+    ]

@@ -1,0 +1,122 @@
+"""Tests for the ACPI C-state controller."""
+
+import pytest
+
+from repro.sim.config import default_machine
+from repro.sim.core_model import Core
+from repro.sim.cstates import CStateController
+from repro.sim.dvfs import DVFSController
+from repro.sim.energy import EnergyAccountant
+from repro.sim.engine import Simulator
+from repro.sim.power import PowerModel
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    machine = default_machine()
+    trace = Trace()
+    dvfs = DVFSController(sim, machine, trace)
+    energy = EnergyAccountant(sim, PowerModel(machine.power), machine.core_count)
+    cores = [Core(i, sim, machine, dvfs, energy, trace) for i in range(machine.core_count)]
+    ctrl = CStateController(sim, machine, cores)
+    return sim, machine, cores, ctrl
+
+
+def test_idle_progression_c0_c1_c3(rig):
+    sim, machine, cores, ctrl = rig
+    ov = machine.overheads
+    ctrl.enter_idle(0)
+    assert cores[0].cstate == "C0"
+    sim.run(until=ov.idle_spin_ns)
+    assert cores[0].cstate == "C1"
+    sim.run(until=ov.idle_spin_ns + ov.c3_promotion_ns)
+    assert cores[0].cstate == "C3"
+
+
+def test_halt_listener_fires_once(rig):
+    sim, machine, _cores, ctrl = rig
+    halts = []
+    ctrl.add_halt_listener(halts.append)
+    ctrl.enter_idle(0)
+    sim.run()
+    assert halts == [0]
+
+
+def test_wake_while_spinning_is_free(rig):
+    sim, machine, cores, ctrl = rig
+    ctrl.enter_idle(0)
+    assert ctrl.wake(0) == 0.0
+    assert cores[0].cstate == "C0"
+    # The pending halt must have been cancelled.
+    sim.run()
+    assert cores[0].cstate == "C0"
+
+
+def test_wake_from_c1_costs_c1_latency(rig):
+    sim, machine, cores, ctrl = rig
+    ctrl.enter_idle(0)
+    sim.run(until=machine.overheads.idle_spin_ns + 1)
+    assert cores[0].cstate == "C1"
+    assert ctrl.wake(0) == machine.overheads.c1_wake_ns
+    assert cores[0].cstate == "C0"
+
+
+def test_wake_from_c3_costs_c3_latency(rig):
+    sim, machine, cores, ctrl = rig
+    ctrl.enter_idle(0)
+    sim.run()
+    assert cores[0].cstate == "C3"
+    assert ctrl.wake(0) == machine.overheads.c3_wake_ns
+
+
+def test_wake_fires_wake_listeners(rig):
+    sim, machine, _cores, ctrl = rig
+    wakes = []
+    ctrl.add_wake_listener(wakes.append)
+    ctrl.enter_idle(0)
+    sim.run()
+    ctrl.wake(0)
+    assert wakes == [0]
+
+
+def test_wake_of_non_idle_core_is_noop(rig):
+    _sim, _machine, _cores, ctrl = rig
+    assert ctrl.wake(5) == 0.0
+
+
+def test_enter_idle_is_idempotent(rig):
+    sim, machine, cores, ctrl = rig
+    ctrl.enter_idle(0)
+    ctrl.enter_idle(0)
+    sim.run()
+    assert cores[0].cstate == "C3"
+
+
+def test_is_idle_tracking(rig):
+    _sim, _machine, _cores, ctrl = rig
+    assert not ctrl.is_idle(0)
+    ctrl.enter_idle(0)
+    assert ctrl.is_idle(0)
+    ctrl.wake(0)
+    assert not ctrl.is_idle(0)
+
+
+def test_notify_halt_and_wake_propagate_to_listeners(rig):
+    _sim, _machine, _cores, ctrl = rig
+    halts, wakes = [], []
+    ctrl.add_halt_listener(halts.append)
+    ctrl.add_wake_listener(wakes.append)
+    ctrl.notify_halt(7)
+    ctrl.notify_wake(7)
+    assert halts == [7] and wakes == [7]
+
+
+def test_independent_cores_idle_separately(rig):
+    sim, machine, cores, ctrl = rig
+    ctrl.enter_idle(0)
+    sim.run(until=machine.overheads.idle_spin_ns + 1)
+    ctrl.enter_idle(1)
+    assert cores[0].cstate == "C1"
+    assert cores[1].cstate == "C0"

@@ -1,0 +1,114 @@
+"""Tests for the DVFS controller."""
+
+import pytest
+
+from repro.sim.config import default_machine
+from repro.sim.dvfs import DVFSController
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    machine = default_machine()
+    trace = Trace()
+    dvfs = DVFSController(sim, machine, trace)
+    return sim, machine, trace, dvfs
+
+
+def test_initial_levels_default_slow(setup):
+    _sim, machine, _trace, dvfs = setup
+    for core in range(machine.core_count):
+        assert dvfs.level_of(core) is machine.slow
+        assert not dvfs.is_fast(core)
+    assert dvfs.fast_count() == 0
+
+
+def test_initial_levels_custom():
+    sim = Simulator()
+    machine = default_machine()
+    levels = [machine.fast] * 8 + [machine.slow] * 24
+    dvfs = DVFSController(sim, machine, Trace(), levels)
+    assert dvfs.fast_count() == 8
+
+
+def test_initial_levels_length_validated():
+    sim = Simulator()
+    machine = default_machine()
+    with pytest.raises(ValueError):
+        DVFSController(sim, machine, Trace(), [machine.slow] * 3)
+
+
+def test_transition_takes_25us(setup):
+    sim, machine, _trace, dvfs = setup
+    dvfs.request(0, machine.fast)
+    assert dvfs.level_of(0) is machine.slow  # still ramping
+    assert dvfs.in_transition(0)
+    assert dvfs.target_of(0) is machine.fast
+    sim.run(until=24_999.0)
+    assert dvfs.level_of(0) is machine.slow
+    sim.run(until=25_000.0)
+    assert dvfs.level_of(0) is machine.fast
+    assert not dvfs.in_transition(0)
+
+
+def test_noop_request_completes_immediately(setup):
+    sim, machine, _trace, dvfs = setup
+    done = []
+    changed = dvfs.request(0, machine.slow, on_complete=lambda: done.append(sim.now))
+    assert changed is False
+    assert done == [0.0]
+
+
+def test_rerequest_restarts_ramp(setup):
+    sim, machine, _trace, dvfs = setup
+    dvfs.request(0, machine.fast)
+    sim.run(until=10_000.0)
+    dvfs.request(0, machine.slow)  # reverse mid-ramp
+    sim.run(until=25_000.0)
+    # The original up-ramp was cancelled; core never reached fast.
+    assert dvfs.level_of(0) is machine.slow
+    sim.run(until=35_000.0)
+    assert dvfs.level_of(0) is machine.slow
+    assert not dvfs.in_transition(0)
+
+
+def test_listener_fires_on_completion(setup):
+    sim, machine, _trace, dvfs = setup
+    events = []
+    dvfs.add_listener(lambda core, old, new: events.append((core, old.name, new.name)))
+    dvfs.request(3, machine.fast)
+    sim.run()
+    assert events == [(3, "slow", "fast")]
+
+
+def test_trace_records_transition(setup):
+    sim, machine, trace, dvfs = setup
+    dvfs.request(1, machine.fast)
+    sim.run()
+    assert trace.freq_transition_count == 1
+    rec = trace.freq_changes[0]
+    assert rec.core_id == 1
+    assert (rec.old_level, rec.new_level) == ("slow", "fast")
+    assert rec.time_ns == 25_000.0
+
+
+def test_on_complete_callback(setup):
+    sim, machine, _trace, dvfs = setup
+    done = []
+    dvfs.request(0, machine.fast, on_complete=lambda: done.append(sim.now))
+    sim.run()
+    assert done == [25_000.0]
+
+
+def test_independent_cores(setup):
+    sim, machine, _trace, dvfs = setup
+    dvfs.request(0, machine.fast)
+    sim.run(until=10_000.0)
+    dvfs.request(1, machine.fast)
+    sim.run(until=25_000.0)
+    assert dvfs.is_fast(0)
+    assert not dvfs.is_fast(1)
+    sim.run(until=35_000.0)
+    assert dvfs.fast_count() == 2

@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import MS, NS, SEC, US, SimulationError, Simulator
+
+
+def test_time_constants_are_nanoseconds():
+    assert NS == 1.0
+    assert US == 1_000.0
+    assert MS == 1_000_000.0
+    assert SEC == 1_000_000_000.0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30.0, lambda: order.append("c"))
+    sim.schedule(10.0, lambda: order.append("a"))
+    sim.schedule(20.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_equal_timestamps_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.schedule(7.0, lambda n=name: order.append(n))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_zero_delay_event_fires_after_current_instant_events():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, lambda: order.append("nested"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, lambda: order.append("second"))
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_at_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(5.0, lambda: fired.append(1))
+    ev.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.events_fired == 0
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(5.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_cancel_one_of_several_at_same_time():
+    sim = Simulator()
+    order = []
+    sim.schedule(5.0, lambda: order.append("a"))
+    ev = sim.schedule(5.0, lambda: order.append("b"))
+    sim.schedule(5.0, lambda: order.append("c"))
+    ev.cancel()
+    sim.run()
+    assert order == ["a", "c"]
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append("early"))
+    sim.schedule(100.0, lambda: fired.append("late"))
+    sim.run(until=50.0)
+    assert fired == ["early"]
+    assert sim.now == 50.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_is_inclusive():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50.0, lambda: fired.append(1))
+    sim.run(until=50.0)
+    assert fired == [1]
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    sim.run(until=123.0)
+    assert sim.now == 123.0
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    sim = Simulator()
+    assert sim.step() is False
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(10.0, lambda: chain(n + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as e:
+            errors.append(e)
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_event_pending_property():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    assert ev.pending
+    sim.run()
+    assert not ev.pending
+    ev2 = sim.schedule(1.0, lambda: None)
+    ev2.cancel()
+    assert not ev2.pending

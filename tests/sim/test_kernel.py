@@ -1,0 +1,59 @@
+"""Tests for the cpufreq software-path model."""
+
+import pytest
+
+from repro.sim.config import default_machine
+from repro.sim.dvfs import DVFSController
+from repro.sim.engine import Simulator
+from repro.sim.kernel import CpufreqFramework
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    machine = default_machine()
+    dvfs = DVFSController(sim, machine, Trace())
+    return sim, machine, dvfs, CpufreqFramework(sim, machine, dvfs)
+
+
+def test_software_path_cost(rig):
+    _sim, machine, _dvfs, cpufreq = rig
+    ov = machine.overheads
+    assert cpufreq.software_path_ns() == ov.kernel_crossing_ns + ov.cpufreq_driver_ns
+
+
+def test_write_without_transition_wait_returns_after_driver(rig):
+    sim, machine, dvfs, cpufreq = rig
+    done = []
+    cpufreq.write_level(0, machine.fast, lambda: done.append(sim.now), wait_for_transition=False)
+    sim.run()
+    assert done == [cpufreq.software_path_ns()]
+    # The hardware ramp still completed afterwards.
+    assert dvfs.is_fast(0)
+
+
+def test_write_with_transition_wait_blocks_through_ramp(rig):
+    sim, machine, _dvfs, cpufreq = rig
+    done = []
+    cpufreq.write_level(0, machine.fast, lambda: done.append(sim.now), wait_for_transition=True)
+    sim.run()
+    expected = cpufreq.software_path_ns() + machine.overheads.dvfs_transition_ns
+    assert done == [expected]
+
+
+def test_noop_write_pays_only_software_cost(rig):
+    sim, machine, _dvfs, cpufreq = rig
+    done = []
+    cpufreq.write_level(0, machine.slow, lambda: done.append(sim.now), wait_for_transition=True)
+    sim.run()
+    assert done == [cpufreq.software_path_ns()]
+
+
+def test_write_counters(rig):
+    sim, machine, _dvfs, cpufreq = rig
+    cpufreq.write_level(0, machine.fast, lambda: None)
+    cpufreq.write_level(1, machine.fast, lambda: None)
+    sim.run()
+    assert cpufreq.writes == 2
+    assert cpufreq.total_write_ns > 0

@@ -1,0 +1,118 @@
+"""Tests for simulated locks (FIFO order, contention statistics)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.locks import SimLock
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    trace = Trace()
+    return sim, SimLock(sim, "test-lock", trace), trace
+
+
+def test_uncontended_acquire_grants_immediately(rig):
+    sim, lock, _trace = rig
+    granted = []
+    lock.acquire(0, lambda: granted.append(sim.now))
+    assert granted == [0.0]
+    assert lock.held and lock.holder == 0
+
+
+def test_release_of_unheld_lock_raises(rig):
+    _sim, lock, _trace = rig
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_reacquire_by_holder_raises(rig):
+    _sim, lock, _trace = rig
+    lock.acquire(0, lambda: None)
+    with pytest.raises(RuntimeError, match="deadlock"):
+        lock.acquire(0, lambda: None)
+
+
+def test_fifo_grant_order(rig):
+    sim, lock, _trace = rig
+    order = []
+
+    def critical(core):
+        order.append(core)
+        sim.schedule(10.0, lock.release)
+
+    lock.acquire(0, lambda: critical(0))
+    lock.acquire(1, lambda: critical(1))
+    lock.acquire(2, lambda: critical(2))
+    sim.run()
+    assert order == [0, 1, 2]
+
+
+def test_wait_times_accumulate(rig):
+    sim, lock, _trace = rig
+
+    def critical():
+        sim.schedule(100.0, lock.release)
+
+    lock.acquire(0, critical)
+    lock.acquire(1, critical)
+    lock.acquire(2, critical)
+    sim.run()
+    stats = lock.stats
+    assert stats.acquisitions == 3
+    assert stats.contended_acquisitions == 2
+    # Waiter 1 waited 100 ns, waiter 2 waited 200 ns.
+    assert stats.total_wait_ns == pytest.approx(300.0)
+    assert stats.max_wait_ns == pytest.approx(200.0)
+    assert stats.avg_wait_ns == pytest.approx(100.0)
+
+
+def test_hold_time_tracked(rig):
+    sim, lock, _trace = rig
+    lock.acquire(0, lambda: sim.schedule(50.0, lock.release))
+    sim.run()
+    assert lock.stats.total_hold_ns == pytest.approx(50.0)
+
+
+def test_trace_records_each_acquisition(rig):
+    sim, lock, trace = rig
+    lock.acquire(0, lambda: sim.schedule(10.0, lock.release))
+    lock.acquire(1, lambda: sim.schedule(10.0, lock.release))
+    sim.run()
+    assert len(trace.lock_waits) == 2
+    assert trace.lock_waits[1].wait_ns == pytest.approx(10.0)
+    assert trace.max_lock_wait_ns == pytest.approx(10.0)
+
+
+def test_same_instant_acquire_cannot_jump_handoff_queue(rig):
+    """Regression: release used to briefly leave the lock unheld, letting a
+    same-instant acquire overtake the queued waiter (double-grant crash)."""
+    sim, lock, _trace = rig
+    order = []
+
+    def quick(core):
+        order.append(core)
+        lock.release()
+
+    def holder():
+        # While held, queue core 1; then at release instant core 2 acquires.
+        lock.acquire(1, lambda: quick(1))
+        sim.schedule(10.0, lambda: (lock.release(), lock.acquire(2, lambda: quick(2))))
+
+    lock.acquire(0, holder)
+    sim.run()
+    assert order == [1, 2]
+
+
+def test_queue_length(rig):
+    sim, lock, _trace = rig
+    lock.acquire(0, lambda: None)
+    lock.acquire(1, lambda: lock.release())
+    lock.acquire(2, lambda: lock.release())
+    assert lock.queue_length == 2
+    lock.release()
+    sim.run()
+    assert lock.queue_length == 0
+    assert not lock.held

@@ -1,0 +1,118 @@
+"""Tests for the NoC, cache-blend and task-timing helper models."""
+
+import pytest
+
+from repro.sim.cache import MemoryProfile, amat_split
+from repro.sim.config import NoCConfig, default_machine
+from repro.sim.memory import duration_at, speedup_at_fast, split_by_boundedness
+from repro.sim.noc import (
+    hop_latency_cycles,
+    manhattan_distance,
+    mean_distance_from,
+    mean_pairwise_distance,
+)
+
+
+class TestNoC:
+    def test_manhattan_distance_basic(self):
+        cfg = NoCConfig(rows=4, cols=8)
+        assert manhattan_distance(0, 0, cfg) == 0
+        assert manhattan_distance(0, 7, cfg) == 7  # same row, opposite end
+        assert manhattan_distance(0, 31, cfg) == 3 + 7  # opposite corner
+
+    def test_distance_symmetry(self):
+        cfg = NoCConfig(rows=4, cols=8)
+        for a, b in [(0, 31), (5, 17), (12, 3)]:
+            assert manhattan_distance(a, b, cfg) == manhattan_distance(b, a, cfg)
+
+    def test_invalid_node_rejected(self):
+        cfg = NoCConfig(rows=2, cols=2)
+        with pytest.raises(ValueError):
+            manhattan_distance(0, 4, cfg)
+
+    def test_mean_distance_from_corner_exceeds_center(self):
+        cfg = NoCConfig(rows=4, cols=8)
+        corner = mean_distance_from(0, cfg)
+        center = mean_distance_from(1 * 8 + 3, cfg)
+        assert corner > center
+
+    def test_mean_pairwise_known_value_1d(self):
+        # 1x2 mesh: distances {0,1,1,0}/4 = 0.5
+        assert mean_pairwise_distance(NoCConfig(rows=1, cols=2)) == pytest.approx(0.5)
+
+    def test_hop_latency(self):
+        cfg = NoCConfig(rows=4, cols=8, link_cycles=1, router_cycles=1)
+        assert hop_latency_cycles(3, cfg) == 6
+
+
+class TestCacheBlend:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            MemoryProfile(l1_mpki=1.0, l2_mpki=2.0)
+        with pytest.raises(ValueError):
+            MemoryProfile(l1_mpki=-1.0, l2_mpki=0.0)
+        with pytest.raises(ValueError):
+            MemoryProfile(l1_mpki=1.0, l2_mpki=0.5, mem_ratio=0.0)
+
+    def test_zero_misses_yields_zero_mem_time(self):
+        machine = default_machine()
+        cpu, mem = amat_split(1000.0, MemoryProfile(0.0, 0.0), machine)
+        assert mem == 0.0
+        assert cpu > 1000.0  # includes L1-hit cycles
+
+    def test_more_l2_misses_more_mem_time(self):
+        machine = default_machine()
+        _, mem_lo = amat_split(1e6, MemoryProfile(10.0, 1.0), machine)
+        _, mem_hi = amat_split(1e6, MemoryProfile(10.0, 8.0), machine)
+        assert mem_hi > mem_lo
+
+    def test_scales_with_instructions(self):
+        machine = default_machine()
+        p = MemoryProfile(5.0, 1.0)
+        cpu1, mem1 = amat_split(1e6, p, machine)
+        cpu2, mem2 = amat_split(2e6, p, machine)
+        assert cpu2 == pytest.approx(2 * cpu1)
+        assert mem2 == pytest.approx(2 * mem1)
+
+    def test_negative_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            amat_split(-1.0, MemoryProfile(1.0, 0.5), default_machine())
+
+
+class TestBoundednessSplit:
+    def test_beta_zero_is_pure_cpu(self):
+        machine = default_machine()
+        cpu, mem = split_by_boundedness(100_000.0, 0.0, machine)
+        assert mem == 0.0
+        assert cpu == pytest.approx(100_000.0 * machine.slow.freq_ghz)
+
+    def test_beta_one_is_pure_memory(self):
+        cpu, mem = split_by_boundedness(100_000.0, 1.0, default_machine())
+        assert cpu == 0.0
+        assert mem == pytest.approx(100_000.0)
+
+    def test_roundtrip_duration_at_slow(self):
+        machine = default_machine()
+        for beta in (0.0, 0.3, 0.7, 1.0):
+            cpu, mem = split_by_boundedness(250_000.0, beta, machine)
+            assert duration_at(cpu, mem, machine.slow.freq_ghz) == pytest.approx(250_000.0)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            split_by_boundedness(1000.0, 1.5, default_machine())
+        with pytest.raises(ValueError):
+            split_by_boundedness(-1.0, 0.5, default_machine())
+
+    def test_speedup_at_fast_extremes(self):
+        machine = default_machine()
+        assert speedup_at_fast(0.0, machine) == pytest.approx(2.0)
+        assert speedup_at_fast(1.0, machine) == pytest.approx(1.0)
+
+    def test_speedup_monotone_in_beta(self):
+        machine = default_machine()
+        s = [speedup_at_fast(b, machine) for b in (0.0, 0.25, 0.5, 0.75, 1.0)]
+        assert s == sorted(s, reverse=True)
+
+    def test_duration_at_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            duration_at(1000.0, 0.0, 0.0)

@@ -1,0 +1,106 @@
+"""Tests for the analytic CMOS power model."""
+
+import pytest
+
+from repro.sim.config import FAST_LEVEL, SLOW_LEVEL, PowerModelConfig, default_machine
+from repro.sim.power import CoreState, PowerModel, core_power_w
+
+
+@pytest.fixture
+def model():
+    return PowerModel(PowerModelConfig())
+
+
+def busy(level, activity=1.0):
+    return CoreState(level=level, cstate="C0", activity=activity, busy=True)
+
+
+class TestDynamicPower:
+    def test_scales_linearly_with_frequency(self, model):
+        assert model.dynamic_w(FAST_LEVEL, 1.0) == pytest.approx(
+            2 * model.dynamic_w(
+                type(FAST_LEVEL)("half", FAST_LEVEL.freq_ghz / 2, FAST_LEVEL.voltage_v),
+                1.0,
+            )
+        )
+
+    def test_scales_quadratically_with_voltage(self, model):
+        base = model.dynamic_w(SLOW_LEVEL, 1.0)
+        doubled_v = type(SLOW_LEVEL)("hv", SLOW_LEVEL.freq_ghz, SLOW_LEVEL.voltage_v * 2)
+        assert model.dynamic_w(doubled_v, 1.0) == pytest.approx(4 * base)
+
+    def test_scales_linearly_with_activity(self, model):
+        assert model.dynamic_w(FAST_LEVEL, 0.5) == pytest.approx(
+            0.5 * model.dynamic_w(FAST_LEVEL, 1.0)
+        )
+
+    def test_fast_busy_core_is_several_watts(self, model):
+        w = model.core_w(busy(FAST_LEVEL))
+        assert 3.0 < w < 10.0
+
+
+class TestLeakage:
+    def test_leakage_scales_with_voltage(self, model):
+        assert model.leakage_w(SLOW_LEVEL) == pytest.approx(
+            0.8 * model.leakage_w(FAST_LEVEL)
+        )
+
+    def test_leakage_positive(self, model):
+        assert model.leakage_w(SLOW_LEVEL) > 0
+
+
+class TestCStates:
+    def test_power_ordering_busy_gt_idle_gt_c1_gt_c3(self, model):
+        b = model.core_w(busy(FAST_LEVEL))
+        idle = model.core_w(
+            CoreState(level=FAST_LEVEL, cstate="C0", activity=0.0, busy=False)
+        )
+        c1 = model.core_w(
+            CoreState(level=FAST_LEVEL, cstate="C1", activity=0.0, busy=False)
+        )
+        c3 = model.core_w(
+            CoreState(level=FAST_LEVEL, cstate="C3", activity=0.0, busy=False)
+        )
+        assert b > idle > c1 > c3 > 0
+
+    def test_c3_is_residual_leakage_only(self, model):
+        c3 = model.core_w(
+            CoreState(level=FAST_LEVEL, cstate="C3", activity=0.0, busy=False)
+        )
+        cfg = model.config
+        assert c3 == pytest.approx(model.leakage_w(FAST_LEVEL) * cfg.c3_leak_fraction)
+
+    def test_slow_core_cheaper_than_fast_in_every_state(self, model):
+        for cstate in ("C0", "C1", "C3"):
+            for is_busy in (True, False):
+                f = model.core_w(CoreState(FAST_LEVEL, cstate, 0.8, is_busy))
+                s = model.core_w(CoreState(SLOW_LEVEL, cstate, 0.8, is_busy))
+                assert s < f
+
+
+class TestValidation:
+    def test_rejects_unknown_cstate(self):
+        with pytest.raises(ValueError):
+            CoreState(FAST_LEVEL, "C6", 0.5, True)
+
+    def test_rejects_out_of_range_activity(self):
+        with pytest.raises(ValueError):
+            CoreState(FAST_LEVEL, "C0", 1.5, True)
+        with pytest.raises(ValueError):
+            CoreState(FAST_LEVEL, "C0", -0.1, True)
+
+
+class TestChipLevel:
+    def test_uncore_constant(self, model):
+        assert model.uncore_w() == model.config.uncore_w
+
+    def test_chip_peak_sums_cores_and_uncore(self, model):
+        machine = default_machine()
+        per_core = model.core_w(busy(machine.fast))
+        assert model.chip_peak_w(machine) == pytest.approx(
+            32 * per_core + model.uncore_w()
+        )
+
+    def test_functional_entry_point_matches_class(self, model):
+        state = busy(FAST_LEVEL, 0.7)
+        assert core_power_w(model.config, state) == model.core_w(state)

@@ -1,0 +1,49 @@
+"""Tests for machine-configuration serialization."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.sim.config import default_machine
+from repro.sim.serialize import (
+    dump_machine,
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+)
+
+
+def test_round_trip_default_machine():
+    m = default_machine()
+    assert machine_from_dict(machine_to_dict(m)) == m
+
+
+def test_round_trip_modified_machine():
+    m = default_machine().with_cores(16)
+    m = replace(m, overheads=replace(m.overheads, dvfs_transition_ns=50_000.0))
+    again = machine_from_dict(machine_to_dict(m))
+    assert again == m
+    assert again.overheads.dvfs_transition_ns == 50_000.0
+
+
+def test_dict_is_json_safe():
+    json.dumps(machine_to_dict(default_machine()))
+
+
+def test_file_round_trip(tmp_path):
+    path = tmp_path / "machine.json"
+    m = default_machine()
+    dump_machine(m, str(path))
+    assert load_machine(str(path)) == m
+    # And the file is human-inspectable JSON.
+    doc = json.loads(path.read_text())
+    assert doc["core_count"] == 32
+    assert doc["fast"]["freq_ghz"] == 2.0
+
+
+def test_invalid_payload_rejected_by_validation():
+    data = machine_to_dict(default_machine())
+    data["core_count"] = 0
+    with pytest.raises(ValueError):
+        machine_from_dict(data)

@@ -1,0 +1,106 @@
+"""Tests for the generic synthetic generators."""
+
+import pytest
+
+from repro.core.policies import run_policy
+from repro.runtime.task import TaskType
+from repro.sim.config import default_machine
+from repro.workloads.characterize import characterize
+from repro.workloads.synthetic import StageSpec, make_forkjoin, make_pipeline, make_stencil
+
+MACHINE4 = default_machine().with_cores(4)
+
+
+class TestForkJoin:
+    def test_structure(self):
+        p = make_forkjoin("fj", phases=3, tasks_per_phase=5, mean_us=100, beta=0.2)
+        assert p.task_count == 15
+        assert len(p.barriers) >= 2
+        assert all(not s.deps for s in p.specs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_forkjoin("fj", phases=0, tasks_per_phase=1, mean_us=1, beta=0)
+
+    def test_runs(self):
+        p = make_forkjoin("fj", phases=2, tasks_per_phase=8, mean_us=150, beta=0.2)
+        r = run_policy(p, "cata", machine=MACHINE4, fast_cores=2)
+        assert r.tasks_executed == 16
+
+
+class TestPipeline:
+    STAGES = (
+        StageSpec(TaskType("in", criticality=1), mean_us=20, beta=0.5, serial=True),
+        StageSpec(TaskType("work", criticality=0), mean_us=200, beta=0.2, width=2),
+        StageSpec(TaskType("out", criticality=2), mean_us=30, beta=0.6, serial=True),
+    )
+
+    def test_structure(self):
+        p = make_pipeline("pipe", items=4, stages=self.STAGES)
+        assert p.task_count == 4 * (1 + 2 + 1)
+        # Serial stages chain across items: the 2nd item's "in" depends on
+        # the 1st item's "in".
+        ins = [i for i, s in enumerate(p.specs) if s.ttype.name == "in"]
+        assert ins[0] in p.specs[ins[1]].deps
+
+    def test_stage_dependences_within_item(self):
+        p = make_pipeline("pipe", items=1, stages=self.STAGES)
+        out_spec = p.specs[-1]
+        work_ids = [i for i, s in enumerate(p.specs) if s.ttype.name == "work"]
+        assert set(work_ids) <= set(out_spec.deps)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            StageSpec(TaskType("x"), mean_us=1, beta=0, width=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_pipeline("pipe", items=0, stages=self.STAGES)
+        with pytest.raises(ValueError):
+            make_pipeline("pipe", items=1, stages=())
+
+    def test_runs_and_respects_order(self):
+        p = make_pipeline("pipe", items=6, stages=self.STAGES)
+        r = run_policy(p, "cata_rsu", machine=MACHINE4, fast_cores=2)
+        spans = {s.task_id: s for s in r.trace.task_spans}
+        for i, spec in enumerate(p.specs):
+            for d in spec.deps:
+                assert spans[i].start_ns >= spans[d].end_ns
+
+
+class TestStencil:
+    def test_neighbourhood_dependences(self):
+        p = make_stencil("st", side=4, sweeps=2, mean_us=50, beta=0.3)
+        # Interior cell of sweep 2 has a full 3x3 neighbourhood.
+        interior = 16 + 1 * 4 + 1  # sweep 1 offset + row 1, col 1
+        assert len(p.specs[interior].deps) == 9
+        # Corner cell has 4 neighbours.
+        corner = 16
+        assert len(p.specs[corner].deps) == 4
+
+    def test_neighbourhood_radius(self):
+        p = make_stencil("st", side=5, sweeps=2, mean_us=50, beta=0.3, neighbourhood=2)
+        center = 25 + 2 * 5 + 2
+        assert len(p.specs[center].deps) == 25
+
+    def test_zero_radius_is_pointwise(self):
+        p = make_stencil("st", side=3, sweeps=2, mean_us=50, beta=0.3, neighbourhood=0)
+        assert all(len(s.deps) == 1 for s in p.specs[9:])
+
+    def test_barrier_mode(self):
+        p = make_stencil(
+            "st", side=3, sweeps=3, mean_us=50, beta=0.3, barrier_per_sweep=True
+        )
+        assert len(p.barriers) == 2
+        assert all(not s.deps for s in p.specs)
+
+    def test_parallelism_scales_with_side(self):
+        small = characterize(make_stencil("s", side=3, sweeps=4, mean_us=50, beta=0.2))
+        big = characterize(make_stencil("b", side=8, sweeps=4, mean_us=50, beta=0.2))
+        assert big.parallelism > small.parallelism
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_stencil("st", side=0, sweeps=1, mean_us=1, beta=0)
+        with pytest.raises(ValueError):
+            make_stencil("st", side=2, sweeps=1, mean_us=1, beta=0, neighbourhood=-1)

@@ -1,0 +1,192 @@
+"""Structural tests for the six PARSECSs-shaped workload generators.
+
+Each benchmark's generator must reproduce the structural properties the
+paper's analysis depends on (see the workload module docstrings).
+"""
+
+import pytest
+
+from repro.workloads import BENCHMARKS, build_program
+from repro.workloads.base import WorkloadBuilder, scaled_count
+
+SCALE = 0.25  # keep structure tests quick
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {name: build_program(name, scale=SCALE, seed=3) for name in BENCHMARKS}
+
+
+class TestRegistry:
+    def test_six_paper_benchmarks(self):
+        assert sorted(BENCHMARKS) == [
+            "blackscholes",
+            "bodytrack",
+            "dedup",
+            "ferret",
+            "fluidanimate",
+            "swaptions",
+        ]
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            build_program("nonesuch")
+
+    def test_programs_validate(self, programs):
+        for prog in programs.values():
+            prog.validate()
+
+    def test_determinism(self):
+        a = build_program("bodytrack", scale=SCALE, seed=11)
+        b = build_program("bodytrack", scale=SCALE, seed=11)
+        assert [(s.cpu_cycles, s.mem_ns, s.deps) for s in a.specs] == [
+            (s.cpu_cycles, s.mem_ns, s.deps) for s in b.specs
+        ]
+
+    def test_seeds_differ(self):
+        a = build_program("swaptions", scale=SCALE, seed=1)
+        b = build_program("swaptions", scale=SCALE, seed=2)
+        assert [s.cpu_cycles for s in a.specs] != [s.cpu_cycles for s in b.specs]
+
+    def test_scale_grows_task_count(self):
+        small = build_program("blackscholes", scale=0.1, seed=1)
+        big = build_program("blackscholes", scale=0.5, seed=1)
+        assert big.task_count > small.task_count
+
+
+class TestBlackscholes:
+    def test_fork_join_with_barriers(self, programs):
+        p = programs["blackscholes"]
+        assert p.barriers, "blackscholes must be phase-structured"
+
+    def test_all_types_same_criticality_class(self, programs):
+        # Fork-join: 'tasks with very similar criticality levels'.
+        p = programs["blackscholes"]
+        assert {t.criticality for t in p.task_types} == {0}
+
+    def test_low_duration_variance(self, programs):
+        p = programs["blackscholes"]
+        durs = [s.cpu_cycles + s.mem_ns for s in p.specs if s.ttype.name == "bs_price"]
+        mean = sum(durs) / len(durs)
+        var = sum((d - mean) ** 2 for d in durs) / len(durs)
+        assert (var**0.5) / mean < 0.2
+
+
+class TestSwaptions:
+    def test_coarse_imbalanced_tasks(self, programs):
+        p = programs["swaptions"]
+        durs = [s.cpu_cycles + s.mem_ns for s in p.specs]
+        mean = sum(durs) / len(durs)
+        cv = (sum((d - mean) ** 2 for d in durs) / len(durs)) ** 0.5 / mean
+        assert cv > 0.3, "swaptions needs heavy imbalance"
+
+    def test_some_tasks_block_in_kernel(self, programs):
+        p = programs["swaptions"]
+        assert any(s.block_ns > 0 for s in p.specs)
+
+    def test_independent_within_phase(self, programs):
+        assert all(not s.deps for s in programs["swaptions"].specs)
+
+
+class TestFluidanimate:
+    def test_eight_task_types(self, programs):
+        assert len(programs["fluidanimate"].task_types) == 8
+
+    def test_up_to_nine_parents(self, programs):
+        max_deps = max(len(s.deps) for s in programs["fluidanimate"].specs)
+        assert max_deps == 9
+
+    def test_multiple_criticality_annotations(self, programs):
+        # The paper: 'on average, four criticality annotations were provided'.
+        crit = [t for t in programs["fluidanimate"].task_types if t.criticality > 0]
+        assert len(crit) >= 2
+
+    def test_persistent_block_imbalance(self):
+        """The same grid block must be heavy in every kernel sweep."""
+        p = build_program("fluidanimate", scale=SCALE, seed=5)
+        by_type: dict[str, list[float]] = {}
+        for s in p.specs:
+            by_type.setdefault(s.ttype.name, []).append(s.cpu_cycles + s.mem_ns)
+        sweeps = list(by_type.values())
+        blocks = min(len(v) for v in sweeps)
+        # Correlation between first two kernel sweeps over the same blocks.
+        import numpy as np
+
+        a, b = np.array(sweeps[0][:blocks]), np.array(sweeps[1][:blocks])
+        assert np.corrcoef(a, b)[0, 1] > 0.5
+
+
+class TestPipelines:
+    @pytest.mark.parametrize("name", ["dedup", "ferret"])
+    def test_serial_output_chain(self, programs, name):
+        p = programs[name]
+        out_type = {"dedup": "dd_write", "ferret": "fr_out"}[name]
+        outs = [
+            (i, s) for i, s in enumerate(p.specs) if s.ttype.name == out_type
+        ]
+        for (i_prev, _), (i, s) in zip(outs, outs[1:]):
+            assert i_prev in s.deps, f"{out_type} tasks must chain in order"
+
+    @pytest.mark.parametrize("name", ["dedup", "ferret"])
+    def test_output_tasks_are_io_bound_and_critical(self, programs, name):
+        p = programs[name]
+        out_type = {"dedup": "dd_write", "ferret": "fr_out"}[name]
+        outs = [s for s in p.specs if s.ttype.name == out_type]
+        assert all(s.ttype.criticality > 0 for s in outs)
+        # High β: memory/IO time dominates CPU cycles at 1 GHz.
+        assert all(s.mem_ns > s.cpu_cycles for s in outs)
+        assert any(s.block_ns > 0 for s in outs)
+
+    @pytest.mark.parametrize("name", ["dedup", "ferret"])
+    def test_no_barriers(self, programs, name):
+        assert programs[name].barriers == []
+
+    def test_ferret_has_six_stages(self, programs):
+        assert len(programs["ferret"].task_types) == 6
+
+
+class TestBodytrack:
+    def test_duration_varies_order_of_magnitude_across_types(self, programs):
+        p = programs["bodytrack"]
+        by_type: dict[str, list[float]] = {}
+        for s in p.specs:
+            by_type.setdefault(s.ttype.name, []).append(s.cpu_cycles + s.mem_ns)
+        means = {k: sum(v) / len(v) for k, v in by_type.items()}
+        assert max(means.values()) / min(means.values()) >= 5.0
+
+    def test_resample_gates_next_frame(self, programs):
+        p = programs["bodytrack"]
+        resample_ids = {
+            i for i, s in enumerate(p.specs) if s.ttype.name == "bt_resample"
+        }
+        edges = [s for s in p.specs if s.ttype.name == "bt_edge" and s.deps]
+        assert edges, "later frames' edge tasks must depend on a resample"
+        assert all(set(s.deps) <= resample_ids for s in edges)
+
+    def test_criticality_levels_graded(self, programs):
+        types = {t.name: t.criticality for t in programs["bodytrack"].task_types}
+        assert types["bt_edge"] < types["bt_weight"] < types["bt_resample"]
+
+
+class TestBuilderHelpers:
+    def test_scaled_count(self):
+        assert scaled_count(100, 0.5) == 50
+        assert scaled_count(10, 0.01, minimum=3) == 3
+        with pytest.raises(ValueError):
+            scaled_count(10, 0.0)
+
+    def test_sample_us_zero_cv_is_exact(self):
+        b = WorkloadBuilder("w", seed=1)
+        assert b.sample_us(100.0, 0.0) == 100.0
+
+    def test_sample_us_mean_roughly_preserved(self):
+        b = WorkloadBuilder("w", seed=1)
+        samples = [b.sample_us(100.0, 0.5) for _ in range(4000)]
+        assert 90 < sum(samples) / len(samples) < 110
+
+    def test_sample_us_validation(self):
+        b = WorkloadBuilder("w", seed=1)
+        with pytest.raises(ValueError):
+            b.sample_us(-1.0, 0.5)
+        with pytest.raises(ValueError):
+            b.sample_us(1.0, -0.5)
