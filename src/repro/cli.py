@@ -15,6 +15,12 @@ writing code:
 ``section5c``  reconfiguration/lock statistics (Section V-C)
 ``rsu``        RSU area/power overhead (Section III-B.4)
 =============  =============================================================
+
+The sweep-backed commands (``sweep``/``figure4``/``figure5``/
+``experiments``) accept ``--jobs N`` to fan independent grid cells across
+worker processes (bitwise-identical results), ``--cache-dir PATH`` for a
+persistent on-disk result cache, and ``--verbose`` for per-cell timing and
+cache hit/miss reporting; see ``docs/parallel.md``.
 """
 
 from __future__ import annotations
@@ -69,6 +75,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--export-paraver", metavar="BASENAME",
                        help="write Paraver .prv/.pcf trace files")
 
+    def positive_int(text: str) -> int:
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_executor_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                       help="worker processes for independent grid cells "
+                       "(results are identical to --jobs 1)")
+        p.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="persistent on-disk result cache directory")
+        p.add_argument("--verbose", action="store_true",
+                       help="per-cell timing and cache hit/miss reporting")
+
     p_sweep = sub.add_parser("sweep", help="compare policies across budgets")
     p_sweep.add_argument("benchmark", choices=sorted(BENCHMARKS))
     p_sweep.add_argument("--policies", nargs="+", default=["cats_sa", "cata", "cata_rsu"],
@@ -76,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--budgets", nargs="+", type=int, default=[8, 16, 24])
     p_sweep.add_argument("--scale", type=float, default=0.5)
     p_sweep.add_argument("--seed", type=int, default=1)
+    add_executor_flags(p_sweep)
 
     for name, help_text in (
         ("figure4", "regenerate Figure 4"),
@@ -85,6 +107,9 @@ def build_parser() -> argparse.ArgumentParser:
         p_fig.add_argument("--scale", type=float, default=1.0)
         p_fig.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3])
         p_fig.add_argument("--fast", nargs="+", type=int, default=[8, 16, 24])
+        p_fig.add_argument("--csv", metavar="FILE", default=None,
+                           help="also write the figure points as CSV")
+        add_executor_flags(p_fig)
 
     p_5c = sub.add_parser("section5c", help="Section V-C reconfiguration statistics")
     p_5c.add_argument("--scale", type=float, default=1.0)
@@ -102,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("exp_id", nargs="?", help="experiment id to run")
     p_exp.add_argument("--scale", type=float, default=1.0)
     p_exp.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3])
+    add_executor_flags(p_exp)
 
     p_rsu = sub.add_parser("rsu", help="RSU area/power overhead")
     p_rsu.add_argument("--cores", nargs="+", type=int, default=[32, 64, 128, 256, 1024])
@@ -170,25 +196,28 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
-    rows = []
+    runner = GridRunner(
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        verbose=args.verbose,
+    )
+    grid = runner.run_grid(
+        args.policies, workloads=[args.benchmark], fast_counts=args.budgets
+    )
+    rows: list[list[object]] = []
     for budget in args.budgets:
-        fifo = run_policy(
-            build_program(args.benchmark, scale=args.scale, seed=args.seed),
-            "fifo", fast_cores=budget, seed=args.seed, trace_enabled=False,
-        )
         row: list[object] = [budget]
         for policy in args.policies:
-            res = run_policy(
-                build_program(args.benchmark, scale=args.scale, seed=args.seed),
-                policy, fast_cores=budget, seed=args.seed, trace_enabled=False,
-            )
-            row.append(fifo.exec_time_ns / res.exec_time_ns)
+            row.append(grid.point(args.benchmark, policy, budget).speedup)
         rows.append(row)
-    return render_table(
+    table = render_table(
         ["budget"] + [f"{p}" for p in args.policies],
         rows,
         title=f"speedup over FIFO on {args.benchmark} (scale {args.scale})",
     )
+    return table + "\n" + grid.stats.summary()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -202,10 +231,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.command == "sweep":
         print(_cmd_sweep(args))
     elif args.command in ("figure4", "figure5"):
-        runner = GridRunner(scale=args.scale, seeds=tuple(args.seeds))
+        runner = GridRunner(
+            scale=args.scale,
+            seeds=tuple(args.seeds),
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            verbose=args.verbose,
+        )
         fn = run_figure4 if args.command == "figure4" else run_figure5
         result = fn(runner, fast_counts=tuple(args.fast))
         print(result.render())
+        if result.stats is not None:
+            print(result.stats.summary())
+        if args.csv and result.grid is not None:
+            result.grid.write_csv(args.csv)
+            print(f"wrote {len(result.points)} points to {args.csv}")
         if not result.shape.ok:
             return 1
     elif args.command == "section5c":
@@ -223,7 +263,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                title="Reproducible experiments"))
         else:
             print(run_experiment(args.exp_id, scale=args.scale,
-                                 seeds=tuple(args.seeds)))
+                                 seeds=tuple(args.seeds), jobs=args.jobs,
+                                 cache_dir=args.cache_dir,
+                                 verbose=args.verbose))
     elif args.command == "characterize":
         stats = [
             characterize(build_program(name, scale=args.scale, seed=args.seed))

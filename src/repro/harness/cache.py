@@ -1,0 +1,145 @@
+"""Content-addressed on-disk cache for sweep results.
+
+Every grid cell is a pure, deterministic function of its key — workload,
+policy, fast-core budget, seed, scale, the machine configuration and the
+code/schema version.  The cache therefore addresses results by a SHA-256
+hash of exactly those fields: two runners (or two invocations days apart)
+can never alias results across scales or machine configurations, and
+bumping :data:`CACHE_SCHEMA_VERSION` after a behavioral simulator change
+invalidates every stale entry at once without touching the disk.
+
+Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per result
+(serialized via :mod:`repro.sim.serialize`).  Writes are atomic
+(temp file + :func:`os.replace`) so a concurrent or killed run can never
+leave a half-written entry; reads treat any undecodable or truncated file
+as a miss and delete it, so corruption costs one re-simulation, not a
+crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+from ..runtime.system import RunResult
+from ..sim.config import MachineConfig, default_machine
+from ..sim.serialize import machine_to_dict, result_from_dict, result_to_dict
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "machine_fingerprint",
+    "cell_key",
+    "ResultCache",
+]
+
+#: Bump whenever the simulator's observable behavior or the serialized
+#: schema changes; every previously cached result then misses.
+CACHE_SCHEMA_VERSION: int = 1
+
+
+def machine_fingerprint(machine: Optional[MachineConfig] = None) -> str:
+    """Stable hex digest of a machine configuration.
+
+    ``None`` fingerprints the default machine — the configuration that a
+    runner constructed without an explicit machine will actually simulate.
+    """
+    if machine is None:
+        machine = default_machine()
+    blob = json.dumps(machine_to_dict(machine), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def cell_key(
+    workload: str,
+    policy: str,
+    fast: int,
+    seed: int,
+    scale: float,
+    machine: Optional[MachineConfig] = None,
+    trace_enabled: bool = False,
+) -> str:
+    """Content address of one grid cell's result."""
+    blob = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "workload": workload,
+            "policy": policy,
+            "fast": fast,
+            "seed": seed,
+            "scale": scale,
+            "machine": machine_fingerprint(machine),
+            "trace": bool(trace_enabled),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent result store with hit/miss accounting."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        try:
+            os.makedirs(root, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ValueError(
+                f"cache dir {root!r} exists and is not a directory"
+            ) from exc
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt_evictions = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Cached result for ``key``, or ``None`` (miss or corrupt entry)."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data: Any = json.load(fh)
+            result = result_from_dict(data)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            # Truncated/corrupt entry: evict and recompute rather than crash.
+            self.corrupt_evictions += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Atomically persist ``result`` under ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(result_to_dict(result), fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        n = 0
+        for _, _, files in os.walk(self.root):
+            n += sum(1 for f in files if f.endswith(".json"))
+        return n

@@ -1,0 +1,201 @@
+"""Parallel sweep executor.
+
+Every grid cell — one ``(workload, policy, fast, seed)`` simulation at a
+given scale on a given machine — is a pure, deterministic function of its
+key, so independent cells can fan out across a process pool and produce
+bitwise-identical results regardless of worker count or completion order.
+The executor layers three stores, checked in order:
+
+1. the caller's in-memory memo (:class:`~repro.harness.runner.GridRunner`
+   keeps one per runner),
+2. an optional persistent :class:`~repro.harness.cache.ResultCache` on
+   disk, shared between runners and invocations,
+3. actual simulation, inline for ``jobs=1`` or via
+   :class:`concurrent.futures.ProcessPoolExecutor` for ``jobs>1``.
+
+Per-cell wall-clock timings and hit/miss counters accumulate in
+:class:`SweepStats`; the harness surfaces them in verbose output and in
+``GridResult.stats``.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..core.policies import run_policy
+from ..runtime.system import RunResult
+from ..sim.config import MachineConfig
+from ..sim.serialize import machine_from_dict, machine_to_dict
+from ..workloads import build_program
+from .cache import ResultCache, cell_key
+
+__all__ = ["CellSpec", "SweepStats", "SweepExecutor", "simulate_cell"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent simulation of the sweep grid."""
+
+    workload: str
+    policy: str
+    fast: int
+    seed: int
+    scale: float
+    trace_enabled: bool = False
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.policy}@{self.fast} seed={self.seed}"
+
+    def key(self, machine: Optional[MachineConfig] = None) -> str:
+        return cell_key(
+            self.workload,
+            self.policy,
+            self.fast,
+            self.seed,
+            self.scale,
+            machine,
+            self.trace_enabled,
+        )
+
+
+def simulate_cell(
+    spec: CellSpec, machine_dict: Optional[dict[str, Any]] = None
+) -> tuple[RunResult, float]:
+    """Simulate one cell; returns ``(result, sim_seconds)``.
+
+    Module-level so it pickles into pool workers; the machine travels as a
+    plain dict for the same reason.
+    """
+    machine = machine_from_dict(machine_dict) if machine_dict is not None else None
+    t0 = time.perf_counter()
+    program = build_program(
+        spec.workload, scale=spec.scale, seed=spec.seed, machine=machine
+    )
+    result = run_policy(
+        program,
+        spec.policy,
+        machine=machine,
+        fast_cores=spec.fast,
+        seed=spec.seed,
+        trace_enabled=spec.trace_enabled,
+    )
+    return result, time.perf_counter() - t0
+
+
+@dataclass
+class SweepStats:
+    """Cell accounting for one batch (or one executor's lifetime)."""
+
+    cells: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    sim_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    #: (cell label, seconds) for every simulated cell, submission order.
+    timings: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.simulated
+
+    def merge(self, other: "SweepStats") -> None:
+        self.cells += other.cells
+        self.memo_hits += other.memo_hits
+        self.cache_hits += other.cache_hits
+        self.simulated += other.simulated
+        self.sim_seconds += other.sim_seconds
+        self.wall_seconds += other.wall_seconds
+        self.timings.extend(other.timings)
+
+    def summary(self) -> str:
+        parts = [
+            f"cells: {self.cells}",
+            f"memo hits: {self.memo_hits}",
+            f"cache hits: {self.cache_hits}",
+            f"cache misses: {self.cache_misses}",
+            f"simulated: {self.simulated}",
+            f"sim time: {self.sim_seconds:.2f}s",
+            f"wall time: {self.wall_seconds:.2f}s",
+        ]
+        return "sweep stats — " + ", ".join(parts)
+
+
+class SweepExecutor:
+    """Fans independent cells across processes, read-through cached."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        machine: Optional[MachineConfig] = None,
+        verbose: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.machine = machine
+        self.verbose = verbose
+        #: Lifetime totals across every ``run_cells`` call.
+        self.stats = SweepStats()
+
+    def run_cells(
+        self, specs: Sequence[CellSpec]
+    ) -> tuple[dict[CellSpec, RunResult], SweepStats]:
+        """Resolve every spec (cache first, then simulation).
+
+        Duplicate specs are computed once.  Returns the result map and the
+        stats of this batch alone; lifetime totals accumulate on
+        ``self.stats``.
+        """
+        t0 = time.perf_counter()
+        batch = SweepStats(cells=len(specs))
+        unique = list(dict.fromkeys(specs))
+        results: dict[CellSpec, RunResult] = {}
+        to_run: list[CellSpec] = []
+        for spec in unique:
+            cached = (
+                self.cache.get(spec.key(self.machine))
+                if self.cache is not None
+                else None
+            )
+            if cached is not None:
+                if self.verbose:
+                    print(f"  cache hit  {spec.label()}", flush=True)
+                batch.cache_hits += 1
+                results[spec] = cached
+            else:
+                to_run.append(spec)
+
+        for spec, (result, seconds) in zip(to_run, self._simulate(to_run)):
+            results[spec] = result
+            batch.simulated += 1
+            batch.sim_seconds += seconds
+            batch.timings.append((spec.label(), seconds))
+            if self.verbose:
+                print(f"  simulated  {spec.label()} in {seconds:.2f}s", flush=True)
+            if self.cache is not None:
+                self.cache.put(spec.key(self.machine), result)
+
+        batch.wall_seconds = time.perf_counter() - t0
+        self.stats.merge(batch)
+        return results, batch
+
+    def _simulate(
+        self, specs: Sequence[CellSpec]
+    ) -> list[tuple[RunResult, float]]:
+        if not specs:
+            return []
+        machine_dict = (
+            machine_to_dict(self.machine) if self.machine is not None else None
+        )
+        if self.jobs == 1 or len(specs) == 1:
+            return [simulate_cell(spec, machine_dict) for spec in specs]
+        workers = min(self.jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(simulate_cell, s, machine_dict) for s in specs]
+            return [f.result() for f in futures]

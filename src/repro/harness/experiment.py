@@ -3,7 +3,9 @@
 One descriptor per paper artifact (and per extension study), each knowing
 how to run itself and render its result.  The CLI's ``experiments`` command
 and external scripts drive reproduction through this table instead of
-importing individual harness modules.
+importing individual harness modules.  Sweep-backed experiments honor the
+:class:`RunContext` parallelism (``jobs``) and persistent-cache
+(``cache_dir``) settings.
 """
 
 from __future__ import annotations
@@ -20,7 +22,35 @@ from .scaling import render_scaling_study, run_scaling_study
 from .section5c import render_section5c, run_section5c
 from .table1 import render_table1
 
-__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments"]
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "RunContext",
+    "run_experiment",
+    "list_experiments",
+]
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Execution settings shared by every sweep-backed experiment."""
+
+    scale: float = 1.0
+    seeds: tuple[int, ...] = (1, 2, 3)
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    verbose: bool = False
+
+    def runner(self, **overrides) -> GridRunner:
+        kwargs = dict(
+            scale=self.scale,
+            seeds=self.seeds,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
+            verbose=self.verbose,
+        )
+        kwargs.update(overrides)
+        return GridRunner(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -30,41 +60,38 @@ class Experiment:
     exp_id: str
     paper_artifact: str
     description: str
-    #: (scale, seeds) -> rendered text.  ``asserts`` names what is checked.
-    run: Callable[[float, tuple[int, ...]], str]
+    #: context -> rendered text.  ``asserts`` names what is checked.
+    run: Callable[[RunContext], str]
     asserts: str = ""
 
 
-def _table1(scale: float, seeds: tuple[int, ...]) -> str:
+def _table1(ctx: RunContext) -> str:
     return render_table1()
 
 
-def _figure4(scale: float, seeds: tuple[int, ...]) -> str:
-    runner = GridRunner(scale=scale, seeds=seeds)
-    return run_figure4(runner).render()
+def _figure4(ctx: RunContext) -> str:
+    return run_figure4(ctx.runner()).render()
 
 
-def _figure5(scale: float, seeds: tuple[int, ...]) -> str:
-    runner = GridRunner(scale=scale, seeds=seeds)
-    return run_figure5(runner).render()
+def _figure5(ctx: RunContext) -> str:
+    return run_figure5(ctx.runner()).render()
 
 
-def _section5c(scale: float, seeds: tuple[int, ...]) -> str:
-    runner = GridRunner(scale=scale, seeds=seeds[:1], trace_enabled=True)
+def _section5c(ctx: RunContext) -> str:
+    runner = ctx.runner(seeds=ctx.seeds[:1], trace_enabled=True)
     return render_section5c(run_section5c(runner, fast_cores=16))
 
 
-def _rsu(scale: float, seeds: tuple[int, ...]) -> str:
+def _rsu(ctx: RunContext) -> str:
     return render_rsu_overhead(run_rsu_overhead())
 
 
-def _estimators(scale: float, seeds: tuple[int, ...]) -> str:
-    runner = GridRunner(scale=scale, seeds=seeds)
-    return run_estimator_study(runner).render()
+def _estimators(ctx: RunContext) -> str:
+    return run_estimator_study(ctx.runner()).render()
 
 
-def _scaling(scale: float, seeds: tuple[int, ...]) -> str:
-    rows = run_scaling_study(base_scale=scale * 0.7, seeds=seeds)
+def _scaling(ctx: RunContext) -> str:
+    rows = run_scaling_study(base_scale=ctx.scale * 0.7, seeds=ctx.seeds)
     return render_scaling_study(rows, "fluidanimate")
 
 
@@ -126,13 +153,23 @@ def list_experiments() -> list[Experiment]:
 
 
 def run_experiment(
-    exp_id: str, scale: float = 1.0, seeds: Optional[tuple[int, ...]] = None
+    exp_id: str,
+    scale: float = 1.0,
+    seeds: Optional[tuple[int, ...]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    verbose: bool = False,
 ) -> str:
     """Run one experiment by id and return its rendered artifact."""
-    if seeds is None:
-        seeds = (1, 2, 3)
+    ctx = RunContext(
+        scale=scale,
+        seeds=seeds if seeds is not None else (1, 2, 3),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        verbose=verbose,
+    )
     for exp in EXPERIMENTS:
         if exp.exp_id == exp_id:
-            return exp.run(scale, seeds)
+            return exp.run(ctx)
     known = ", ".join(e.exp_id for e in EXPERIMENTS)
     raise ValueError(f"unknown experiment {exp_id!r}; known: {known}")

@@ -13,7 +13,8 @@ from typing import Optional, Sequence
 from ..analysis.metrics import NormalizedPoint
 from ..analysis.reporting import render_figure
 from ..analysis.validate import ShapeReport, check_figure4_shape
-from .runner import PAPER_FAST_COUNTS, PAPER_WORKLOADS, GridRunner
+from .executor import SweepStats
+from .runner import PAPER_FAST_COUNTS, PAPER_WORKLOADS, GridResult, GridRunner
 
 __all__ = ["FIGURE4_POLICIES", "Figure4Result", "run_figure4"]
 
@@ -24,6 +25,8 @@ FIGURE4_POLICIES: tuple[str, ...] = ("fifo", "cats_bl", "cats_sa", "cata")
 class Figure4Result:
     points: list[NormalizedPoint]
     shape: ShapeReport
+    stats: Optional[SweepStats] = None
+    grid: Optional[GridResult] = None
 
     def render(self) -> str:
         speedup = render_figure(
@@ -57,4 +60,4 @@ def run_figure4(
         shape = check_figure4_shape(grid.points)
     else:
         shape = ShapeReport()
-    return Figure4Result(points=grid.points, shape=shape)
+    return Figure4Result(points=grid.points, shape=shape, stats=grid.stats, grid=grid)

@@ -14,7 +14,8 @@ from typing import Optional, Sequence
 from ..analysis.metrics import NormalizedPoint
 from ..analysis.reporting import render_figure
 from ..analysis.validate import ShapeReport, check_figure5_shape
-from .runner import PAPER_FAST_COUNTS, PAPER_WORKLOADS, GridRunner
+from .executor import SweepStats
+from .runner import PAPER_FAST_COUNTS, PAPER_WORKLOADS, GridResult, GridRunner
 
 __all__ = ["FIGURE5_POLICIES", "Figure5Result", "run_figure5"]
 
@@ -25,6 +26,8 @@ FIGURE5_POLICIES: tuple[str, ...] = ("fifo", "cata", "cata_rsu", "turbomode")
 class Figure5Result:
     points: list[NormalizedPoint]
     shape: ShapeReport
+    stats: Optional[SweepStats] = None
+    grid: Optional[GridResult] = None
 
     def render(self) -> str:
         speedup = render_figure(
@@ -58,4 +61,4 @@ def run_figure5(
         shape = check_figure5_shape(grid.points)
     else:
         shape = ShapeReport()
-    return Figure5Result(points=grid.points, shape=shape)
+    return Figure5Result(points=grid.points, shape=shape, stats=grid.stats, grid=grid)

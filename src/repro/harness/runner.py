@@ -5,21 +5,24 @@ FIFO baseline of the same fast-core count, and returns both the raw
 :class:`~repro.runtime.system.RunResult` objects and the figure-ready
 :class:`~repro.analysis.metrics.NormalizedPoint` lists.
 
-Results are memoized per (workload, policy, fast, scale, seed) within one
-:class:`GridRunner`, so Figure 4 and Figure 5 — which share the CATA column
-— do not re-simulate shared cells.
+Results are memoized per (workload, policy, fast, scale, machine, seed)
+within one :class:`GridRunner` — Figure 4 and Figure 5, which share the
+CATA column, do not re-simulate shared cells — and independent cells fan
+out across a process pool (``jobs``) with an optional persistent on-disk
+cache (``cache_dir``) underneath the memo; see
+:mod:`repro.harness.executor` and :mod:`repro.harness.cache`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Optional, Sequence
 
 from ..analysis.metrics import NormalizedPoint, normalize
-from ..core.policies import run_policy
 from ..runtime.system import RunResult
 from ..sim.config import MachineConfig
-from ..workloads import build_program
+from .cache import ResultCache
+from .executor import CellSpec, SweepExecutor, SweepStats
 
 __all__ = ["GridRunner", "GridResult"]
 
@@ -36,21 +39,33 @@ PAPER_WORKLOADS: tuple[str, ...] = (
 )
 
 
-@dataclass
 class GridResult:
-    """Raw and normalized results of one sweep."""
+    """Raw and normalized results of one sweep.
 
-    results: dict[tuple[str, str, int], RunResult] = field(default_factory=dict)
-    points: list[NormalizedPoint] = field(default_factory=list)
+    Points are keyed by ``(workload, policy, fast)`` — inserting the same
+    cell twice (e.g. two ``run_grid`` calls merged, or FIFO baselines
+    shared between figures) replaces rather than duplicates, and
+    :meth:`point` is an O(1) lookup.
+    """
+
+    def __init__(self) -> None:
+        self.results: dict[tuple[str, str, int], RunResult] = {}
+        self._points: dict[tuple[str, str, int], NormalizedPoint] = {}
+        #: Cell accounting of the ``run_grid`` call that produced this.
+        self.stats: SweepStats = SweepStats()
+
+    @property
+    def points(self) -> list[NormalizedPoint]:
+        return list(self._points.values())
+
+    def add_point(self, p: NormalizedPoint) -> None:
+        self._points[(p.workload, p.policy, p.fast_cores)] = p
 
     def result(self, workload: str, policy: str, fast: int) -> RunResult:
         return self.results[(workload, policy, fast)]
 
     def point(self, workload: str, policy: str, fast: int) -> NormalizedPoint:
-        for p in self.points:
-            if (p.workload, p.policy, p.fast_cores) == (workload, policy, fast):
-                return p
-        raise KeyError((workload, policy, fast))
+        return self._points[(workload, policy, fast)]
 
     def to_csv(self) -> str:
         """Figure points as CSV (one row per bar) for external plotting."""
@@ -71,7 +86,7 @@ class GridResult:
 
 
 class GridRunner:
-    """Memoizing sweep runner."""
+    """Memoizing sweep runner over a parallel, disk-cached executor."""
 
     def __init__(
         self,
@@ -81,47 +96,95 @@ class GridRunner:
         machine: Optional[MachineConfig] = None,
         trace_enabled: bool = False,
         verbose: bool = False,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
     ) -> None:
         """``seeds`` enables multi-seed averaging: each grid cell is
         simulated once per seed and the normalized ratios are averaged
         (each seed produces a different random program instance, so this is
-        the repeated-measurement average of the paper's methodology)."""
+        the repeated-measurement average of the paper's methodology).
+
+        ``jobs`` fans independent cells across that many worker processes;
+        results are bitwise-identical to ``jobs=1``.  ``cache_dir`` backs
+        the in-memory memo with a persistent on-disk result cache.
+        """
         self.scale = scale
-        self.seeds: tuple[int, ...] = tuple(seeds) if seeds is not None else (seed,)
-        if not self.seeds:
-            raise ValueError("at least one seed is required")
+        raw: tuple[int, ...] = tuple(seeds) if seeds is not None else (seed,)
+        if not raw:
+            raise ValueError(
+                "at least one seed is required (seeds=() would make every "
+                "per-seed average empty)"
+            )
+        deduped = tuple(dict.fromkeys(raw))
+        if len(deduped) != len(raw):
+            warnings.warn(
+                f"duplicate seeds {raw} deduplicated to {deduped}; a repeated "
+                "seed re-runs the identical simulation and would double-count "
+                "it in per-seed averages",
+                stacklevel=2,
+            )
+        self.seeds: tuple[int, ...] = deduped
         self.machine = machine
         self.trace_enabled = trace_enabled
         self.verbose = verbose
-        self._cache: dict[tuple[str, str, int, int], RunResult] = {}
+        self.executor = SweepExecutor(
+            jobs=jobs,
+            cache=ResultCache(cache_dir) if cache_dir is not None else None,
+            machine=machine,
+            verbose=verbose,
+        )
+        #: In-memory memo: full cell key (workload, policy, fast, seed,
+        #: scale, machine fingerprint, schema version) -> result.  A
+        #: read-through layer over the executor's disk cache.
+        self._cache: dict[str, RunResult] = {}
 
     @property
     def seed(self) -> int:
         return self.seeds[0]
+
+    def _spec(self, workload: str, policy: str, fast: int, seed: int) -> CellSpec:
+        return CellSpec(
+            workload=workload,
+            policy=policy,
+            fast=fast,
+            seed=seed,
+            scale=self.scale,
+            trace_enabled=self.trace_enabled,
+        )
 
     def run_one(
         self, workload: str, policy: str, fast: int, seed: Optional[int] = None
     ) -> RunResult:
         if seed is None:
             seed = self.seeds[0]
-        key = (workload, policy, fast, seed)
+        spec = self._spec(workload, policy, fast, seed)
+        key = spec.key(self.machine)
         if key not in self._cache:
-            program = build_program(
-                workload, scale=self.scale, seed=seed, machine=self.machine
-            )
-            if self.verbose:
-                print(f"  simulating {workload}/{policy}@{fast} seed={seed} ...", flush=True)
-            self._cache[key] = run_policy(
-                program,
-                policy,
-                machine=self.machine,
-                fast_cores=fast,
-                seed=seed,
-                trace_enabled=self.trace_enabled,
-            )
+            results, _ = self.executor.run_cells([spec])
+            self._cache[key] = results[spec]
         return self._cache[key]
 
-    def _mean_point(self, per_seed: list[NormalizedPoint]) -> NormalizedPoint:
+    def _prefetch(self, specs: Sequence[CellSpec]) -> SweepStats:
+        """Resolve every spec into the memo, fanning misses out in one batch."""
+        unique = list(dict.fromkeys(specs))
+        missing = [s for s in unique if s.key(self.machine) not in self._cache]
+        results, batch = self.executor.run_cells(missing)
+        for spec, result in results.items():
+            self._cache[spec.key(self.machine)] = result
+        stats = SweepStats(
+            cells=len(unique),
+            memo_hits=len(unique) - len(missing),
+            cache_hits=batch.cache_hits,
+            simulated=batch.simulated,
+            sim_seconds=batch.sim_seconds,
+            wall_seconds=batch.wall_seconds,
+            timings=list(batch.timings),
+        )
+        return stats
+
+    def _mean_point(self, per_seed: Sequence[NormalizedPoint]) -> NormalizedPoint:
+        if not per_seed:
+            raise ValueError("cannot average an empty per-seed point list")
         n = len(per_seed)
         first = per_seed[0]
         return NormalizedPoint(
@@ -143,29 +206,43 @@ class GridRunner:
         """Run the full grid; FIFO baselines are always included.
 
         With multiple seeds, each returned point is the per-seed-normalized
-        average; ``results`` keeps the first seed's raw runs.
+        average; ``results`` keeps the first seed's raw runs.  All cells
+        missing from the memo and disk cache are simulated up front in one
+        parallel batch; ``GridResult.stats`` accounts for every cell.
         """
         grid = GridResult()
+        ordered_policies = ["fifo"] + [p for p in policies if p != "fifo"]
+        specs = [
+            self._spec(workload, policy, fast, s)
+            for workload in workloads
+            for fast in fast_counts
+            for policy in ordered_policies
+            for s in self.seeds
+        ]
+        grid.stats = self._prefetch(specs)
+        if self.verbose:
+            print(grid.stats.summary(), flush=True)
+
         for workload in workloads:
             for fast in fast_counts:
                 baselines = {
                     s: self.run_one(workload, "fifo", fast, s) for s in self.seeds
                 }
                 grid.results[(workload, "fifo", fast)] = baselines[self.seeds[0]]
-                grid.points.append(
+                grid.add_point(
                     self._mean_point(
                         [normalize(b, b, fast) for b in baselines.values()]
                     )
                 )
-                for policy in policies:
+                for policy in ordered_policies:
                     if policy == "fifo":
                         continue
                     per_seed = []
                     for s in self.seeds:
                         result = self.run_one(workload, policy, fast, s)
                         per_seed.append(normalize(baselines[s], result, fast))
-                    grid.results[(workload, policy, fast)] = self._cache[
-                        (workload, policy, fast, self.seeds[0])
-                    ]
-                    grid.points.append(self._mean_point(per_seed))
+                    grid.results[(workload, policy, fast)] = self.run_one(
+                        workload, policy, fast, self.seeds[0]
+                    )
+                    grid.add_point(self._mean_point(per_seed))
         return grid

@@ -1,9 +1,12 @@
-"""Machine-configuration serialization.
+"""Machine-configuration and run-result serialization.
 
 gem5 experiments live or die by knowing exactly what configuration produced
 a result; this module gives the reproduction the same property: a
 round-trippable JSON form of :class:`~repro.sim.config.MachineConfig`, used
-to stamp experiment outputs and to load swept configurations back.
+to stamp experiment outputs and to load swept configurations back, plus a
+round-trippable JSON form of :class:`~repro.runtime.system.RunResult`
+(including its :class:`~repro.sim.trace.Trace`), which the on-disk sweep
+result cache (:mod:`repro.harness.cache`) persists between invocations.
 """
 
 from __future__ import annotations
@@ -21,8 +24,27 @@ from .config import (
     OverheadConfig,
     PowerModelConfig,
 )
+from .trace import (
+    CStateRecord,
+    FreqChangeRecord,
+    LockWaitRecord,
+    ReconfigRecord,
+    TaskSpan,
+    Trace,
+)
 
-__all__ = ["machine_to_dict", "machine_from_dict", "dump_machine", "load_machine"]
+__all__ = [
+    "machine_to_dict",
+    "machine_from_dict",
+    "dump_machine",
+    "load_machine",
+    "trace_to_dict",
+    "trace_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "dump_result",
+    "load_result",
+]
 
 
 def machine_to_dict(machine: MachineConfig) -> dict[str, Any]:
@@ -59,6 +81,82 @@ def machine_from_dict(data: dict[str, Any]) -> MachineConfig:
         mem_contention_alpha=data.get("mem_contention_alpha", 0.0),
         mem_contention_threshold=data.get("mem_contention_threshold", 0.5),
     )
+
+
+#: Trace record lists and the dataclass each element rebuilds into.
+_TRACE_RECORD_TYPES: dict[str, type] = {
+    "task_spans": TaskSpan,
+    "reconfigs": ReconfigRecord,
+    "lock_waits": LockWaitRecord,
+    "cstate_changes": CStateRecord,
+    "freq_changes": FreqChangeRecord,
+}
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    """Plain-dict form of a :class:`Trace` (records and counters)."""
+    out: dict[str, Any] = {
+        "enabled": trace.enabled,
+        "tasks_executed": trace.tasks_executed,
+        "reconfig_count": trace.reconfig_count,
+        "freq_transition_count": trace.freq_transition_count,
+        "total_reconfig_latency_ns": trace.total_reconfig_latency_ns,
+        "total_lock_wait_ns": trace.total_lock_wait_ns,
+        "max_lock_wait_ns": trace.max_lock_wait_ns,
+    }
+    for name in _TRACE_RECORD_TYPES:
+        out[name] = [dataclasses.asdict(rec) for rec in getattr(trace, name)]
+    return out
+
+
+def trace_from_dict(data: dict[str, Any]) -> Trace:
+    """Rebuild a :class:`Trace` from :func:`trace_to_dict` output."""
+    trace = Trace(enabled=data["enabled"])
+    trace.tasks_executed = data["tasks_executed"]
+    trace.reconfig_count = data["reconfig_count"]
+    trace.freq_transition_count = data["freq_transition_count"]
+    trace.total_reconfig_latency_ns = data["total_reconfig_latency_ns"]
+    trace.total_lock_wait_ns = data["total_lock_wait_ns"]
+    trace.max_lock_wait_ns = data["max_lock_wait_ns"]
+    for name, rec_type in _TRACE_RECORD_TYPES.items():
+        getattr(trace, name).extend(rec_type(**d) for d in data[name])
+    return trace
+
+
+def result_to_dict(result: "Any") -> dict[str, Any]:
+    """Plain-dict form of a :class:`~repro.runtime.system.RunResult`.
+
+    Typed loosely to avoid a circular import (``runtime.system`` imports
+    from ``sim``); any object with ``RunResult``'s fields serializes.
+    """
+    fields = {
+        f.name: getattr(result, f.name)
+        for f in dataclasses.fields(result)
+        if f.name != "trace"
+    }
+    fields["trace"] = trace_to_dict(result.trace)
+    return fields
+
+
+def result_from_dict(data: dict[str, Any]) -> "Any":
+    """Rebuild a :class:`~repro.runtime.system.RunResult`."""
+    from ..runtime.system import RunResult
+
+    d = dict(data)
+    d["trace"] = trace_from_dict(d["trace"])
+    return RunResult(**d)
+
+
+def dump_result(result: "Any", path: str) -> None:
+    """Write a :class:`RunResult` to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_to_dict(result), fh, sort_keys=True)
+
+
+def load_result(path: str) -> "Any":
+    """Load a :class:`RunResult` from a JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return result_from_dict(json.load(fh))
 
 
 def dump_machine(machine: MachineConfig, path: str) -> None:
