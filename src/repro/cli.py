@@ -14,6 +14,8 @@ writing code:
 ``figure5``    regenerate Figure 5
 ``section5c``  reconfiguration/lock statistics (Section V-C)
 ``rsu``        RSU area/power overhead (Section III-B.4)
+``perf``       simulator performance benchmarks; writes ``BENCH_engine.json``
+               and ``BENCH_sweep.json``, ``--check`` gates on regressions
 =============  =============================================================
 
 The sweep-backed commands (``sweep``/``figure4``/``figure5``/
@@ -131,6 +133,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rsu = sub.add_parser("rsu", help="RSU area/power overhead")
     p_rsu.add_argument("--cores", nargs="+", type=int, default=[32, 64, 128, 256, 1024])
+
+    p_perf = sub.add_parser(
+        "perf", help="simulator performance benchmarks + regression check"
+    )
+    p_perf.add_argument("--smoke", action="store_true",
+                        help="best-of-2 instead of best-of-3 per scenario "
+                        "(CI mode)")
+    p_perf.add_argument("--check", action="store_true",
+                        help="compare against the committed BENCH_*.json "
+                        "baselines; exit 1 on regression")
+    p_perf.add_argument("--out-dir", default=".", metavar="DIR",
+                        help="directory for BENCH_engine.json / "
+                        "BENCH_sweep.json (default: current directory)")
+    p_perf.add_argument("--threshold", type=float, default=None, metavar="FRAC",
+                        help="regression threshold as a fraction "
+                        "(default: 0.30)")
 
     return parser
 
@@ -275,6 +293,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_table(headers, rows, title="Workload characterization"))
     elif args.command == "rsu":
         print(render_rsu_overhead(run_rsu_overhead(core_counts=tuple(args.cores))))
+    elif args.command == "perf":
+        from .perf import REGRESSION_THRESHOLD, run_perf
+
+        threshold = (
+            args.threshold if args.threshold is not None else REGRESSION_THRESHOLD
+        )
+        report, code = run_perf(
+            out_dir=args.out_dir,
+            smoke=args.smoke,
+            check=args.check,
+            threshold=threshold,
+        )
+        print(report)
+        return code
     return 0
 
 

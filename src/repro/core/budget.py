@@ -37,7 +37,7 @@ class Criticality:
     NO_TASK = "NT"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """Outcome of one reconfiguration decision.
 
@@ -55,6 +55,12 @@ class Decision:
     @property
     def transitions(self) -> int:
         return (self.accel is not None) + (self.decel is not None)
+
+
+#: Shared no-op decision: the fast path of every manager hook returns one,
+#: which would otherwise allocate a fresh (immutable, identical) Decision
+#: per task assignment/release.
+_EMPTY_DECISION = Decision()
 
 
 class AccelStateTable:
@@ -132,14 +138,14 @@ class AccelStateTable:
             # only re-evaluates budget placement when tasks start on
             # non-accelerated cores or finish; moving the slot here would
             # thrash the DVFS controller under mixed-criticality streams).
-            return Decision()
+            return _EMPTY_DECISION
         if self._accel_count < self.budget:
             return Decision(accel=core_id)
         if critical:
             victim = self._accel_victim()
             if victim is not None:
                 return Decision(accel=core_id, decel=victim)
-        return Decision()
+        return _EMPTY_DECISION
 
     def decide_release(self, core_id: int) -> Decision:
         """Decision when ``core_id`` goes idle (no next task).
@@ -148,7 +154,7 @@ class AccelStateTable:
         on a non-accelerated core, the freed slot moves there.
         """
         if self._status[core_id] != "A":
-            return Decision()
+            return _EMPTY_DECISION
         beneficiary = self._waiting_critical(exclude=core_id)
         return Decision(accel=beneficiary, decel=core_id)
 

@@ -1,0 +1,14 @@
+"""Performance benchmarks and regression gating for the simulator core.
+
+``python -m repro perf`` runs a fixed set of micro scenarios (engine event
+churn, cancellation/compaction churn, TDG bottom-level relaxation) and macro
+scenarios (full Figure 4 cells) and writes ``BENCH_engine.json`` /
+``BENCH_sweep.json`` in a stable schema.  ``--check`` compares the fresh
+numbers against the committed baselines and fails on a >30% regression; a
+calibration spin loop normalizes throughput so the check cancels machine
+speed.  See ``docs/performance.md``.
+"""
+
+from .runner import BENCH_ENGINE, BENCH_SWEEP, REGRESSION_THRESHOLD, run_perf
+
+__all__ = ["run_perf", "BENCH_ENGINE", "BENCH_SWEEP", "REGRESSION_THRESHOLD"]

@@ -1,0 +1,181 @@
+"""Benchmark driver, JSON schema, and the regression check.
+
+Output schema (``schema_version`` 1), identical for both files::
+
+    {
+      "schema_version": 1,
+      "kind": "engine" | "sweep",
+      "mode": "full" | "smoke",
+      "repetitions": 3,
+      "calibration_ops_per_sec": 31514022.5,
+      "scenarios": {
+        "engine_churn": {
+          "ops": 150064,
+          "wall_s": 0.31,
+          "ops_per_sec": 484077.4,
+          "normalized": 0.01536,
+          "unit": "events",
+          "params": {"n_events": 150000, "chains": 64}
+        }, ...
+      }
+    }
+
+``normalized`` is ``ops_per_sec / calibration_ops_per_sec`` — a
+dimensionless, machine-independent score.  The regression check compares
+*normalized* values only, so a slower CI runner does not trip it.  Scenario
+sizes never change with ``--smoke`` (only the repetition count does), so
+smoke results are comparable against full-mode baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from .scenarios import ENGINE_SCENARIOS, SWEEP_SCENARIOS, Scenario, calibrate
+
+__all__ = ["run_perf", "BENCH_ENGINE", "BENCH_SWEEP", "REGRESSION_THRESHOLD"]
+
+SCHEMA_VERSION = 1
+BENCH_ENGINE = "BENCH_engine.json"
+BENCH_SWEEP = "BENCH_sweep.json"
+#: Fail ``--check`` when a scenario's normalized throughput drops by more
+#: than this fraction versus the committed baseline.
+REGRESSION_THRESHOLD = 0.30
+
+
+def _measure(scenario: Scenario, reps: int, cal_ops_per_sec: float) -> dict:
+    best = None
+    for _ in range(reps):
+        m = scenario.run()
+        if best is None or m.ops_per_sec > best.ops_per_sec:
+            best = m
+    assert best is not None
+    return {
+        "ops": best.ops,
+        "wall_s": round(best.wall_s, 6),
+        "ops_per_sec": round(best.ops_per_sec, 1),
+        "normalized": round(best.ops_per_sec / cal_ops_per_sec, 6)
+        if cal_ops_per_sec > 0
+        else 0.0,
+        "unit": scenario.unit,
+        "params": scenario.params,
+    }
+
+
+def _bench_doc(
+    kind: str,
+    scenarios: tuple[Scenario, ...],
+    mode: str,
+    reps: int,
+    cal_ops_per_sec: float,
+    report: list[str],
+) -> dict:
+    doc: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "mode": mode,
+        "repetitions": reps,
+        "calibration_ops_per_sec": round(cal_ops_per_sec, 1),
+        "scenarios": {},
+    }
+    for scenario in scenarios:
+        entry = _measure(scenario, reps, cal_ops_per_sec)
+        doc["scenarios"][scenario.name] = entry
+        report.append(
+            f"  {scenario.name:<28} {entry['ops_per_sec']:>14,.0f} {scenario.unit}/s"
+            f"   (normalized {entry['normalized']:.5f})"
+        )
+    return doc
+
+
+def _compare(baseline: Optional[dict], fresh: dict, threshold: float,
+             report: list[str]) -> list[str]:
+    """Return the names of scenarios that regressed beyond ``threshold``."""
+    failures: list[str] = []
+    if baseline is None:
+        report.append("  no committed baseline — nothing to compare")
+        return failures
+    if baseline.get("schema_version") != fresh["schema_version"]:
+        report.append(
+            f"  baseline schema v{baseline.get('schema_version')} != "
+            f"v{fresh['schema_version']} — regenerate the baseline"
+        )
+        return failures
+    base_scenarios = baseline.get("scenarios", {})
+    for name, entry in fresh["scenarios"].items():
+        base = base_scenarios.get(name)
+        if base is None or not base.get("normalized"):
+            report.append(f"  {name:<28} no baseline entry — skipped")
+            continue
+        ratio = entry["normalized"] / base["normalized"]
+        verdict = "ok"
+        if ratio < 1.0 - threshold:
+            verdict = f"REGRESSION (>{threshold:.0%} slower)"
+            failures.append(name)
+        report.append(
+            f"  {name:<28} {ratio:>6.2f}x vs baseline   {verdict}"
+        )
+    return failures
+
+
+def _load_baseline(path: Path) -> Optional[dict]:
+    if not path.is_file():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def run_perf(
+    out_dir: str = ".",
+    smoke: bool = False,
+    check: bool = False,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> tuple[str, int]:
+    """Run every scenario; returns ``(report_text, exit_code)``.
+
+    Writes ``BENCH_engine.json`` and ``BENCH_sweep.json`` into ``out_dir``.
+    With ``check=True``, the files already at those paths (the committed
+    baselines) are read *before* being overwritten and the exit code is 1
+    if any scenario's normalized throughput regressed beyond ``threshold``.
+    """
+    out = Path(out_dir)
+    mode = "smoke" if smoke else "full"
+    # Best-of-2 in smoke mode: a single repetition showed up to ~20%
+    # run-to-run noise, uncomfortably close to the 30% gate.
+    reps = 2 if smoke else 3
+    report: list[str] = [f"repro perf ({mode} mode, best of {reps})"]
+
+    cal = calibrate(reps=reps)
+    report.append(f"calibration: {cal:,.0f} spin ops/s")
+
+    engine_path = out / BENCH_ENGINE
+    sweep_path = out / BENCH_SWEEP
+    baselines = {
+        BENCH_ENGINE: _load_baseline(engine_path) if check else None,
+        BENCH_SWEEP: _load_baseline(sweep_path) if check else None,
+    }
+
+    report.append("engine scenarios:")
+    engine_doc = _bench_doc("engine", ENGINE_SCENARIOS, mode, reps, cal, report)
+    report.append("sweep scenarios:")
+    sweep_doc = _bench_doc("sweep", SWEEP_SCENARIOS, mode, reps, cal, report)
+
+    engine_path.write_text(json.dumps(engine_doc, indent=2) + "\n")
+    sweep_path.write_text(json.dumps(sweep_doc, indent=2) + "\n")
+    report.append(f"wrote {engine_path} and {sweep_path}")
+
+    failures: list[str] = []
+    if check:
+        report.append(f"regression check (threshold {threshold:.0%}):")
+        failures += _compare(baselines[BENCH_ENGINE], engine_doc, threshold, report)
+        failures += _compare(baselines[BENCH_SWEEP], sweep_doc, threshold, report)
+        if failures:
+            report.append(f"FAILED: {len(failures)} regressed scenario(s): "
+                          + ", ".join(failures))
+        else:
+            report.append("regression check passed")
+    return "\n".join(report), 1 if failures else 0

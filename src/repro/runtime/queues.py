@@ -15,7 +15,6 @@ order.  The LPRQ stays strict FIFO.
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
 from typing import Callable, Optional
 
@@ -54,17 +53,28 @@ class ReadyQueue:
 
 
 class PriorityReadyQueue:
-    """A ready queue ordered by a priority key (highest first, FIFO ties)."""
+    """A ready queue ordered by a priority key (highest first, FIFO ties).
+
+    The priority callable runs exactly once per push: the computed key is
+    cached in the heap entry and reused by every sift, pop and peek.  A
+    caller that already knows the key (e.g. a scheduler re-enqueueing a
+    task whose criticality was just decided) can pass it explicitly and
+    skip the callable entirely.
+    """
 
     def __init__(self, priority: Callable[[Task], float], name: str = "PRQ") -> None:
         self.name = name
         self._priority = priority
         self._heap: list[tuple[float, int, Task]] = []
-        self._seq = itertools.count()
+        self._next_seq = 0
         self._enqueued = 0
 
-    def push(self, task: Task) -> None:
-        heapq.heappush(self._heap, (-self._priority(task), next(self._seq), task))
+    def push(self, task: Task, key: Optional[float] = None) -> None:
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        if key is None:
+            key = self._priority(task)
+        heapq.heappush(self._heap, (-key, seq, task))
         self._enqueued += 1
 
     def pop(self) -> Optional[Task]:

@@ -19,7 +19,7 @@ from ..sim.core_model import Core
 from ..sim.cstates import CStateController
 from ..sim.dvfs import DVFSController
 from ..sim.energy import EnergyAccountant
-from ..sim.engine import SEC, Simulator
+from ..sim.engine import SEC, SimulationError, Simulator
 from ..sim.kernel import CpufreqFramework
 from ..sim.power import PowerModel
 from ..sim.trace import Trace
@@ -156,6 +156,9 @@ class RuntimeSystem:
         ):
             self.done = True
             self.completion_ns = self.sim.now
+            # Break out of the engine's drain loop without firing the
+            # (irrelevant) events still in the heap — idle timers etc.
+            self.sim.request_stop()
 
     # ------------------------------------------------------------ dispatch
     def dispatch(self) -> None:
@@ -190,20 +193,22 @@ class RuntimeSystem:
         for worker in self.workers[1:]:
             worker.start()
         self.submission.start()
-        fired = 0
-        while not self.done:
-            if max_events is not None and fired >= max_events:
-                raise RuntimeError(
-                    f"program did not complete within {max_events} events "
-                    f"(t={self.sim.now} ns, unfinished={self.tdg.unfinished_count})"
-                )
-            if not self.sim.step():
-                raise RuntimeError(
-                    "event heap drained before program completion "
-                    f"(unfinished={self.tdg.unfinished_count}, "
-                    f"pending={self.scheduler.pending}) — runtime deadlock"
-                )
-            fired += 1
+        # The engine's run() drain loop is the hot path of the whole
+        # reproduction (docs/performance.md); completion is signalled from
+        # check_completion() via Simulator.request_stop().
+        try:
+            self.sim.run(max_events=max_events)
+        except SimulationError:
+            raise RuntimeError(
+                f"program did not complete within {max_events} events "
+                f"(t={self.sim.now} ns, unfinished={self.tdg.unfinished_count})"
+            ) from None
+        if not self.done:
+            raise RuntimeError(
+                "event heap drained before program completion "
+                f"(unfinished={self.tdg.unfinished_count}, "
+                f"pending={self.scheduler.pending}) — runtime deadlock"
+            )
         self.energy.finalize()
         assert self.completion_ns is not None
         return RunResult(

@@ -149,27 +149,54 @@ class TaskGraph:
         beyond that the runtime's view of ancestor bottom-levels goes stale,
         exactly the partial-TDG inaccuracy the paper attributes to the
         bottom-level method.
+
+        This is the hottest function of a BL-estimator run (every submit
+        walks ancestor edges), so the histogram update is inlined rather
+        than calling :meth:`_move_bl` per relaxed edge and all loop state
+        lives in locals; the visit order, edge count and resulting
+        bottom-levels are identical to the straightforward form.
         """
         budget = self._bl_edge_budget
         edges = len(dep_ids)  # the new edges themselves are inspected
+        tasks = self._tasks
+        preds = self._preds
+        bl_counts = self._bl_counts
+        bl_counts_get = bl_counts.get
+        finished = TaskState.FINISHED
+        max_bl = self._max_bottom_level
+        max_bl_waiting = self._max_bl_waiting
         # Worklist of tasks whose BL increased and whose preds need relaxing.
-        frontier = [
-            self._tasks[d] for d in dep_ids if self._tasks[d].bottom_level < 1
-        ]
+        # (Built before any BL moves, like the unoptimized form: duplicate
+        # dep ids must contribute duplicate frontier entries.)
+        frontier = [t for t in map(tasks.__getitem__, dep_ids) if t.bottom_level < 1]
         for t in frontier:
-            self._move_bl(t, 1)
+            if t.state is not finished:
+                bl_counts[t.bottom_level] -= 1
+                bl_counts[1] = bl_counts_get(1, 0) + 1
+                if max_bl_waiting < 1:
+                    max_bl_waiting = 1
+            t.bottom_level = 1
         while frontier:
             if budget is not None and edges >= budget:
                 break
             node = frontier.pop()
-            if node.bottom_level > self._max_bottom_level:
-                self._max_bottom_level = node.bottom_level
-            for pid in self._preds[node.task_id]:
+            node_bl = node.bottom_level
+            if node_bl > max_bl:
+                max_bl = node_bl
+            new_bl = node_bl + 1
+            for pid in preds[node.task_id]:
                 edges += 1
-                pred = self._tasks[pid]
-                if pred.bottom_level < node.bottom_level + 1:
-                    self._move_bl(pred, node.bottom_level + 1)
+                pred = tasks[pid]
+                if pred.bottom_level < new_bl:
+                    if pred.state is not finished:
+                        bl_counts[pred.bottom_level] -= 1
+                        bl_counts[new_bl] = bl_counts_get(new_bl, 0) + 1
+                        if new_bl > max_bl_waiting:
+                            max_bl_waiting = new_bl
+                    pred.bottom_level = new_bl
                     frontier.append(pred)
+        self._max_bottom_level = max_bl
+        self._max_bl_waiting = max_bl_waiting
         return edges
 
     def _move_bl(self, task: Task, new_bl: int) -> None:

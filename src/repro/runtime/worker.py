@@ -52,14 +52,11 @@ class Worker:
     def __init__(self, system: "RuntimeSystem", core: Core) -> None:
         self.system = system
         self.core = core
+        self.core_id = core.core_id
         self.state = "created"
         self.suspended = False
         self.current_task: Optional[Task] = None
         self.tasks_run = 0
-
-    @property
-    def core_id(self) -> int:
-        return self.core.core_id
 
     @property
     def available(self) -> bool:

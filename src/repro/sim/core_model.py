@@ -55,7 +55,7 @@ class ExecutableWork(Protocol):
     block_ns: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _Execution:
     work: ExecutableWork
     on_complete: Callable[[], None]
@@ -66,6 +66,12 @@ class _Execution:
     completion_event: Optional[Event] = None
     blocked: bool = False
     block_done: bool = False
+    #: Single-entry memo of the wall-ns-per-progress denominator, keyed by
+    #: frequency.  DVFS re-evaluation recomputes remaining time repeatedly
+    #: at the same operating point; the float pipeline (divide + add) only
+    #: needs to run once per (work, frequency).
+    denom_freq_ghz: float = -1.0
+    denom_ns: float = 0.0
 
 
 class Core:
@@ -91,12 +97,24 @@ class Core:
         self._activity = 0.0
         self._exec: Optional[_Execution] = None
         self._overhead_event: Optional[Event] = None
+        self._overhead_done: Optional[Callable[[], None]] = None
+        # The operating point is cached here and refreshed in
+        # on_level_changed().  This relies on the existing wiring contract:
+        # every completed DVFS transition is delivered to the core through
+        # on_level_changed (RuntimeSystem registers the listener), which is
+        # already required for correctness — progress re-solving would use
+        # the wrong rate otherwise.
+        self._level: DVFSLevel = dvfs.level_of(core_id)
+        #: Interned CoreState per (level, cstate, activity, busy): cores
+        #: cycle between a handful of states, and constructing + validating
+        #: a fresh frozen dataclass per edge dominated _sync_energy.
+        self._state_cache: dict[tuple, CoreState] = {}
         self._sync_energy()
 
     # ------------------------------------------------------------- queries
     @property
     def level(self) -> DVFSLevel:
-        return self._dvfs.level_of(self.core_id)
+        return self._level
 
     @property
     def cstate(self) -> str:
@@ -121,15 +139,22 @@ class Core:
 
     # ------------------------------------------------------ state plumbing
     def _sync_energy(self) -> None:
-        self._energy.set_state(
-            self.core_id,
-            CoreState(
-                level=self.level,
+        # id(level) rather than the level itself: DVFSLevel is a frozen
+        # dataclass whose generated __hash__ walks every field — far too
+        # slow for this call rate.  The cached CoreState value keeps the
+        # level object alive, so its id cannot be recycled while the entry
+        # exists.
+        key = (id(self._level), self._cstate, self._activity, self._busy)
+        state = self._state_cache.get(key)
+        if state is None:
+            state = CoreState(
+                level=self._level,
                 cstate=self._cstate,
                 activity=self._activity,
                 busy=self._busy,
-            ),
-        )
+            )
+            self._state_cache[key] = state
+        self._energy.set_state(self.core_id, state)
 
     def set_cstate(self, new_state: str) -> None:
         """Change ACPI C-state; used by the C-state controller and blocking."""
@@ -152,6 +177,7 @@ class Core:
         Progress made before this instant accrued at the *old* operating
         point, so the catch-up advance must use the old rate.
         """
+        self._level = self._dvfs.level_of(self.core_id)
         if self._exec is not None and not self._exec.blocked:
             self._advance_progress(level=old_level)
             self._reschedule_completion()
@@ -162,7 +188,15 @@ class Core:
         self, work: ExecutableWork, level: Optional[DVFSLevel] = None
     ) -> float:
         """Wall ns per unit progress at the given (default: current) level."""
-        freq = (level if level is not None else self.level).freq_ghz
+        freq = (level if level is not None else self._level).freq_ghz
+        ex = self._exec
+        if ex is not None and ex.work is work:
+            if ex.denom_freq_ghz == freq:
+                return ex.denom_ns
+            denom = work.cpu_cycles / freq + work.mem_ns
+            ex.denom_freq_ghz = freq
+            ex.denom_ns = denom
+            return denom
         return work.cpu_cycles / freq + work.mem_ns
 
     def remaining_ns(self) -> float:
@@ -294,15 +328,17 @@ class Core:
         self._busy = True
         self._activity = activity
         self._sync_energy()
+        self._overhead_done = on_done
+        self._overhead_event = self._sim.schedule(duration_ns, self._finish_overhead)
 
-        def _done() -> None:
-            self._overhead_event = None
-            self._busy = False
-            self._activity = 0.0
-            self._sync_energy()
-            on_done()
-
-        self._overhead_event = self._sim.schedule(duration_ns, _done)
+    def _finish_overhead(self) -> None:
+        on_done = self._overhead_done
+        self._overhead_done = None
+        self._overhead_event = None
+        self._busy = False
+        self._activity = 0.0
+        self._sync_energy()
+        on_done()
 
     def set_spinning(self, spinning: bool, activity: float = 0.3) -> None:
         """Mark the core as busy-waiting (e.g. on the reconfiguration lock)."""

@@ -34,6 +34,21 @@ class EnergyAccountant:
         self._finalized_at_ns: float | None = None
         self._bucket_energy_j: dict[str, float] = {b: 0.0 for b in self.BUCKETS}
         self._bucket_time_ns: dict[str, float] = {b: 0.0 for b in self.BUCKETS}
+        #: (watts, bucket, state) per distinct CoreState *object*.  A run
+        #: only ever visits a handful of states per core (level × C-state ×
+        #: activity), while set_state fires on every task/overhead/C-state
+        #: edge — memoizing the power model here removes the whole
+        #: core_w()/_bucket_of() pipeline from the inner loop.  Keyed by
+        #: id(state) rather than the state: the dataclass-generated
+        #: __hash__/__eq__ walk every field (including the nested DVFSLevel)
+        #: and dominated this path.  Cores intern their states, and the
+        #: cached tuple holds the state itself, so the id cannot be recycled
+        #: while the entry exists.
+        self._power_bucket: dict[int, tuple[float, str, CoreState]] = {}
+        #: Power/bucket of each core's *current* state, resolved once when
+        #: the state is set so _accrue never hashes a CoreState.
+        self._core_power: list[float] = [0.0] * core_count
+        self._core_bucket: list[str] = [""] * core_count
 
     @staticmethod
     def _bucket_of(state: CoreState) -> str:
@@ -51,20 +66,31 @@ class EnergyAccountant:
         """Record that ``core_id`` is in ``state`` from now on."""
         self._accrue(core_id)
         self._core_state[core_id] = state
+        entry = self._power_bucket.get(id(state))
+        if entry is None:
+            entry = (self._model.core_w(state), self._bucket_of(state), state)
+            self._power_bucket[id(state)] = entry
+        self._core_power[core_id] = entry[0]
+        self._core_bucket[core_id] = entry[1]
 
     def _accrue(self, core_id: int) -> None:
-        now = self._sim.now
-        prev = self._core_state[core_id]
-        if prev is not None:
-            dt_ns = now - self._core_last_change_ns[core_id]
+        # Reads the simulator clock directly (not through the `now`
+        # property): this runs on every power-relevant state edge.
+        now = self._sim._now
+        if self._core_state[core_id] is not None:
+            last_change = self._core_last_change_ns
+            dt_ns = now - last_change[core_id]
             if dt_ns < 0:
                 raise RuntimeError("time went backwards in energy accounting")
-            joules = self._model.core_w(prev) * dt_ns / SEC
+            # Power/bucket were resolved when this state was installed.
+            joules = self._core_power[core_id] * dt_ns / SEC
+            bucket = self._core_bucket[core_id]
             self._core_energy_j[core_id] += joules
-            bucket = self._bucket_of(prev)
             self._bucket_energy_j[bucket] += joules
             self._bucket_time_ns[bucket] += dt_ns
-        self._core_last_change_ns[core_id] = now
+            last_change[core_id] = now
+        else:
+            self._core_last_change_ns[core_id] = now
 
     # ------------------------------------------------------------- results
     def finalize(self) -> None:

@@ -15,14 +15,22 @@ Design notes
   DESIGN.md (identical seeds must produce identical traces).
 * Events are cancellable.  Cancellation is lazy: the entry stays in the heap
   and is skipped when popped.  This is the standard idiom for DES written on
-  top of :mod:`heapq` and keeps ``cancel`` O(1).
+  top of :mod:`heapq` and keeps ``cancel`` O(1).  To stop workloads that
+  cancel en masse (DVFS ramp restarts, work-steal backoff timers) from
+  scanning dead entries forever, the engine *compacts* the heap once
+  cancelled entries outnumber live ones: the surviving ``(time, seq, event)``
+  entries are re-heapified, which preserves the exact pop order because the
+  ``(time, seq)`` prefix is a total order.
+* :class:`Event` is a ``__slots__`` class with an explicit three-valued
+  state (pending / fired / cancelled), not a dataclass — event allocation
+  and the per-pop state test are the two hottest operations in the whole
+  reproduction (this module is executed once per simulated event across the
+  entire figure grid; see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError", "NS", "US", "MS", "SEC"]
@@ -36,34 +44,75 @@ MS: float = 1_000_000.0
 #: One second in nanoseconds.
 SEC: float = 1_000_000_000.0
 
+#: Event lifecycle states (module-level ints: fastest possible state test).
+_PENDING = 0
+_FIRED = 1
+_CANCELLED = 2
+
+#: Compaction threshold: never compact below this many dead entries (the
+#: rebuild is O(heap), so tiny heaps are cheaper to scan lazily).
+_COMPACT_MIN_DEAD = 64
+
 
 class SimulationError(RuntimeError):
     """Raised for violations of engine invariants (e.g. scheduling in the past)."""
 
 
-@dataclass(order=False)
 class Event:
     """A scheduled callback.
 
     Instances are returned by :meth:`Simulator.schedule` / :meth:`Simulator.at`
     and can be cancelled before they fire.  ``payload`` is free-form metadata
     used only for debugging and tracing.
+
+    The lifecycle state is explicit — pending, fired or cancelled — so
+    :attr:`pending` is correct at every point of the lifecycle (before
+    scheduling resolution, after firing, after cancellation).
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None]
-    payload: Any = None
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "payload", "_state", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        payload: Any = None,
+        sim: "Optional[Simulator]" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self._state = _PENDING
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Prevent this event from firing.  Idempotent."""
-        self.cancelled = True
+        """Prevent this event from firing.  Idempotent; a no-op once fired."""
+        if self._state == _PENDING:
+            self._state = _CANCELLED
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` was called before the event fired."""
+        return self._state == _CANCELLED
+
+    @property
+    def fired(self) -> bool:
+        """True once the callback has run."""
+        return self._state == _FIRED
 
     @property
     def pending(self) -> bool:
         """True while the event has neither fired nor been cancelled."""
-        return not self.cancelled and not getattr(self, "_fired", False)
+        return self._state == _PENDING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = ("pending", "fired", "cancelled")[self._state]
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
 
 
 class Simulator:
@@ -82,9 +131,12 @@ class Simulator:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        self._next_seq: int = 0
         self._events_fired = 0
         self._running = False
+        self._stop_requested = False
+        #: Cancelled events still sitting in the heap (compaction trigger).
+        self._dead = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -101,6 +153,11 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def cancelled_in_heap(self) -> int:
+        """Cancelled-but-not-yet-reclaimed heap entries (diagnostics)."""
+        return self._dead
 
     # ------------------------------------------------------------ scheduling
     def schedule(
@@ -121,30 +178,65 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before now={self._now}"
             )
-        ev = Event(time=time, seq=next(self._seq), callback=callback, payload=payload)
-        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        ev = Event(time, seq, callback, payload, self)
+        heapq.heappush(self._heap, (time, seq, ev))
         return ev
 
+    # ------------------------------------------------------------ compaction
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`."""
+        self._dead += 1
+        if self._dead >= _COMPACT_MIN_DEAD and self._dead * 2 >= len(self._heap):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Pop order is unchanged: entries are totally ordered by their
+        ``(time, seq)`` prefix, and heapify of any subset reproduces that
+        order.  Runs automatically when at least half the heap is dead.
+        """
+        # In-place: run()/step() hold a local reference to this list while
+        # they drain it, and cancellations (hence compactions) happen inside
+        # event callbacks.
+        self._heap[:] = [entry for entry in self._heap if entry[2]._state == _PENDING]
+        heapq.heapify(self._heap)
+        self._dead = 0
+
     # --------------------------------------------------------------- running
+    def request_stop(self) -> None:
+        """Make the innermost :meth:`run` return before firing another event.
+
+        Used by drivers that detect completion inside an event callback
+        (e.g. the runtime system firing its last task).  No-op outside
+        :meth:`run`; the flag is cleared when :meth:`run` is entered.
+        """
+        self._stop_requested = True
+
     def step(self) -> bool:
         """Fire the single next pending event.
 
         Returns ``False`` when the heap holds no fireable event.
         """
-        while self._heap:
-            time, _seq, ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _seq, ev = pop(heap)
+            if ev._state:  # not _PENDING — only cancelled entries linger in the heap
+                self._dead -= 1
                 continue
             self._now = time
-            ev._fired = True  # type: ignore[attr-defined]
+            ev._state = _FIRED
             self._events_fired += 1
             ev.callback()
             return True
         return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the event heap drains, ``until`` is reached, or
-        ``max_events`` events have fired.
+        """Run until the event heap drains, ``until`` is reached,
+        ``max_events`` events have fired, or :meth:`request_stop` is called.
 
         ``until`` is an inclusive upper bound: events scheduled exactly at
         ``until`` still fire; the clock is left at ``until`` if it is reached.
@@ -153,12 +245,31 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        self._stop_requested = False
+        heap = self._heap
+        pop = heapq.heappop
         fired = 0
         try:
-            while self._heap:
-                time, _seq, ev = self._heap[0]
-                if ev.cancelled:
-                    heapq.heappop(self._heap)
+            if until is None and max_events is None:
+                # Hot path: the unbounded drain loop used by full simulations.
+                while heap:
+                    entry = pop(heap)
+                    ev = entry[2]
+                    if ev._state:
+                        self._dead -= 1
+                        continue
+                    self._now = entry[0]
+                    ev._state = _FIRED
+                    self._events_fired += 1
+                    ev.callback()
+                    if self._stop_requested:
+                        return
+                return
+            while heap:
+                time, _seq, ev = heap[0]
+                if ev._state:
+                    pop(heap)
+                    self._dead -= 1
                     continue
                 if until is not None and time > until:
                     self._now = until
@@ -167,12 +278,14 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway event loop?"
                     )
-                heapq.heappop(self._heap)
+                pop(heap)
                 self._now = time
-                ev._fired = True  # type: ignore[attr-defined]
+                ev._state = _FIRED
                 self._events_fired += 1
                 fired += 1
                 ev.callback()
+                if self._stop_requested:
+                    return
             if until is not None and until > self._now:
                 self._now = until
         finally:

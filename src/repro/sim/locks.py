@@ -14,6 +14,7 @@ cost of spinning is therefore accounted automatically through the core model.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -38,7 +39,7 @@ class LockStats:
         return self.total_wait_ns / self.acquisitions if self.acquisitions else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Waiter:
     core_id: int
     request_ns: float
@@ -63,7 +64,11 @@ class SimLock:
         self._holder: Optional[int] = None
         self._grant_ns: float = 0.0
         self._request_ns: float = 0.0
-        self._queue: list[_Waiter] = []
+        # FIFO waiter queue.  A deque, not a list: the hand-off in
+        # release() pops from the *front*, and list.pop(0) is O(n) — under
+        # the bursty reconfiguration storms of Section V-C dozens of cores
+        # pile up here at barrier releases.
+        self._queue: deque[_Waiter] = deque()
         self.stats = LockStats()
 
     # ------------------------------------------------------------- queries
@@ -126,5 +131,5 @@ class SimLock:
             # queue (two holders).  Recursion depth is bounded by the queue
             # length because contended critical sections complete in later
             # events; only immediately-aborting waiters chain on this stack.
-            waiter = self._queue.pop(0)
+            waiter = self._queue.popleft()
             self._grant(waiter.core_id, waiter.request_ns, waiter.on_granted)

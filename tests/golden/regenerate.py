@@ -1,0 +1,88 @@
+"""Regenerate the golden-trace fingerprints.
+
+The golden fixture pins the *observable output* of the simulation stack:
+for each (workload, policy) cell below, the full serialized
+:class:`~repro.runtime.system.RunResult` — trace records included — is
+reduced to a SHA-256 over its canonical JSON form.  Any change to event
+ordering, float arithmetic on the result path, or trace content shifts
+the hash.
+
+Performance work on the engine/runtime inner loops (ISSUE 2) must keep
+these hashes bit-for-bit stable: an optimization is only legal if the
+simulation output is indistinguishable from the unoptimized code.
+
+Run from the repo root to refresh the fixture after an *intentional*
+model change (never to paper over an unintended one):
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_traces.json"
+
+#: The pinned grid: all six paper workloads, one software-reconfiguration
+#: policy (locks + DVFS timers on the hot path) and one BL-estimator
+#: policy (TDG relaxation on the hot path).
+GOLDEN_SCALE = 0.3
+GOLDEN_SEED = 1
+GOLDEN_FAST = 8
+GOLDEN_POLICIES = ("cata", "cats_bl")
+
+
+def canonical_result_json(result) -> str:
+    """Canonical JSON form of a RunResult (stable key order)."""
+    from repro.sim.serialize import result_to_dict
+
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+def fingerprint(result) -> str:
+    return hashlib.sha256(canonical_result_json(result).encode("utf-8")).hexdigest()
+
+
+def run_cell(workload: str, policy: str):
+    from repro.core.policies import run_policy
+    from repro.workloads import build_program
+
+    program = build_program(workload, scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    return run_policy(
+        program, policy, fast_cores=GOLDEN_FAST, seed=GOLDEN_SEED, trace_enabled=True
+    )
+
+
+def build_goldens() -> dict:
+    from repro.workloads import BENCHMARKS
+
+    cells = {}
+    for workload in sorted(BENCHMARKS):
+        for policy in GOLDEN_POLICIES:
+            result = run_cell(workload, policy)
+            cells[f"{workload}/{policy}"] = {
+                "sha256": fingerprint(result),
+                "tasks_executed": result.tasks_executed,
+                "exec_time_ns": result.exec_time_ns,
+            }
+    return {
+        "schema_version": 1,
+        "scale": GOLDEN_SCALE,
+        "seed": GOLDEN_SEED,
+        "fast_cores": GOLDEN_FAST,
+        "cells": cells,
+    }
+
+
+def main() -> int:
+    goldens = build_goldens()
+    GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(goldens['cells'])} golden fingerprints to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

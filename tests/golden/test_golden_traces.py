@@ -1,0 +1,53 @@
+"""Golden-trace regression tests: the optimized stack must be bitwise-exact.
+
+The committed fixture ``golden_traces.json`` was generated from the
+pre-optimization engine (see ``regenerate.py``).  Each test re-runs one
+(workload, policy) cell through the current code and compares the SHA-256
+of the canonical serialized ``RunResult`` — trace records, energy floats,
+event ordering, everything.  A mismatch means an "optimization" changed
+observable behaviour.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from regenerate import (  # noqa: E402
+    GOLDEN_PATH,
+    GOLDEN_POLICIES,
+    fingerprint,
+    run_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _cells():
+    doc = json.loads(GOLDEN_PATH.read_text())
+    return sorted(doc["cells"])
+
+
+def test_fixture_covers_all_six_workloads_and_both_policies(golden):
+    workloads = {c.split("/")[0] for c in golden["cells"]}
+    policies = {c.split("/")[1] for c in golden["cells"]}
+    assert len(workloads) == 6
+    assert policies == set(GOLDEN_POLICIES)
+
+
+@pytest.mark.parametrize("cell", _cells())
+def test_trace_is_bitwise_identical_to_golden(golden, cell):
+    workload, policy = cell.split("/")
+    result = run_cell(workload, policy)
+    expected = golden["cells"][cell]
+    assert result.tasks_executed == expected["tasks_executed"]
+    assert result.exec_time_ns == expected["exec_time_ns"]
+    assert fingerprint(result) == expected["sha256"], (
+        f"{cell}: serialized RunResult diverged from the pre-optimization "
+        "golden trace — the change is not output-preserving"
+    )

@@ -35,6 +35,15 @@ class TestDeterminism:
         parallel = GridRunner(**SMALL, jobs=2).run_one("swaptions", "cata", 8)
         assert result_to_dict(serial) == result_to_dict(parallel)
 
+    def test_parallel_results_serialize_byte_identical(self):
+        """Same seed, jobs=1 vs jobs=N: the canonical JSON byte streams
+        (not just the parsed values) must be identical."""
+        serial = GridRunner(**SMALL, jobs=1).run_one("swaptions", "cata", 8)
+        parallel = GridRunner(**SMALL, jobs=3).run_one("swaptions", "cata", 8)
+        blob1 = json.dumps(result_to_dict(serial), sort_keys=True)
+        blob2 = json.dumps(result_to_dict(parallel), sort_keys=True)
+        assert blob1 == blob2
+
 
 class TestResultCache:
     def test_miss_then_hit(self, tmp_path):

@@ -1,0 +1,96 @@
+"""Tests for the perf benchmark driver: schema, comparison, thresholds."""
+
+import json
+
+from repro.perf.runner import (
+    REGRESSION_THRESHOLD,
+    SCHEMA_VERSION,
+    _bench_doc,
+    _compare,
+    _measure,
+)
+from repro.perf.scenarios import Measurement, Scenario, calibrate
+
+
+def fake_scenario(name="fake", ops=1000, wall=0.01):
+    return Scenario(
+        name=name,
+        run=lambda: Measurement(ops=ops, wall_s=wall),
+        unit="ops",
+        params={"n": ops},
+    )
+
+
+def make_doc(normals):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "engine",
+        "mode": "full",
+        "repetitions": 1,
+        "calibration_ops_per_sec": 1.0,
+        "scenarios": {
+            name: {"ops": 1, "wall_s": 1.0, "ops_per_sec": n, "normalized": n,
+                   "unit": "ops", "params": {}}
+            for name, n in normals.items()
+        },
+    }
+
+
+class TestMeasure:
+    def test_schema_fields(self):
+        entry = _measure(fake_scenario(), reps=2, cal_ops_per_sec=1e6)
+        assert set(entry) == {"ops", "wall_s", "ops_per_sec", "normalized",
+                              "unit", "params"}
+        assert entry["ops"] == 1000
+        assert entry["ops_per_sec"] == 100000.0
+        assert entry["normalized"] == 0.1
+
+    def test_bench_doc_is_json_serializable(self):
+        report = []
+        doc = _bench_doc("engine", (fake_scenario(),), "smoke", 1, 1e6, report)
+        rebuilt = json.loads(json.dumps(doc))
+        assert rebuilt["schema_version"] == SCHEMA_VERSION
+        assert rebuilt["kind"] == "engine"
+        assert "fake" in rebuilt["scenarios"]
+        assert report  # one line per scenario
+
+
+class TestCompare:
+    def test_no_baseline_passes(self):
+        assert _compare(None, make_doc({"a": 1.0}), 0.30, []) == []
+
+    def test_within_threshold_passes(self):
+        base = make_doc({"a": 1.0})
+        fresh = make_doc({"a": 0.75})  # 25% slower, threshold 30%
+        assert _compare(base, fresh, 0.30, []) == []
+
+    def test_beyond_threshold_fails(self):
+        base = make_doc({"a": 1.0, "b": 1.0})
+        fresh = make_doc({"a": 0.65, "b": 1.1})  # a is 35% slower
+        assert _compare(base, fresh, 0.30, []) == ["a"]
+
+    def test_faster_never_fails(self):
+        base = make_doc({"a": 1.0})
+        fresh = make_doc({"a": 5.0})
+        assert _compare(base, fresh, 0.30, []) == []
+
+    def test_missing_baseline_scenario_is_skipped(self):
+        base = make_doc({"a": 1.0})
+        fresh = make_doc({"a": 1.0, "new_scenario": 0.1})
+        assert _compare(base, fresh, 0.30, []) == []
+
+    def test_schema_version_mismatch_skips_comparison(self):
+        base = make_doc({"a": 1.0})
+        base["schema_version"] = SCHEMA_VERSION - 1
+        fresh = make_doc({"a": 0.1})
+        report = []
+        assert _compare(base, fresh, 0.30, report) == []
+        assert any("regenerate" in line for line in report)
+
+
+def test_default_threshold_is_thirty_percent():
+    assert REGRESSION_THRESHOLD == 0.30
+
+
+def test_calibration_returns_positive_rate():
+    assert calibrate(reps=1, n=10_000) > 0

@@ -100,3 +100,42 @@ class TestDualReadyQueues:
         d.push(make_task(0, crit_level=1, critical=True))
         d.push(make_task(1, crit_level=2, critical=True))
         assert d.hprq.pop().task_id == 1
+
+
+class TestPriorityKeyCaching:
+    def test_priority_callable_runs_exactly_once_per_push(self):
+        calls = []
+
+        def priority(task):
+            calls.append(task.task_id)
+            return float(task.bottom_level)
+
+        q = PriorityReadyQueue(priority)
+        for i in range(10):
+            q.push(make_task(i, bl=i % 3))
+        assert sorted(calls) == list(range(10))
+        # Draining re-sifts the heap repeatedly; the cached keys are reused
+        # and the callable is never consulted again.
+        while q.pop() is not None:
+            pass
+        assert sorted(calls) == list(range(10))
+
+    def test_explicit_key_skips_the_callable(self):
+        def priority(task):
+            raise AssertionError("callable must not run when a key is passed")
+
+        q = PriorityReadyQueue(priority)
+        q.push(make_task(0), key=5.0)
+        q.push(make_task(1), key=9.0)
+        q.push(make_task(2), key=1.0)
+        assert [q.pop().task_id for _ in range(3)] == [1, 0, 2]
+
+    def test_explicit_key_orders_like_computed_key(self):
+        q1 = PriorityReadyQueue(bottom_level_priority)
+        q2 = PriorityReadyQueue(bottom_level_priority)
+        for i, bl in enumerate([4, 1, 4, 0, 2]):
+            q1.push(make_task(i, bl=bl))
+            q2.push(make_task(i, bl=bl), key=float(bl))
+        ids1 = [q1.pop().task_id for _ in range(5)]
+        ids2 = [q2.pop().task_id for _ in range(5)]
+        assert ids1 == ids2 == [0, 2, 4, 1, 3]

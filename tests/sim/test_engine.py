@@ -181,3 +181,93 @@ def test_event_pending_property():
     ev2 = sim.schedule(1.0, lambda: None)
     ev2.cancel()
     assert not ev2.pending
+
+
+# --------------------------------------------------- explicit lifecycle state
+def test_event_state_machine_pending_to_fired():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    assert ev.pending and not ev.fired and not ev.cancelled
+    sim.run()
+    assert ev.fired and not ev.pending and not ev.cancelled
+
+
+def test_event_state_machine_pending_to_cancelled():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    assert ev.cancelled and not ev.pending and not ev.fired
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.run()
+    ev.cancel()
+    assert ev.fired and not ev.cancelled
+
+
+def test_pending_is_true_before_any_run():
+    """`pending` must be correct even before scheduling resolution —
+    the old getattr("_fired") idiom reported a half-initialized state."""
+    sim = Simulator()
+    events = [sim.schedule(float(i), lambda: None) for i in range(5)]
+    assert all(ev.pending for ev in events)
+    assert not any(ev.fired for ev in events)
+    assert not any(ev.cancelled for ev in events)
+
+
+# ------------------------------------------------------------ heap compaction
+def test_compaction_reclaims_cancelled_entries():
+    sim = Simulator()
+    keep = []
+    events = [sim.schedule(1000.0 + i, lambda i=i: keep.append(i)) for i in range(300)]
+    for ev in events[::2]:
+        ev.cancel()
+    # Half the heap is dead and above the compaction floor: it must shrink.
+    assert sim.pending_events < 300
+    assert sim.cancelled_in_heap == 0
+    sim.run()
+    assert keep == list(range(1, 300, 2))
+
+
+def test_compaction_preserves_pop_order_with_equal_times():
+    sim = Simulator()
+    order = []
+    events = [sim.schedule(5.0, lambda i=i: order.append(i)) for i in range(200)]
+    for ev in events[1::2]:
+        ev.cancel()
+    sim.compact()
+    sim.run()
+    assert order == list(range(0, 200, 2))
+
+
+def test_explicit_compact_on_clean_heap_is_safe():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.compact()
+    sim.run()
+    assert fired == [1]
+
+
+# --------------------------------------------------------------- request_stop
+def test_request_stop_halts_run_before_next_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.request_stop()))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a"]
+    assert sim.pending_events == 1
+    sim.run()  # flag is cleared on entry; the remaining event still fires
+    assert fired == ["a", "b"]
+
+
+def test_request_stop_outside_run_is_cleared_on_entry():
+    sim = Simulator()
+    fired = []
+    sim.request_stop()
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]

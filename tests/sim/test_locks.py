@@ -116,3 +116,21 @@ def test_queue_length(rig):
     sim.run()
     assert lock.queue_length == 0
     assert not lock.held
+
+
+def test_fifo_order_preserved_under_barrier_storm(rig):
+    """Heavy contention (the Section V-C barrier storm the deque switch
+    targets): a long waiter queue must still grant in exact arrival order."""
+    sim, lock, _trace = rig
+    n = 200
+    order = []
+
+    def critical(core):
+        order.append(core)
+        sim.schedule(1.0, lock.release)
+
+    for core in range(n):
+        lock.acquire(core, lambda c=core: critical(c))
+    sim.run()
+    assert order == list(range(n))
+    assert lock.queue_length == 0
