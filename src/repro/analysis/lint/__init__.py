@@ -1,0 +1,42 @@
+"""Custom AST-based determinism linter (``python -m repro lint``).
+
+The simulator's whole claim to validity is reproducibility: identical
+seeds must produce bit-identical traces (DESIGN.md), and the golden
+fingerprints in ``tests/golden`` pin exactly that.  This package catches
+the Python idioms that silently break it *before* a golden hash does —
+unordered iteration on scheduling paths, ``id()``/``hash()`` tie-breaks,
+wall-clock reads and global RNG use inside the simulated world, float
+accumulation in hash order, and ``__slots__`` violations on hot-path
+classes.
+
+See ``docs/static-analysis.md`` for the rule catalog, suppression syntax
+and CI wiring.
+"""
+
+from .findings import Finding
+from .rules import RULE_REGISTRY, FileContext, Rule, all_rules, register
+from .runner import (
+    DEFAULT_BASELINE,
+    LintReport,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    main,
+    write_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register",
+    "all_rules",
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "main",
+    "DEFAULT_BASELINE",
+]

@@ -1,0 +1,41 @@
+"""Finding model shared by the determinism lint rules and the runner.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are value objects: the runner deduplicates, sorts and serializes them, and
+the baseline mechanism matches them structurally (path + code + line), so
+they must stay hashable and comparison-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    def render(self) -> str:
+        """One-line human form, editor-clickable (``path:line:col``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def baseline_key(self) -> tuple[str, str, int]:
+        """Identity used by the committed-baseline matcher.
+
+        Line numbers are part of the key on purpose: a baselined finding
+        that moves has been touched and must be re-justified or fixed.
+        """
+        return (self.path, self.code, self.line)

@@ -1,0 +1,226 @@
+"""Rule framework for the determinism linter.
+
+A rule is a class with a stable ``code`` (``DET1xx``), a one-line
+``description`` (the rule catalog in ``docs/static-analysis.md`` is
+generated from these), an optional ``scopes`` path filter, and a
+``check(ctx)`` generator yielding :class:`~.findings.Finding` objects.
+Rules register themselves via :func:`register`; the runner instantiates
+every registered rule per file.
+
+:class:`FileContext` does the per-file work every rule needs once:
+parsing, parent links, import-alias resolution and a heuristic
+"set-likeness" analysis (which expressions evaluate to builtin sets, whose
+iteration order is not reproducible across processes because of string
+hash randomization).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from .findings import Finding
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register",
+    "all_rules",
+    "dotted_name",
+]
+
+#: Methods that only sets (and set-like views) grow; a call to one of these
+#: produces another unordered collection.
+_SET_PRODUCING_METHODS = frozenset(
+    {"intersection", "union", "difference", "symmetric_difference"}
+)
+
+#: Annotation names that mark a variable as holding an unordered set.
+_SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+)
+
+
+class FileContext:
+    """Parsed source plus the shared per-file analyses."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        #: child AST node -> parent AST node.
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+        #: local alias -> fully qualified module/name it was imported as.
+        self.import_aliases: dict[str, str] = {}
+        self._collect_imports()
+        #: names statically known to hold a set (assigned or annotated so).
+        self.set_vars: set[str] = set()
+        self._collect_set_vars()
+
+    # ------------------------------------------------------------- imports
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve_call(self, func: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a call target, alias-resolved.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; unresolvable shapes return ``None``.
+        """
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        head = self.import_aliases.get(head, head)
+        return f"{head}.{rest}" if rest else head
+
+    # ------------------------------------------------------ set-likeness
+    def _collect_set_vars(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                key = _var_key(node.targets[0])
+                if key is not None and self.is_set_like(node.value):
+                    self.set_vars.add(key)
+            elif isinstance(node, ast.AnnAssign):
+                key = _var_key(node.target)
+                if key is not None and _annotation_is_set(node.annotation):
+                    self.set_vars.add(key)
+
+    def is_set_like(self, node: Optional[ast.AST]) -> bool:
+        """Heuristic: does this expression evaluate to an unordered set?"""
+        if node is None:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_PRODUCING_METHODS
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_like(node.left) or self.is_set_like(node.right)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            key = _var_key(node)
+            return key is not None and key in self.set_vars
+        return False
+
+    # ------------------------------------------------------------ helpers
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+    def parent_of(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+
+def _var_key(node: ast.AST) -> Optional[str]:
+    """Tracking key for a set-holding variable: a bare name or ``self.x``.
+
+    Attribute tracking is file-global (``self._foo`` in any method of any
+    class in the file) — a deliberate over-approximation; instance
+    attributes holding sets are almost always assigned once in
+    ``__init__`` and iterated in sibling methods.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    name = dotted_name(annotation)
+    if name is None:
+        return False
+    return name.rsplit(".", 1)[-1] in _SET_ANNOTATIONS
+
+
+class Rule:
+    """Base class for determinism lint rules."""
+
+    #: Stable rule code, e.g. ``DET101``.
+    code: str = ""
+    #: Short kebab-case name used in reports.
+    name: str = ""
+    #: One-line catalog description.
+    description: str = ""
+    #: Path-segment filter: the rule only applies to files whose path
+    #: contains one of these directory names (``None`` = every file).
+    scopes: Optional[tuple[str, ...]] = None
+
+    def applies_to(self, path: str) -> bool:
+        if self.scopes is None:
+            return True
+        segments = path.replace("\\", "/").split("/")
+        return any(scope in segments for scope in self.scopes)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+#: code -> rule class, in registration order.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules(select: Optional[Iterable[str]] = None) -> list[Rule]:
+    """Instantiate registered rules, optionally restricted to ``select``."""
+    if select is None:
+        return [cls() for cls in RULE_REGISTRY.values()]
+    wanted = set(select)
+    unknown = wanted - set(RULE_REGISTRY)
+    if unknown:
+        raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+    return [cls() for code, cls in RULE_REGISTRY.items() if code in wanted]

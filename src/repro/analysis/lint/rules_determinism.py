@@ -1,0 +1,429 @@
+"""The determinism rule set (``DET101``–``DET106``).
+
+Every rule here guards the same property: *two runs of the simulator with
+the same seed must make identical decisions*.  Python makes that easy to
+break quietly — set iteration order varies across processes (string hash
+randomization), ``id()`` values vary per allocation, wall-clock reads vary
+per run, the global ``random`` module is process-shared state — and a
+single nondeterministic tie-break on a scheduling path silently invalidates
+every figure (see ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .findings import Finding
+from .rules import FileContext, Rule, register
+
+__all__ = ["SIM_SCOPES"]
+
+#: Directories whose code runs *inside* the simulated world, where any
+#: nondeterminism corrupts results (reporting/harness code may legitimately
+#: read wall-clock time for progress output).
+SIM_SCOPES: tuple[str, ...] = ("sim", "runtime", "core", "workloads")
+
+#: Consumers whose result does not depend on iteration order.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "set", "frozenset", "len", "any", "all", "min", "max", "sum"}
+)
+
+#: Calls that materialize their argument's iteration order.
+_ORDER_MATERIALIZING_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET101: iteration over a builtin set has no reproducible order."""
+
+    code = "DET101"
+    name = "unordered-iteration"
+    description = (
+        "iterating a set/frozenset (for-loop, comprehension, list()/tuple()) "
+        "leaks hash order into downstream decisions; sort it or use an "
+        "ordered collection"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and ctx.is_set_like(node.iter):
+                yield ctx.finding(
+                    node.iter,
+                    self.code,
+                    "for-loop over an unordered set; wrap in sorted(...)",
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in node.generators:
+                    if ctx.is_set_like(gen.iter) and not self._order_insensitive(
+                        ctx, node
+                    ):
+                        yield ctx.finding(
+                            gen.iter,
+                            self.code,
+                            "comprehension over an unordered set feeds an "
+                            "order-sensitive consumer; wrap in sorted(...)",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        callee: Optional[str] = None
+        if isinstance(func, ast.Name) and func.id in _ORDER_MATERIALIZING_CALLS:
+            callee = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            callee = "join"
+        if callee is None or not node.args:
+            return
+        if ctx.is_set_like(node.args[0]):
+            yield ctx.finding(
+                node,
+                self.code,
+                f"{callee}() materializes an unordered set's iteration "
+                "order; wrap in sorted(...)",
+            )
+
+    @staticmethod
+    def _order_insensitive(ctx: FileContext, comp: ast.AST) -> bool:
+        """Is the comprehension's immediate consumer order-insensitive?
+
+        ``sum()`` is *treated* as order-insensitive here so DET105 (float
+        accumulation) owns that case with a sharper message.
+        """
+        parent = ctx.parent_of(comp)
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+            return parent.func.id in _ORDER_INSENSITIVE_CONSUMERS
+        return False
+
+
+#: Functions whose ``key=`` callables must be pure functions of the value.
+_SORTING_CALLS = frozenset({"sorted", "min", "max"})
+
+
+@register
+class IdHashInSortKeyRule(Rule):
+    """DET102: ``id()``/``hash()`` in a sort key varies across processes."""
+
+    code = "DET102"
+    name = "id-hash-in-sort-key"
+    description = (
+        "id()/hash() inside a sort key or heap entry ties ordering to "
+        "memory layout / hash randomization; use a stable field (task_id, "
+        "seq) instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _SORTING_CALLS or (
+                isinstance(func, ast.Attribute) and func.attr == "sort"
+            ):
+                for kw in node.keywords:
+                    if kw.arg == "key":
+                        yield from self._flag_id_hash(ctx, kw.value, "sort key")
+            resolved = ctx.resolve_call(func)
+            if resolved in ("heapq.heappush", "heapq.heappushpop") or (
+                isinstance(func, ast.Name) and func.id == "heappush"
+            ):
+                for arg in node.args[1:]:
+                    yield from self._flag_id_hash(ctx, arg, "heap entry")
+
+    def _flag_id_hash(
+        self, ctx: FileContext, root: ast.AST, where: str
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(root):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id in ("id", "hash")
+            ):
+                yield ctx.finding(
+                    sub,
+                    self.code,
+                    f"{sub.func.id}() used in a {where}; its value is not "
+                    "stable across runs",
+                )
+
+
+#: Wall-clock reads.  ``perf_counter`` & co. included: even "just timing"
+#: inside the simulated world tends to leak into adaptive decisions.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """DET103: wall-clock reads inside the simulated world."""
+
+    code = "DET103"
+    name = "wall-clock"
+    description = (
+        "time.time()/datetime.now() inside sim//runtime/ reads host time; "
+        "simulation code must use Simulator.now exclusively"
+    )
+    scopes = SIM_SCOPES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node.func)
+            if resolved in _WALL_CLOCK_CALLS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"wall-clock read {resolved}(); use the simulation "
+                    "clock (Simulator.now)",
+                )
+
+
+#: Module-level RNG functions (process-global hidden state).
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "shuffle",
+        "choice",
+        "choices",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "vonmisesvariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+_NUMPY_LEGACY_FNS = frozenset(
+    {
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "seed",
+    }
+)
+
+
+@register
+class UnseededRandomRule(Rule):
+    """DET104: global / unseeded RNG use inside the simulated world."""
+
+    code = "DET104"
+    name = "unseeded-random"
+    description = (
+        "module-level random.*/np.random.* or Random()/default_rng() "
+        "without a seed; construct an explicitly seeded generator instead"
+    )
+    scopes = SIM_SCOPES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node.func)
+            if resolved is None:
+                continue
+            if resolved == "random.SystemRandom":
+                yield ctx.finding(
+                    node, self.code, "SystemRandom() is entropy-driven"
+                )
+            elif resolved in ("random.Random", "numpy.random.default_rng") and not (
+                node.args or node.keywords
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{resolved}() constructed without a seed",
+                )
+            elif (
+                resolved.startswith("random.")
+                and resolved.split(".", 1)[1] in _GLOBAL_RANDOM_FNS
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{resolved}() uses the process-global RNG; use a "
+                    "seeded random.Random / numpy Generator instance",
+                )
+            elif (
+                resolved.startswith("numpy.random.")
+                and resolved.rsplit(".", 1)[1] in _NUMPY_LEGACY_FNS
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{resolved}() uses numpy's legacy global RNG; use "
+                    "numpy.random.default_rng(seed)",
+                )
+
+
+@register
+class FloatReductionRule(Rule):
+    """DET105: float accumulation over an unordered collection."""
+
+    code = "DET105"
+    name = "float-reduction-unordered"
+    description = (
+        "sum()/math.fsum()/reduce() over a set accumulates floats in hash "
+        "order; float addition is not associative — sort first"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node.func)
+            is_sum = isinstance(node.func, ast.Name) and node.func.id == "sum"
+            is_fsum = resolved == "math.fsum"
+            is_reduce = resolved in ("functools.reduce", "reduce")
+            arg_index = 1 if is_reduce else 0
+            if not (is_sum or is_fsum or is_reduce):
+                continue
+            if len(node.args) <= arg_index:
+                continue
+            arg = node.args[arg_index]
+            unordered = ctx.is_set_like(arg) or (
+                isinstance(arg, (ast.GeneratorExp, ast.ListComp))
+                and any(ctx.is_set_like(g.iter) for g in arg.generators)
+            )
+            if unordered:
+                name = "reduce" if is_reduce else ("fsum" if is_fsum else "sum")
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{name}() over an unordered set; float accumulation "
+                    "order changes the result — iterate sorted(...)",
+                )
+
+
+@register
+class SlotsViolationRule(Rule):
+    """DET106: attribute writes outside a hot-path class's ``__slots__``."""
+
+    code = "DET106"
+    name = "slots-violation"
+    description = (
+        "self.<attr> assignment not covered by the class's __slots__; "
+        "on hot-path classes this raises AttributeError at runtime (or "
+        "silently re-grows __dict__ if a base lacks slots)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for cls in classes.values():
+            allowed = self._slot_chain(cls, classes)
+            if allowed is None:
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                for node in ast.walk(method):
+                    target = self._self_attr_target(node)
+                    if target is not None and target.attr not in allowed:
+                        yield ctx.finding(
+                            target,
+                            self.code,
+                            f"self.{target.attr} assigned in "
+                            f"{cls.name}.{method.name} but missing from "
+                            "__slots__",
+                        )
+
+    @staticmethod
+    def _literal_slots(cls: ast.ClassDef) -> Optional[frozenset[str]]:
+        """The class's literal ``__slots__`` names, or None if absent."""
+        for stmt in cls.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "__slots__"
+                and isinstance(stmt.value, (ast.Tuple, ast.List))
+            ):
+                names = []
+                for elt in stmt.value.elts:
+                    if not (
+                        isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    ):
+                        return None  # non-literal slots: skip the class
+                    names.append(elt.value)
+                return frozenset(names)
+        return None
+
+    def _slot_chain(
+        self, cls: ast.ClassDef, classes: dict[str, ast.ClassDef]
+    ) -> Optional[frozenset[str]]:
+        """Union of slot names along an in-file base chain.
+
+        Returns ``None`` (rule does not apply) when the class is decorated
+        (``@dataclass(slots=True)`` generates slots invisibly), defines no
+        literal ``__slots__``, or inherits from anything not resolvable to
+        an in-file slotted class (the base may provide ``__dict__``).
+        """
+        if cls.decorator_list:
+            return None
+        own = self._literal_slots(cls)
+        if own is None:
+            return None
+        allowed = set(own)
+        for base in cls.bases:
+            if isinstance(base, ast.Name) and base.id == "object":
+                continue
+            if not (isinstance(base, ast.Name) and base.id in classes):
+                return None
+            base_slots = self._slot_chain(classes[base.id], classes)
+            if base_slots is None:
+                return None
+            allowed |= base_slots
+        return frozenset(allowed)
+
+    @staticmethod
+    def _self_attr_target(node: ast.AST) -> Optional[ast.Attribute]:
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                return target
+        return None

@@ -1,0 +1,252 @@
+"""Determinism-lint driver: file walking, suppressions, baseline, output.
+
+Suppression syntax (inline, on the offending line)::
+
+    x = list(s)  # repro: noqa[DET101]
+    y = list(s)  # repro: noqa[DET101,DET105]
+    z = list(s)  # repro: noqa
+
+A committed baseline file (JSON list of ``{path, code, line}`` entries)
+grandfathers pre-existing findings so the CI gate only fails on *new*
+ones; ``--write-baseline`` regenerates it.  See ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .findings import Finding
+from .rules import FileContext, Rule, all_rules
+from . import rules_determinism as _rules_determinism  # registers the DET rules
+
+assert _rules_determinism  # imported for its registration side effect
+
+__all__ = [
+    "LintReport",
+    "lint_source",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "main",
+    "DEFAULT_BASELINE",
+]
+
+#: Default committed baseline location (repo root), resolved relative to CWD.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.extend(f"parse error: {err}" for err in self.parse_errors)
+        lines.append(
+            f"checked {self.files_checked} file(s): "
+            f"{len(self.findings)} finding(s), "
+            f"{self.suppressed} suppressed, {self.baselined} baselined"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.findings],
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "files_checked": self.files_checked,
+                "parse_errors": self.parse_errors,
+                "ok": self.ok,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def _suppressed_codes(line: str) -> Optional[set[str]]:
+    """Codes suppressed by a ``# repro: noqa`` comment on ``line``.
+
+    Returns ``None`` when there is no noqa comment, an empty set for a
+    bare ``noqa`` (suppress everything), else the listed codes.
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return set()
+    return {c.strip() for c in codes.split(",") if c.strip()}
+
+
+def _lint_one(
+    source: str, path: str, rules: Sequence[Rule]
+) -> tuple[list[Finding], int]:
+    """Lint one source string; returns (kept findings, suppressed count)."""
+    ctx = FileContext(path, source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        findings.extend(rule.check(ctx))
+    kept: list[Finding] = []
+    suppressed = 0
+    for f in sorted(set(findings)):
+        line_text = ctx.lines[f.line - 1] if 0 < f.line <= len(ctx.lines) else ""
+        codes = _suppressed_codes(line_text)
+        if codes is not None and (not codes or f.code in codes):
+            suppressed += 1
+            continue
+        kept.append(f)
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> list[Finding]:
+    """Lint one source string; applies noqa suppression, not the baseline."""
+    active = list(rules) if rules is not None else all_rules()
+    return _lint_one(source, path, active)[0]
+
+
+def _iter_py_files(paths: Sequence[str]) -> list[pathlib.Path]:
+    out: list[pathlib.Path] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def load_baseline(path: str) -> set[tuple[str, str, int]]:
+    """Load baseline keys; a missing file is an empty baseline."""
+    p = pathlib.Path(path)
+    if not p.exists():
+        return set()
+    entries = json.loads(p.read_text())
+    return {(e["path"], e["code"], e["line"]) for e in entries}
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"path": f.path, "code": f.code, "line": f.line, "message": f.message}
+        for f in sorted(findings)
+    ]
+    pathlib.Path(path).write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+) -> LintReport:
+    """Lint files/directories; returns the aggregated report."""
+    rules = all_rules(select)
+    baseline_keys = load_baseline(baseline) if baseline else set()
+    report = LintReport()
+    for file in _iter_py_files(paths):
+        path = file.as_posix()
+        try:
+            source = file.read_text(encoding="utf-8")
+            raw, suppressed = _lint_one(source, path, rules)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            continue
+        report.files_checked += 1
+        report.suppressed += suppressed
+        for f in raw:
+            if f.baseline_key in baseline_keys:
+                report.baselined += 1
+            else:
+                report.findings.append(f)
+    report.findings.sort()
+    return report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST determinism linter (rule catalog: docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="CODE",
+        default=None,
+        help="restrict to these rule codes (e.g. DET101 DET103)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="FILE",
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: identical to the default behaviour, spelled out "
+        "(exit 1 on any non-baselined finding)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    baseline = None if args.no_baseline else args.baseline
+    report = lint_paths(args.paths, select=args.select, baseline=baseline)
+    if args.write_baseline:
+        target = args.baseline
+        write_baseline(target, report.findings)
+        print(f"wrote {len(report.findings)} baseline entries to {target}")
+        return 0
+    print(report.to_json() if args.format == "json" else report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

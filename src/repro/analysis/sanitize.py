@@ -1,0 +1,224 @@
+"""Sim-sanitizer: runtime invariant checking behind zero-overhead hooks.
+
+``--sanitize`` attaches a :class:`Sanitizer` to the simulation stack.  The
+instrumented components (:mod:`repro.sim.engine`, :mod:`repro.sim.locks`,
+:mod:`repro.sim.dvfs`, :mod:`repro.core.budget`) each hold a hook
+reference that is ``None`` by default; the only cost when the sanitizer is
+off is a single ``is not None`` test per instrumented operation, and the
+engine's drain loop hoists even that out when no sanitizer is installed.
+
+Checked invariants (the sanitizer maintains *shadow state* and never
+trusts the component's own bookkeeping):
+
+==========================  =============================================
+event-time monotonicity     events fire in non-decreasing time order
+no double-fire              a fired or cancelled event never fires again;
+                            only genuinely cancelled entries are reclaimed
+                            from the heap
+lock ownership              grants only to an unheld lock, strict FIFO
+                            hand-off order, release only by-the-book
+power budget                accelerated-core count (independently
+                            recounted) never exceeds the budget
+DVFS latency                a transition completes no earlier than the
+                            configured reconfiguration latency (25 µs in
+                            Table I) after its request
+==========================  =============================================
+
+The sanitizer only *observes* — it mutates nothing and allocates no
+simulation objects — so a sanitized run is byte-identical to an
+unsanitized one (pinned by ``tests/analysis/test_sanitize_golden.py``
+against the golden fingerprints).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.budget import AccelStateTable, Decision
+    from ..sim.engine import Event
+
+__all__ = ["Sanitizer", "SanitizerError"]
+
+#: Slack for float time comparisons (ns).
+_EPS = 1e-9
+
+
+class SanitizerError(AssertionError):
+    """An engine/runtime invariant was violated under ``--sanitize``."""
+
+
+@dataclass
+class _LockShadow:
+    holder: Optional[int] = None
+    queue: deque = field(default_factory=deque)
+    expected_direct_grant: Optional[int] = None
+
+
+class Sanitizer:
+    """Shadow-state invariant checker for one simulated execution."""
+
+    def __init__(self) -> None:
+        # engine
+        self._last_fire_ns = float("-inf")
+        self._fired_seqs: set[int] = set()
+        self._cancelled_seqs: set[int] = set()
+        # locks
+        self._locks: dict[str, _LockShadow] = {}
+        # dvfs: core_id -> (target level name, request time ns)
+        self._dvfs_pending: dict[int, tuple[str, float]] = {}
+        # counters (reported by render_summary)
+        self.events_checked = 0
+        self.cancellations_checked = 0
+        self.lock_ops_checked = 0
+        self.budget_commits_checked = 0
+        self.dvfs_transitions_checked = 0
+
+    # -------------------------------------------------------------- engine
+    def on_event_fire(self, time_ns: float, event: "Event") -> None:
+        self.events_checked += 1
+        if time_ns < self._last_fire_ns - _EPS:
+            raise SanitizerError(
+                f"event-time monotonicity violated: event seq={event.seq} "
+                f"fires at t={time_ns} after t={self._last_fire_ns}"
+            )
+        if event.seq in self._fired_seqs:
+            raise SanitizerError(
+                f"double fire: event seq={event.seq} already fired"
+            )
+        if event.seq in self._cancelled_seqs:
+            raise SanitizerError(
+                f"cancelled event seq={event.seq} fired at t={time_ns}"
+            )
+        self._last_fire_ns = time_ns
+        self._fired_seqs.add(event.seq)
+
+    def on_event_cancel(self, event: "Event") -> None:
+        self.cancellations_checked += 1
+        if event.seq in self._fired_seqs:
+            raise SanitizerError(
+                f"event seq={event.seq} cancelled after firing"
+            )
+        self._cancelled_seqs.add(event.seq)
+
+    def on_dead_entry(self, event: "Event") -> None:
+        """A non-pending heap entry is being reclaimed (lazy cancellation)."""
+        if event.seq not in self._cancelled_seqs:
+            raise SanitizerError(
+                f"heap entry seq={event.seq} reclaimed as dead but was "
+                "never cancelled (double-scheduled event?)"
+            )
+
+    # --------------------------------------------------------------- locks
+    def _lock(self, name: str) -> _LockShadow:
+        return self._locks.setdefault(name, _LockShadow())
+
+    def on_lock_acquire(self, name: str, core_id: int) -> None:
+        self.lock_ops_checked += 1
+        shadow = self._lock(name)
+        if shadow.holder is None and not shadow.queue:
+            shadow.expected_direct_grant = core_id
+        else:
+            shadow.queue.append(core_id)
+
+    def on_lock_grant(self, name: str, core_id: int) -> None:
+        self.lock_ops_checked += 1
+        shadow = self._lock(name)
+        if shadow.holder is not None:
+            raise SanitizerError(
+                f"lock {name}: granted to core {core_id} while held by "
+                f"core {shadow.holder}"
+            )
+        if shadow.expected_direct_grant == core_id:
+            shadow.expected_direct_grant = None
+        elif shadow.queue and shadow.queue[0] == core_id:
+            shadow.queue.popleft()
+        else:
+            expected = (
+                shadow.queue[0] if shadow.queue else shadow.expected_direct_grant
+            )
+            raise SanitizerError(
+                f"lock {name}: FIFO grant order violated — granted to core "
+                f"{core_id}, expected {expected}"
+            )
+        shadow.holder = core_id
+
+    def on_lock_release(self, name: str, core_id: Optional[int]) -> None:
+        self.lock_ops_checked += 1
+        shadow = self._lock(name)
+        if shadow.holder is None:
+            raise SanitizerError(f"lock {name}: released while not held")
+        if core_id != shadow.holder:
+            raise SanitizerError(
+                f"lock {name}: released on behalf of core {core_id} but "
+                f"held by core {shadow.holder}"
+            )
+        shadow.holder = None
+
+    # -------------------------------------------------------------- budget
+    def on_budget_commit(
+        self, table: "AccelStateTable", decision: "Decision"
+    ) -> None:
+        """Independent recount of the accelerated-cores invariant."""
+        self.budget_commits_checked += 1
+        count = sum(
+            1 for i in range(table.core_count) if table.is_accelerated(i)
+        )
+        if count > table.budget:
+            raise SanitizerError(
+                f"power budget exceeded: {count} accelerated cores > "
+                f"budget {table.budget} after {decision}"
+            )
+        if count != table.accelerated_count:
+            raise SanitizerError(
+                f"accelerated-count bookkeeping drifted: recount {count} != "
+                f"tracked {table.accelerated_count} after {decision}"
+            )
+
+    # ---------------------------------------------------------------- dvfs
+    def on_dvfs_request(
+        self, core_id: int, level_name: str, now_ns: float
+    ) -> None:
+        self._dvfs_pending[core_id] = (level_name, now_ns)
+
+    def on_dvfs_complete(
+        self,
+        core_id: int,
+        level_name: str,
+        now_ns: float,
+        transition_ns: float,
+    ) -> None:
+        self.dvfs_transitions_checked += 1
+        pending = self._dvfs_pending.pop(core_id, None)
+        if pending is None:
+            raise SanitizerError(
+                f"core {core_id}: DVFS transition to {level_name} completed "
+                "with no outstanding request"
+            )
+        target, requested_ns = pending
+        if target != level_name:
+            raise SanitizerError(
+                f"core {core_id}: DVFS completed at {level_name} but the "
+                f"latest request targeted {target}"
+            )
+        elapsed = now_ns - requested_ns
+        if elapsed < transition_ns - _EPS:
+            raise SanitizerError(
+                f"core {core_id}: DVFS transition to {level_name} completed "
+                f"after {elapsed} ns < reconfiguration latency "
+                f"{transition_ns} ns"
+            )
+
+    # ------------------------------------------------------------- summary
+    def render_summary(self) -> str:
+        return (
+            "sanitizer: "
+            f"{self.events_checked} events, "
+            f"{self.cancellations_checked} cancellations, "
+            f"{self.lock_ops_checked} lock ops, "
+            f"{self.budget_commits_checked} budget commits, "
+            f"{self.dvfs_transitions_checked} DVFS transitions checked — "
+            "all invariants held"
+        )

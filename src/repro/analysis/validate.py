@@ -11,7 +11,7 @@ harness can report every deviation instead of stopping at the first.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from .metrics import NormalizedPoint
 from .stats import arithmetic_mean, group_by

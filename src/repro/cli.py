@@ -16,7 +16,12 @@ writing code:
 ``rsu``        RSU area/power overhead (Section III-B.4)
 ``perf``       simulator performance benchmarks; writes ``BENCH_engine.json``
                and ``BENCH_sweep.json``, ``--check`` gates on regressions
+``lint``       AST determinism linter over the source tree
+``analyze-tdg``  static race/deadlock analysis of workload task graphs
 =============  =============================================================
+
+``run --sanitize`` attaches the sim-sanitizer (runtime invariant checks,
+byte-identical output); see ``docs/static-analysis.md``.
 
 The sweep-backed commands (``sweep``/``figure4``/``figure5``/
 ``experiments``) accept ``--jobs N`` to fan independent grid cells across
@@ -33,7 +38,7 @@ from typing import Optional, Sequence
 
 from .analysis import render_table, render_timeline
 from .analysis.export import export_chrome_trace
-from .core.policies import EXTRA_POLICIES, POLICIES, run_policy
+from .core.policies import EXTRA_POLICIES, POLICIES, build_system, run_policy
 from .harness import (
     GridRunner,
     render_rsu_overhead,
@@ -68,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--baseline", action="store_true",
                        help="also run FIFO and report speedup / normalized EDP")
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="enable runtime invariant checks (sim-sanitizer); "
+                       "output is unchanged, violations raise")
     p_run.add_argument("--timeline", action="store_true",
                        help="print an ASCII core-by-time timeline")
     p_run.add_argument("--breakdown", action="store_true",
@@ -150,6 +158,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="regression threshold as a fraction "
                         "(default: 0.30)")
 
+    # Delegated subcommands: main() hands the remaining argv to the
+    # analysis drivers before this parser ever runs, so these entries only
+    # exist for `repro --help` discoverability.
+    sub.add_parser("lint", help="AST determinism linter (repro lint --help)",
+                   add_help=False)
+    sub.add_parser("analyze-tdg",
+                   help="static TDG race/deadlock analysis "
+                   "(repro analyze-tdg --help)",
+                   add_help=False)
+
     return parser
 
 
@@ -164,12 +182,14 @@ def _cmd_list() -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
-    result = run_policy(
+    system = build_system(
         build_program(args.benchmark, scale=args.scale, seed=args.seed),
         args.policy,
         fast_cores=args.fast,
         seed=args.seed,
+        sanitize=args.sanitize,
     )
+    result = system.run()
     lines = [
         f"{args.benchmark} under {args.policy} @ {args.fast} fast cores "
         f"(scale {args.scale}, seed {args.seed})",
@@ -181,6 +201,8 @@ def _cmd_run(args: argparse.Namespace) -> str:
         f"(avg latency {result.avg_reconfig_latency_ns / 1e3:.1f} us, "
         f"{result.cpufreq_writes} cpufreq writes)",
     ]
+    if system.sanitizer is not None:
+        lines.append(f"  {system.sanitizer.render_summary()}")
     if args.baseline:
         fifo = run_policy(
             build_program(args.benchmark, scale=args.scale, seed=args.seed),
@@ -239,7 +261,18 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    # The analysis drivers own their argument parsing; hand over before the
+    # main parser sees (and rejects) their flags.
+    if raw and raw[0] == "lint":
+        from .analysis.lint.runner import main as lint_main
+
+        return lint_main(raw[1:])
+    if raw and raw[0] == "analyze-tdg":
+        from .analysis.tdgcheck import main as tdg_main
+
+        return tdg_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.command == "list":
         print(_cmd_list())
     elif args.command == "table1":

@@ -74,6 +74,9 @@ class AccelStateTable:
         self._status = ["NA"] * core_count  # "A" | "NA"
         self._crit = [Criticality.NO_TASK] * core_count
         self._accel_count = 0
+        #: Optional invariant checker (``--sanitize``); installed by the
+        #: RSM/RSU constructors from ``sim.sanitizer``.
+        self.sanitizer = None
 
     # ------------------------------------------------------------- queries
     def is_accelerated(self, core_id: int) -> bool:
@@ -181,6 +184,9 @@ class AccelStateTable:
                 )
             self._status[decision.accel] = "A"
             self._accel_count += 1
+        san = self.sanitizer
+        if san is not None:
+            san.on_budget_commit(self, decision)
         self.check_invariant()
 
     def reset(self) -> None:

@@ -26,9 +26,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..sim.config import DVFSLevel, MachineConfig
-from ..sim.dvfs import DVFSController
-from ..sim.engine import Simulator
-from ..sim.trace import ReconfigRecord, Trace
+from ..sim.trace import ReconfigRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.system import RuntimeSystem

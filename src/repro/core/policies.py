@@ -77,6 +77,7 @@ def build_system(
     trace_enabled: bool = True,
     bl_threshold: float = 0.75,
     bl_edge_budget: int = 64,
+    sanitize: bool = False,
 ) -> RuntimeSystem:
     """Wire a runtime system for one policy on one program."""
     if machine is None:
@@ -194,6 +195,7 @@ def build_system(
         initial_levels=levels,
         trace_enabled=trace_enabled,
         policy_name=policy,
+        sanitize=sanitize,
     )
 
 
@@ -204,6 +206,7 @@ def run_policy(
     fast_cores: int = 8,
     seed: int = 0,
     trace_enabled: bool = True,
+    sanitize: bool = False,
 ):
     """Build and run in one call; returns the :class:`RunResult`."""
     system = build_system(
@@ -213,5 +216,6 @@ def run_policy(
         fast_cores=fast_cores,
         seed=seed,
         trace_enabled=trace_enabled,
+        sanitize=sanitize,
     )
     return system.run()

@@ -27,6 +27,7 @@ class ReconfigurationSupportModule(AccelStateTable):
         self, sim: Simulator, core_count: int, budget: int, trace: Trace
     ) -> None:
         super().__init__(core_count=core_count, budget=budget)
+        self.sanitizer = sim.sanitizer
         self.lock = SimLock(sim, name="rsm-reconfig", trace=trace)
 
     def render_state(self) -> str:

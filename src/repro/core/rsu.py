@@ -61,6 +61,7 @@ class RuntimeSupportUnit:
         self._dvfs = dvfs
         self._trace = trace
         self.table = AccelStateTable(machine.core_count, budget)
+        self.table.sanitizer = sim.sanitizer
         self._accel_level: DVFSLevel = machine.fast
         self._non_accel_level: DVFSLevel = machine.slow
         self._enabled = True
@@ -74,6 +75,7 @@ class RuntimeSupportUnit:
     ) -> None:
         """Configure budget and power levels (OS boot time)."""
         self.table = AccelStateTable(self._machine.core_count, budget)
+        self.table.sanitizer = self._sim.sanitizer
         if accel_level is not None:
             self._accel_level = accel_level
         if non_accel_level is not None:

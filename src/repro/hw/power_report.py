@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..sim.config import MachineConfig, default_machine
-from ..sim.power import CoreState, PowerModel
+from ..sim.power import PowerModel
 from .cacti import TECH_22NM, TechNode, sram_area_mm2, sram_leakage_w
 from .rsu_cost import rsu_storage_bits
 

@@ -10,7 +10,7 @@ simulated machine.
 
 from .accel import AccelerationManager, NullAccelerationManager
 from .cats import CATAScheduler, CATSScheduler
-from .dataflow import DataflowProgramBuilder
+from .dataflow import DataflowProgramBuilder, TaskAccess
 from .criticality import (
     BottomLevelEstimator,
     CriticalityEstimator,
@@ -35,6 +35,7 @@ __all__ = [
     "TaskSpec",
     "Program",
     "DataflowProgramBuilder",
+    "TaskAccess",
     "TaskGraph",
     "CriticalityEstimator",
     "StaticAnnotationEstimator",

@@ -32,9 +32,32 @@ from typing import Hashable, Iterable, Optional
 from .program import Program
 from .task import TaskType
 
-__all__ = ["DataflowProgramBuilder"]
+__all__ = ["DataflowProgramBuilder", "TaskAccess"]
 
 Region = Hashable
+
+
+@dataclass(frozen=True)
+class TaskAccess:
+    """Declared data accesses of one task (the dataflow annotation).
+
+    Recorded by :class:`DataflowProgramBuilder` per submitted task and
+    consumed by the static race analyzer
+    (:mod:`repro.analysis.tdgcheck`), which independently verifies that
+    the derived dependence edges order every conflicting access pair.
+    """
+
+    ins: tuple[Region, ...] = ()
+    outs: tuple[Region, ...] = ()
+    inouts: tuple[Region, ...] = ()
+
+    @property
+    def reads(self) -> tuple[Region, ...]:
+        return self.ins + self.inouts
+
+    @property
+    def writes(self) -> tuple[Region, ...]:
+        return self.outs + self.inouts
 
 
 @dataclass
@@ -51,6 +74,8 @@ class DataflowProgramBuilder:
     def __init__(self, name: str) -> None:
         self.program = Program(name=name)
         self._regions: dict[Region, _RegionState] = {}
+        #: Declared access lists, one entry per task, in submission order.
+        self.accesses: list[TaskAccess] = []
 
     def _state(self, region: Region) -> _RegionState:
         return self._regions.setdefault(region, _RegionState())
@@ -93,6 +118,9 @@ class DataflowProgramBuilder:
             deps=sorted(d for d in deps),
             block_at=block_at,
             block_ns=block_ns,
+        )
+        self.accesses.append(
+            TaskAccess(ins=tuple(ins), outs=tuple(outs), inouts=tuple(inouts))
         )
 
         # Update region states: writes reset the reader sets.

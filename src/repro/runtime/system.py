@@ -85,11 +85,22 @@ class RuntimeSystem:
         trace_enabled: bool = True,
         policy_name: str = "custom",
         bl_edge_budget: "Optional[int]" = None,
+        sanitize: bool = False,
     ) -> None:
         self.machine = machine
         self.program = program
         self.policy_name = policy_name
         self.sim = Simulator()
+        self.sanitizer = None
+        if sanitize:
+            # Imported lazily: repro.analysis is a higher layer and pulling
+            # it in at module-import time would cycle through runtime.
+            from ..analysis.sanitize import Sanitizer
+
+            self.sanitizer = Sanitizer()
+            # Installed before any component is built so every constructor
+            # (DVFS, locks, RSM/RSU tables) sees the hook.
+            self.sim.sanitizer = self.sanitizer
         self.trace = Trace(enabled=trace_enabled)
         self.power_model = PowerModel(machine.power)
         self.energy = EnergyAccountant(self.sim, self.power_model, machine.core_count)

@@ -100,8 +100,16 @@ class DVFSController:
         if ev is not None:
             ev.cancel()
         self._pending_target[core_id] = level
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_dvfs_request(core_id, level.name, self._sim.now)
 
         def _complete() -> None:
+            san = self._sim.sanitizer
+            if san is not None:
+                san.on_dvfs_complete(
+                    core_id, level.name, self._sim.now, self._transition_ns
+                )
             old = self._level[core_id]
             self._level[core_id] = level
             self._pending_target[core_id] = None

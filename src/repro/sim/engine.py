@@ -93,6 +93,9 @@ class Event:
             self._state = _CANCELLED
             sim = self._sim
             if sim is not None:
+                san = sim.sanitizer
+                if san is not None:
+                    san.on_event_cancel(self)
                 sim._note_cancelled()
 
     @property
@@ -137,6 +140,9 @@ class Simulator:
         self._stop_requested = False
         #: Cancelled events still sitting in the heap (compaction trigger).
         self._dead = 0
+        #: Optional invariant checker (``--sanitize``); ``None`` keeps every
+        #: instrumented site on its zero-overhead fast path.
+        self.sanitizer: Optional[Any] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -222,12 +228,17 @@ class Simulator:
         """
         heap = self._heap
         pop = heapq.heappop
+        san = self.sanitizer
         while heap:
             time, _seq, ev = pop(heap)
             if ev._state:  # not _PENDING — only cancelled entries linger in the heap
                 self._dead -= 1
+                if san is not None:
+                    san.on_dead_entry(ev)
                 continue
             self._now = time
+            if san is not None:
+                san.on_event_fire(time, ev)
             ev._state = _FIRED
             self._events_fired += 1
             ev.callback()
@@ -251,6 +262,25 @@ class Simulator:
         fired = 0
         try:
             if until is None and max_events is None:
+                san = self.sanitizer
+                if san is not None:
+                    # Sanitized drain loop: same pop discipline, plus the
+                    # invariant hooks on every fired/reclaimed entry.
+                    while heap:
+                        entry = pop(heap)
+                        ev = entry[2]
+                        if ev._state:
+                            self._dead -= 1
+                            san.on_dead_entry(ev)
+                            continue
+                        self._now = entry[0]
+                        san.on_event_fire(entry[0], ev)
+                        ev._state = _FIRED
+                        self._events_fired += 1
+                        ev.callback()
+                        if self._stop_requested:
+                            return
+                    return
                 # Hot path: the unbounded drain loop used by full simulations.
                 while heap:
                     entry = pop(heap)
@@ -265,11 +295,14 @@ class Simulator:
                     if self._stop_requested:
                         return
                 return
+            san = self.sanitizer
             while heap:
                 time, _seq, ev = heap[0]
                 if ev._state:
                     pop(heap)
                     self._dead -= 1
+                    if san is not None:
+                        san.on_dead_entry(ev)
                     continue
                 if until is not None and time > until:
                     self._now = until
@@ -280,6 +313,8 @@ class Simulator:
                     )
                 pop(heap)
                 self._now = time
+                if san is not None:
+                    san.on_event_fire(time, ev)
                 ev._state = _FIRED
                 self._events_fired += 1
                 fired += 1

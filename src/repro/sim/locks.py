@@ -15,7 +15,7 @@ cost of spinning is therefore accounted automatically through the core model.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from .engine import Simulator
@@ -89,6 +89,9 @@ class SimLock:
         """Request the lock for ``core_id``; ``on_granted`` fires when owned."""
         if self._holder == core_id:
             raise RuntimeError(f"core {core_id} would deadlock re-acquiring {self.name}")
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_lock_acquire(self.name, core_id)
         if self._holder is None and not self._queue:
             self._grant(core_id, self._sim.now, on_granted)
         else:
@@ -98,6 +101,9 @@ class SimLock:
             )
 
     def _grant(self, core_id: int, request_ns: float, on_granted: Callable[[], None]) -> None:
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_lock_grant(self.name, core_id)
         self._holder = core_id
         self._request_ns = request_ns
         self._grant_ns = self._sim.now
@@ -110,6 +116,9 @@ class SimLock:
 
     def release(self) -> None:
         """Release the lock and hand it to the next FIFO waiter (if any)."""
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_lock_release(self.name, self._holder)
         if self._holder is None:
             raise RuntimeError(f"release of unheld lock {self.name}")
         hold = self._sim.now - self._grant_ns

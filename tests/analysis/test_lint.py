@@ -1,0 +1,231 @@
+"""Determinism-linter tests: one positive + one negative fixture per rule,
+suppression syntax, baseline mechanics, output formats and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    RULE_REGISTRY,
+    all_rules,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.runner import main as lint_main
+
+
+def codes(source: str, path: str = "src/repro/sim/x.py") -> list[str]:
+    return [f.code for f in lint_source(source, path)]
+
+
+# ---------------------------------------------------------------- registry
+def test_all_six_rules_registered():
+    assert sorted(RULE_REGISTRY) == [
+        "DET101",
+        "DET102",
+        "DET103",
+        "DET104",
+        "DET105",
+        "DET106",
+    ]
+
+
+def test_select_unknown_code_rejected():
+    with pytest.raises(ValueError, match="unknown rule codes"):
+        all_rules(["DET999"])
+
+
+# ------------------------------------------------------------------ DET101
+def test_det101_flags_for_loop_over_set_literal():
+    assert codes("for x in {1, 2, 3}:\n    pass\n") == ["DET101"]
+
+
+def test_det101_flags_iteration_over_set_typed_variable():
+    src = "s: set[int] = set()\nout = [v for v in s]\n"
+    assert "DET101" in codes(src)
+
+
+def test_det101_flags_self_attribute_set():
+    src = (
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self.live = set()\n"
+        "    def order(self):\n"
+        "        return list(self.live)\n"
+    )
+    assert "DET101" in codes(src)
+
+
+def test_det101_negative_sorted_iteration_is_clean():
+    src = "s = {3, 1, 2}\nfor x in sorted(s):\n    pass\ntotal = len(s)\n"
+    assert codes(src) == []
+
+
+# ------------------------------------------------------------------ DET102
+def test_det102_flags_id_in_sort_key():
+    assert codes("items.sort(key=lambda t: id(t))\n") == ["DET102"]
+
+
+def test_det102_flags_hash_in_min_key():
+    assert "DET102" in codes("best = min(tasks, key=lambda t: hash(t.name))\n")
+
+
+def test_det102_negative_field_key_is_clean():
+    assert codes("items.sort(key=lambda t: t.seq)\n") == []
+
+
+# ------------------------------------------------------------------ DET103
+def test_det103_flags_wall_clock_in_sim_scope():
+    src = "import time\nnow = time.monotonic()\n"
+    assert "DET103" in codes(src, "src/repro/sim/engine_x.py")
+
+
+def test_det103_scope_excludes_harness():
+    src = "import time\nnow = time.monotonic()\n"
+    assert codes(src, "src/repro/harness/timer.py") == []
+
+
+# ------------------------------------------------------------------ DET104
+def test_det104_flags_unseeded_module_random():
+    src = "import random\nx = random.random()\n"
+    assert "DET104" in codes(src, "src/repro/runtime/x.py")
+
+
+def test_det104_flags_unseeded_numpy_default_rng():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert "DET104" in codes(src, "src/repro/workloads/x.py")
+
+
+def test_det104_negative_seeded_rng_is_clean():
+    src = (
+        "import numpy as np\nimport random\n"
+        "rng = np.random.default_rng(42)\nr = random.Random(7)\n"
+    )
+    assert codes(src, "src/repro/workloads/x.py") == []
+
+
+# ------------------------------------------------------------------ DET105
+def test_det105_flags_sum_over_set():
+    src = "vals = {1.5, 2.5}\ntotal = sum(vals)\n"
+    assert "DET105" in codes(src)
+
+
+def test_det105_negative_sum_over_list_is_clean():
+    assert codes("total = sum([1.5, 2.5])\n") == []
+
+
+# ------------------------------------------------------------------ DET106
+def test_det106_flags_attribute_outside_slots():
+    src = (
+        "class Ev:\n"
+        "    __slots__ = ('a',)\n"
+        "    def __init__(self):\n"
+        "        self.a = 1\n"
+        "    def oops(self):\n"
+        "        self.b = 2\n"
+    )
+    assert codes(src) == ["DET106"]
+
+
+def test_det106_honours_base_class_slots_in_file():
+    src = (
+        "class Base:\n"
+        "    __slots__ = ('a',)\n"
+        "class Sub(Base):\n"
+        "    __slots__ = ('b',)\n"
+        "    def __init__(self):\n"
+        "        self.a = 1\n"
+        "        self.b = 2\n"
+    )
+    assert codes(src) == []
+
+
+# ------------------------------------------------------------- suppression
+def test_noqa_with_code_suppresses_only_that_code():
+    src = "for x in {1, 2}:  # repro: noqa[DET101]\n    pass\n"
+    assert codes(src) == []
+
+
+def test_bare_noqa_suppresses_everything_on_the_line():
+    src = "total = sum({1.5, 2.5})  # repro: noqa\n"
+    assert codes(src) == []
+
+
+def test_noqa_with_other_code_does_not_suppress():
+    src = "for x in {1, 2}:  # repro: noqa[DET103]\n    pass\n"
+    assert codes(src) == ["DET101"]
+
+
+# ------------------------------------------------------------ paths + CLI
+BAD_SIM_SOURCE = "import time\nnow = time.time()\nfor x in {1, 2}:\n    pass\n"
+
+
+def seed_tree(tmp_path):
+    pkg = tmp_path / "sim"
+    pkg.mkdir()
+    (pkg / "bad.py").write_text(BAD_SIM_SOURCE)
+    return pkg
+
+
+def test_lint_paths_reports_findings(tmp_path):
+    pkg = seed_tree(tmp_path)
+    report = lint_paths([str(pkg)])
+    assert not report.ok
+    assert sorted(f.code for f in report.findings) == ["DET101", "DET103"]
+    assert report.files_checked == 1
+
+
+def test_cli_exits_nonzero_on_violations(tmp_path, capsys):
+    pkg = seed_tree(tmp_path)
+    assert lint_main([str(pkg), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "DET101" in out and "DET103" in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    pkg = seed_tree(tmp_path)
+    assert lint_main([str(pkg), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert {f["code"] for f in payload["findings"]} == {"DET101", "DET103"}
+
+
+def test_baseline_grandfathers_existing_findings(tmp_path, capsys):
+    pkg = seed_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert len(load_baseline(str(baseline))) == 2
+    # With the baseline in force the same tree is green...
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--check"]) == 0
+    # ...but a *new* finding still fails.
+    (pkg / "worse.py").write_text("for y in {3, 4}:\n    pass\n")
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--check"]) == 1
+
+
+def test_write_baseline_round_trip(tmp_path):
+    pkg = seed_tree(tmp_path)
+    report = lint_paths([str(pkg)])
+    target = tmp_path / "b.json"
+    write_baseline(str(target), report.findings)
+    keys = load_baseline(str(target))
+    assert keys == {f.baseline_key for f in report.findings}
+
+
+def test_parse_error_is_reported_not_raised(tmp_path):
+    pkg = tmp_path / "sim"
+    pkg.mkdir()
+    (pkg / "broken.py").write_text("def f(:\n")
+    report = lint_paths([str(pkg)])
+    assert not report.ok
+    assert report.parse_errors and "broken.py" in report.parse_errors[0]
+
+
+# --------------------------------------------------------- acceptance gate
+def test_src_repro_is_lint_clean():
+    """ISSUE acceptance: the linter exits zero on the shipped tree."""
+    report = lint_paths(["src/repro"], baseline=None)
+    assert report.ok, report.render()

@@ -14,7 +14,7 @@ from repro.core.policies import run_policy
 from repro.runtime.program import Program
 from repro.runtime.task import TaskType
 from repro.sim.config import default_machine
-from repro.sim.trace import TaskSpan, Trace
+from repro.sim.trace import Trace
 
 T = TaskType("plain", criticality=0)
 C = TaskType("crit", criticality=1)

@@ -1,0 +1,56 @@
+"""Golden-equivalence proof for the sim-sanitizer.
+
+The ISSUE acceptance criterion: enabling ``--sanitize`` must not change
+the simulation output *at all* — the serialized RunResult of a golden
+Figure-4 cell must fingerprint byte-identically to the committed golden
+hash produced without the sanitizer.  This pins the zero-observable-
+effect property of the hook layer (no extra events, no reordering, no
+float drift) rather than trusting the design.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+sys.path.insert(0, str(GOLDEN_DIR))
+
+from regenerate import (  # noqa: E402
+    GOLDEN_FAST,
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    fingerprint,
+)
+
+from repro.core.policies import run_policy  # noqa: E402
+from repro.workloads import build_program  # noqa: E402
+
+
+def golden_cells() -> dict:
+    return json.loads((GOLDEN_DIR / "golden_traces.json").read_text())["cells"]
+
+
+def run_sanitized(workload: str, policy: str):
+    program = build_program(workload, scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+    return run_policy(
+        program,
+        policy,
+        fast_cores=GOLDEN_FAST,
+        seed=GOLDEN_SEED,
+        trace_enabled=True,
+        sanitize=True,
+    )
+
+
+def test_sanitized_cata_cell_matches_golden_fingerprint():
+    cells = golden_cells()
+    result = run_sanitized("blackscholes", "cata")
+    assert fingerprint(result) == cells["blackscholes/cata"]["sha256"]
+
+
+def test_sanitized_cats_bl_cell_matches_golden_fingerprint():
+    cells = golden_cells()
+    result = run_sanitized("blackscholes", "cats_bl")
+    assert fingerprint(result) == cells["blackscholes/cats_bl"]["sha256"]

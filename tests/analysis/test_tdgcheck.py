@@ -1,0 +1,158 @@
+"""Static TDG analyzer tests: hand-built racy and cyclic graphs, barrier
+fencing, dataflow-builder round trips and the workload-wide gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tdgcheck import (
+    TaskAccess,
+    analyze_builder,
+    analyze_tdg,
+    analyze_workload,
+)
+from repro.analysis.tdgcheck import main as tdg_main
+from repro.runtime.dataflow import DataflowProgramBuilder
+from repro.runtime.task import TaskType
+from repro.workloads import BENCHMARKS
+
+
+def W(*regions):
+    return TaskAccess(outs=tuple(regions))
+
+
+def R(*regions):
+    return TaskAccess(ins=tuple(regions))
+
+
+# -------------------------------------------------------------------- races
+def test_unordered_write_write_is_a_race():
+    report = analyze_tdg(deps=[[], []], accesses=[W("x"), W("x")])
+    assert [r.kind for r in report.races] == ["write/write"]
+    assert not report.ok
+
+
+def test_unordered_read_after_write_is_a_race():
+    report = analyze_tdg(deps=[[], []], accesses=[W("x"), R("x")])
+    assert [r.kind for r in report.races] == ["write/read"]
+
+
+def test_unordered_write_after_read_is_a_race():
+    report = analyze_tdg(deps=[[], []], accesses=[R("x"), W("x")])
+    # Task 0 reads with no prior writer; task 1's write conflicts with it.
+    assert [r.kind for r in report.races] == ["read/write"]
+
+
+def test_direct_edge_orders_the_conflict():
+    report = analyze_tdg(deps=[[], [0]], accesses=[W("x"), W("x")])
+    assert report.ok
+
+
+def test_transitive_path_orders_the_conflict():
+    report = analyze_tdg(
+        deps=[[], [0], [1]], accesses=[W("x"), TaskAccess(), W("x")]
+    )
+    assert report.ok
+
+
+def test_barrier_fences_conflicts_across_segments():
+    # Two unordered writers... but a taskwait between them.
+    report = analyze_tdg(deps=[[], []], accesses=[W("x"), W("x")], barriers=[1])
+    assert report.ok
+
+
+def test_disjoint_regions_never_race():
+    report = analyze_tdg(deps=[[], []], accesses=[W("x"), W("y")])
+    assert report.ok
+
+
+def test_parallel_readers_do_not_race():
+    report = analyze_tdg(
+        deps=[[], [0], [0]], accesses=[W("x"), R("x"), R("x")]
+    )
+    assert report.ok
+
+
+def test_inout_counts_as_both_read_and_write():
+    acc = TaskAccess(inouts=("x",))
+    report = analyze_tdg(deps=[[], []], accesses=[acc, acc])
+    assert not report.ok
+
+
+def test_max_races_caps_the_report():
+    n = 10
+    report = analyze_tdg(
+        deps=[[] for _ in range(n)],
+        accesses=[W("x") for _ in range(n)],
+        max_races=3,
+    )
+    assert len(report.races) == 3
+
+
+# ------------------------------------------------------------------- cycles
+def test_self_dependence_is_an_error():
+    report = analyze_tdg(deps=[[0]])
+    assert report.errors and "itself" in report.errors[0]
+
+
+def test_cycle_detected_and_rendered():
+    report = analyze_tdg(deps=[[2], [0], [1]])
+    assert len(report.cycles) == 1
+    assert set(report.cycles[0]) == {0, 1, 2}
+    assert "deadlock cycle" in report.render()
+
+
+def test_out_of_range_dependence_is_an_error():
+    report = analyze_tdg(deps=[[], [7]])
+    assert report.errors and "unknown task" in report.errors[0]
+
+
+def test_races_skipped_on_cyclic_graph():
+    # Happens-before is undefined under a cycle; only the cycle is reported.
+    report = analyze_tdg(deps=[[1], [0]], accesses=[W("x"), W("x")])
+    assert report.cycles and not report.races
+
+
+# ------------------------------------------------------------ builder round trip
+def test_dataflow_builder_graphs_are_race_free():
+    b = DataflowProgramBuilder("stencil")
+    ttype = TaskType("stencil-step")
+    for _step in range(3):
+        for tile in range(4):
+            neighbors = [f"t{tile}", f"t{(tile + 1) % 4}"]
+            b.task(ttype, 1000.0, 0.0, ins=neighbors, outs=[f"n{tile}"])
+        b.taskwait()
+        for tile in range(4):
+            b.task(ttype, 500.0, 0.0, ins=[f"n{tile}"], outs=[f"t{tile}"])
+        b.taskwait()
+    report = analyze_builder(b)
+    assert report.ok, report.render()
+    assert report.annotated_tasks == report.task_count == 24
+
+
+def test_builder_missing_annotation_detected():
+    b = DataflowProgramBuilder("p")
+    b.task(TaskType("t"), 1.0, 0.0, outs=["x"])
+    report = analyze_tdg(
+        deps=[spec.deps for spec in b.program.specs],
+        accesses=b.accesses + [None],  # wrong length
+    )
+    assert report.errors
+
+
+# ---------------------------------------------------------- workloads + CLI
+@pytest.mark.parametrize("workload", sorted(BENCHMARKS))
+def test_every_builtin_workload_is_clean(workload):
+    report = analyze_workload(workload, scale=0.1, seed=1)
+    assert report.ok, report.render()
+    assert report.task_count > 0
+
+
+def test_cli_all_workloads_exit_zero(capsys):
+    assert tdg_main(["--workload", "all", "--scales", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "0 race(s), 0 cycle(s)" in out
+
+
+def test_cli_unknown_workload_exit_two(capsys):
+    assert tdg_main(["--workload", "nope"]) == 2

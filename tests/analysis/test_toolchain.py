@@ -1,0 +1,71 @@
+"""Toolchain gates: ruff and mypy, pinned in pyproject's ``lint`` extra.
+
+These run the exact commands CI's static-analysis job runs.  The tools
+are optional dev dependencies — locally absent installs skip; CI installs
+them and the gates become mandatory there.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent.parent
+
+try:  # tomllib is 3.11+; fall back to a regex-free skip on 3.10
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover
+    tomllib = None
+
+
+def tool_missing(tool: str) -> bool:
+    return shutil.which(tool) is None
+
+
+def run_tool(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        argv, cwd=REPO_ROOT, capture_output=True, text=True, timeout=300
+    )
+
+
+def test_pyproject_pins_the_toolchain():
+    text = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "ruff==" in text and "mypy==" in text
+    assert "[tool.ruff" in text and "[tool.mypy]" in text
+    if tomllib is not None:
+        config = tomllib.loads(text)
+        assert config["tool"]["ruff"]["lint"]["select"]
+        assert "src/repro/analysis/lint" in config["tool"]["mypy"]["files"]
+
+
+@pytest.mark.skipif(tool_missing("ruff"), reason="ruff not installed")
+def test_ruff_clean():
+    proc = run_tool("ruff", "check", "src", "tests")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(tool_missing("mypy"), reason="mypy not installed")
+def test_mypy_clean():
+    proc = run_tool("mypy", "--config-file", "pyproject.toml")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repro_lint_check_gate():
+    """The CI lint gate, run in-process: clean tree against the committed
+    (empty) baseline."""
+    from repro.analysis.lint.runner import main as lint_main
+
+    rc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "--check", "src/repro"],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert rc.returncode == 0, rc.stdout + rc.stderr
+    assert lint_main(["--check", str(REPO_ROOT / "src" / "repro")]) == 0

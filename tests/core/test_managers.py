@@ -1,6 +1,5 @@
 """Integration tests for the three acceleration managers on live programs."""
 
-import pytest
 
 from repro.core.policies import build_system, run_policy
 from repro.runtime.program import Program

@@ -59,7 +59,7 @@ def test_idle_cores_released():
     # A parallel burst boosts several cores; the serial tail that follows
     # leaves them idle, and the governor must decelerate them.
     p = Program("burst-then-chain")
-    burst = [p.add(T, 3_000_000, 0) for _ in range(4)]
+    _burst = [p.add(T, 3_000_000, 0) for _ in range(4)]
     p.taskwait()
     prev = None
     for _ in range(4):

@@ -1,6 +1,5 @@
 """Tests for RSM rendering and manager episode details."""
 
-import pytest
 
 from repro.core.budget import Criticality, Decision
 from repro.core.policies import build_system

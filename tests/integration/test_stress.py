@@ -8,7 +8,6 @@ functionally breaks.
 
 import time
 
-import pytest
 
 from repro.core.policies import build_system
 from repro.runtime.program import Program

@@ -9,7 +9,7 @@ these catch).
 
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.sim.config import default_machine
 from repro.sim.dvfs import DVFSController

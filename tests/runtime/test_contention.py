@@ -7,7 +7,7 @@ import pytest
 from repro.core.policies import run_policy
 from repro.runtime.program import Program
 from repro.runtime.task import TaskType
-from repro.sim.config import MachineConfig, default_machine
+from repro.sim.config import default_machine
 
 T = TaskType("t", criticality=0)
 

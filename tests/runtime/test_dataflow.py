@@ -1,6 +1,5 @@
 """Tests for data-region dependence detection."""
 
-import pytest
 
 from repro.core.policies import run_policy
 from repro.runtime.dataflow import DataflowProgramBuilder
@@ -24,7 +23,7 @@ class TestDependenceKinds:
 
     def test_war_writer_depends_on_readers(self):
         b = DataflowProgramBuilder("war")
-        w0 = b.task(W, 100, 0, outs=["x"])
+        _w0 = b.task(W, 100, 0, outs=["x"])
         r0 = b.task(R, 100, 0, ins=["x"])
         r1 = b.task(R, 100, 0, ins=["x"])
         w1 = b.task(W, 100, 0, outs=["x"])
@@ -39,7 +38,7 @@ class TestDependenceKinds:
     def test_readers_do_not_depend_on_each_other(self):
         b = DataflowProgramBuilder("rr")
         w = b.task(W, 100, 0, outs=["x"])
-        r0 = b.task(R, 100, 0, ins=["x"])
+        _r0 = b.task(R, 100, 0, ins=["x"])
         r1 = b.task(R, 100, 0, ins=["x"])
         assert deps_of(b, r1) == {w}
 
@@ -53,7 +52,7 @@ class TestDependenceKinds:
 
     def test_write_resets_reader_set(self):
         b = DataflowProgramBuilder("reset")
-        w0 = b.task(W, 100, 0, outs=["x"])
+        _w0 = b.task(W, 100, 0, outs=["x"])
         r0 = b.task(R, 100, 0, ins=["x"])
         w1 = b.task(W, 100, 0, outs=["x"])
         r1 = b.task(R, 100, 0, ins=["x"])

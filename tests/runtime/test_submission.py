@@ -1,10 +1,8 @@
 """Focused tests for the submission controller."""
 
-import pytest
 
 from repro.core.policies import build_system
 from repro.runtime.program import Program
-from repro.runtime.submission import SubmissionController
 from repro.runtime.task import TaskType
 from repro.sim.config import default_machine
 

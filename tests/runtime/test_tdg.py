@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.runtime.task import TaskState, TaskType
+from repro.runtime.task import TaskType
 from repro.runtime.tdg import TaskGraph
 
 T = TaskType("t")

@@ -56,9 +56,9 @@ class TestCriticalityDecision:
         g = TaskGraph()
         est = estimator()
         h1 = submit(g, est, HEAVY, 10_000)
-        h2 = submit(g, est, HEAVY, 10_000, deps=[h1.task_id])
+        _h2 = submit(g, est, HEAVY, 10_000, deps=[h1.task_id])
         c1 = submit(g, est, CHEAP, 100)
-        c2 = submit(g, est, CHEAP, 100, deps=[c1.task_id])
+        _c2 = submit(g, est, CHEAP, 100, deps=[c1.task_id])
         # Plain BL: both heads have bottom_level 1 — indistinguishable.
         assert h1.bottom_level == c1.bottom_level == 1
         # Weighted BL tells them apart.

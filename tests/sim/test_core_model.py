@@ -7,7 +7,6 @@ import pytest
 
 from repro.sim.config import default_machine
 from repro.sim.core_model import Core, CoreError
-from repro.sim.cstates import CStateController
 from repro.sim.dvfs import DVFSController
 from repro.sim.energy import EnergyAccountant
 from repro.sim.engine import US, Simulator
