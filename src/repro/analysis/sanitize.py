@@ -69,12 +69,17 @@ class Sanitizer:
         self._locks: dict[str, _LockShadow] = {}
         # dvfs: core_id -> (target level name, request time ns)
         self._dvfs_pending: dict[int, tuple[str, float]] = {}
+        # fault injection: cores removed by core_fail events (shadow copy —
+        # never read back from the budget table's own failed flags)
+        self._dead_cores: set[int] = set()
         # counters (reported by render_summary)
         self.events_checked = 0
         self.cancellations_checked = 0
         self.lock_ops_checked = 0
         self.budget_commits_checked = 0
         self.dvfs_transitions_checked = 0
+        self.core_activity_checked = 0
+        self.fault_events_checked = 0
 
     # -------------------------------------------------------------- engine
     def on_event_fire(self, time_ns: float, event: "Event") -> None:
@@ -176,11 +181,18 @@ class Sanitizer:
                 f"accelerated-count bookkeeping drifted: recount {count} != "
                 f"tracked {table.accelerated_count} after {decision}"
             )
+        if self._dead_cores:
+            self.check_dead_not_accelerated(table)
 
     # ---------------------------------------------------------------- dvfs
     def on_dvfs_request(
         self, core_id: int, level_name: str, now_ns: float
     ) -> None:
+        if core_id in self._dead_cores:
+            raise SanitizerError(
+                f"core {core_id}: DVFS request toward {level_name} at "
+                f"t={now_ns} after the core failed"
+            )
         self._dvfs_pending[core_id] = (level_name, now_ns)
 
     def on_dvfs_complete(
@@ -211,14 +223,41 @@ class Sanitizer:
                 f"{transition_ns} ns"
             )
 
+    # ----------------------------------------------------- fault injection
+    def on_core_failed(self, core_id: int) -> None:
+        """The fault injector removed a core; it must never act again."""
+        self.fault_events_checked += 1
+        if core_id in self._dead_cores:
+            raise SanitizerError(f"core {core_id} failed twice")
+        self._dead_cores.add(core_id)
+
+    def on_core_activity(self, core_id: int, now_ns: float) -> None:
+        """A core began executing work or runtime overhead."""
+        self.core_activity_checked += 1
+        if core_id in self._dead_cores:
+            raise SanitizerError(
+                f"dead core {core_id} began executing at t={now_ns}"
+            )
+
+    def check_dead_not_accelerated(self, table: "AccelStateTable") -> None:
+        for i in sorted(self._dead_cores):
+            if i < table.core_count and table.is_accelerated(i):
+                raise SanitizerError(
+                    f"dead core {i} still holds an accelerated budget slot"
+                )
+
     # ------------------------------------------------------------- summary
     def render_summary(self) -> str:
+        faulted = (
+            f"{self.fault_events_checked} core failures, " if self._dead_cores else ""
+        )
         return (
             "sanitizer: "
             f"{self.events_checked} events, "
             f"{self.cancellations_checked} cancellations, "
             f"{self.lock_ops_checked} lock ops, "
             f"{self.budget_commits_checked} budget commits, "
+            f"{faulted}"
             f"{self.dvfs_transitions_checked} DVFS transitions checked — "
             "all invariants held"
         )

@@ -8,8 +8,9 @@ writing code:
 ``characterize``  structural statistics of the benchmark suite
 ``table1``     print Table I (the simulated machine)
 ``run``        simulate one benchmark under one policy; optional timeline,
-               energy breakdown and Chrome-trace export
+               energy breakdown, Chrome-trace export and fault injection
 ``sweep``      compare policies across power budgets on one benchmark
+``degradation``  policy slowdown under deterministic chaos fault ladders
 ``figure4``    regenerate Figure 4 (speedup + EDP panels, shape checks)
 ``figure5``    regenerate Figure 5
 ``section5c``  reconfiguration/lock statistics (Section V-C)
@@ -21,7 +22,9 @@ writing code:
 =============  =============================================================
 
 ``run --sanitize`` attaches the sim-sanitizer (runtime invariant checks,
-byte-identical output); see ``docs/static-analysis.md``.
+byte-identical output); see ``docs/static-analysis.md``.  ``run --faults``
+injects deterministic machine faults (``core_fail@1.5ms:c3;...`` or
+``chaos:intensity=0.5``); see ``docs/robustness.md``.
 
 The sweep-backed commands (``sweep``/``figure4``/``figure5``/
 ``experiments``) accept ``--jobs N`` to fan independent grid cells across
@@ -76,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--sanitize", action="store_true",
                        help="enable runtime invariant checks (sim-sanitizer); "
                        "output is unchanged, violations raise")
+    p_run.add_argument("--faults", default="off", metavar="SPEC",
+                       help="deterministic fault injection: 'kind@time:cN' "
+                       "clauses joined by ';' (core_fail/task_abort/"
+                       "dvfs_stuck/rsu_off/rsu_on) or "
+                       "'chaos:intensity=0.5[,horizon=4ms]'; default off")
     p_run.add_argument("--timeline", action="store_true",
                        help="print an ASCII core-by-time timeline")
     p_run.add_argument("--breakdown", action="store_true",
@@ -100,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--verbose", action="store_true",
                        help="per-cell timing and cache hit/miss reporting")
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--retries", type=positive_int, default=3, metavar="N",
+                       help="attempts per cell before giving up "
+                       "(crashed/timed-out cells are re-dispatched)")
+        p.add_argument("--cell-timeout", type=float, default=None, metavar="SEC",
+                       help="per-cell wall-clock limit in seconds; a stuck "
+                       "worker pool is torn down and rebuilt")
+
     p_sweep = sub.add_parser("sweep", help="compare policies across budgets")
     p_sweep.add_argument("benchmark", choices=sorted(BENCHMARKS))
     p_sweep.add_argument("--policies", nargs="+", default=["cats_sa", "cata", "cata_rsu"],
@@ -107,7 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--budgets", nargs="+", type=int, default=[8, 16, 24])
     p_sweep.add_argument("--scale", type=float, default=0.5)
     p_sweep.add_argument("--seed", type=int, default=1)
+    p_sweep.add_argument("--faults", default="off", metavar="SPEC",
+                         help="fault spec applied to every cell (see run "
+                         "--faults); changes the cache key")
     add_executor_flags(p_sweep)
+    add_resilience_flags(p_sweep)
 
     for name, help_text in (
         ("figure4", "regenerate Figure 4"),
@@ -120,6 +140,25 @@ def build_parser() -> argparse.ArgumentParser:
         p_fig.add_argument("--csv", metavar="FILE", default=None,
                            help="also write the figure points as CSV")
         add_executor_flags(p_fig)
+        add_resilience_flags(p_fig)
+
+    p_deg = sub.add_parser(
+        "degradation", help="policy slowdown under injected machine faults"
+    )
+    p_deg.add_argument("--workloads", nargs="+", default=None,
+                       choices=sorted(BENCHMARKS),
+                       help="default: swaptions fluidanimate")
+    p_deg.add_argument("--policies", nargs="+", default=None,
+                       choices=POLICIES + EXTRA_POLICIES,
+                       help="default: fifo cats_sa turbomode cata cata_rsu")
+    p_deg.add_argument("--intensities", nargs="+", type=float, default=None,
+                       help="chaos intensity ladder (default: 0 0.25 0.5 1.0)")
+    p_deg.add_argument("--fast", type=int, default=8)
+    p_deg.add_argument("--scale", type=float, default=0.3)
+    p_deg.add_argument("--seed", type=int, default=1)
+    p_deg.add_argument("--csv", metavar="FILE", default=None,
+                       help="also write the study rows as CSV")
+    add_executor_flags(p_deg)
 
     p_5c = sub.add_parser("section5c", help="Section V-C reconfiguration statistics")
     p_5c.add_argument("--scale", type=float, default=1.0)
@@ -188,6 +227,7 @@ def _cmd_run(args: argparse.Namespace) -> str:
         fast_cores=args.fast,
         seed=args.seed,
         sanitize=args.sanitize,
+        faults=args.faults,
     )
     result = system.run()
     lines = [
@@ -201,6 +241,16 @@ def _cmd_run(args: argparse.Namespace) -> str:
         f"(avg latency {result.avg_reconfig_latency_ns / 1e3:.1f} us, "
         f"{result.cpufreq_writes} cpufreq writes)",
     ]
+    faults = result.extra.get("faults")
+    if faults is not None:
+        lines.append(
+            f"  faults:           {faults['events']} injected "
+            f"({faults['cores_failed']} cores failed, "
+            f"{faults['tasks_aborted']} tasks aborted, "
+            f"{faults['rails_stuck']} rails stuck, "
+            f"{faults['rsu_outages']} RSU outages; "
+            f"{faults['tasks_requeued']} tasks requeued)"
+        )
     if system.sanitizer is not None:
         lines.append(f"  {system.sanitizer.render_summary()}")
     if args.baseline:
@@ -235,6 +285,14 @@ def _cmd_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _retry_from_args(args: argparse.Namespace):
+    from .harness import RetryPolicy
+
+    if args.retries == 3 and args.cell_timeout is None:
+        return None
+    return RetryPolicy(max_attempts=args.retries, cell_timeout_s=args.cell_timeout)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> str:
     runner = GridRunner(
         scale=args.scale,
@@ -242,6 +300,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         verbose=args.verbose,
+        faults=args.faults,
+        retry=_retry_from_args(args),
     )
     grid = runner.run_grid(
         args.policies, workloads=[args.benchmark], fast_counts=args.budgets
@@ -288,6 +348,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             verbose=args.verbose,
+            retry=_retry_from_args(args),
         )
         fn = run_figure4 if args.command == "figure4" else run_figure5
         result = fn(runner, fast_counts=tuple(args.fast))
@@ -299,6 +360,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote {len(result.points)} points to {args.csv}")
         if not result.shape.ok:
             return 1
+    elif args.command == "degradation":
+        from .harness import (
+            DEGRADATION_INTENSITIES,
+            DEGRADATION_POLICIES,
+            DEGRADATION_WORKLOADS,
+            run_degradation,
+        )
+
+        study = run_degradation(
+            workloads=tuple(args.workloads) if args.workloads else DEGRADATION_WORKLOADS,
+            policies=tuple(args.policies) if args.policies else DEGRADATION_POLICIES,
+            intensities=(
+                tuple(args.intensities) if args.intensities else DEGRADATION_INTENSITIES
+            ),
+            fast=args.fast,
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            verbose=args.verbose,
+        )
+        print(study.render())
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(study.to_csv() + "\n")
+            print(f"wrote {len(study.rows)} rows to {args.csv}")
     elif args.command == "section5c":
         runner = GridRunner(scale=args.scale, trace_enabled=True)
         print(render_section5c(run_section5c(runner, fast_cores=args.fast)))

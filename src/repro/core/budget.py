@@ -74,6 +74,8 @@ class AccelStateTable:
         self._status = ["NA"] * core_count  # "A" | "NA"
         self._crit = [Criticality.NO_TASK] * core_count
         self._accel_count = 0
+        #: Cores removed by fault injection — excluded from every decision.
+        self._failed = [False] * core_count
         #: Optional invariant checker (``--sanitize``); installed by the
         #: RSM/RSU constructors from ``sim.sanitizer``.
         self.sanitizer = None
@@ -84,6 +86,9 @@ class AccelStateTable:
 
     def criticality_of(self, core_id: int) -> str:
         return self._crit[core_id]
+
+    def is_failed(self, core_id: int) -> bool:
+        return self._failed[core_id]
 
     @property
     def accelerated_count(self) -> int:
@@ -112,7 +117,7 @@ class AccelStateTable:
         """
         fallback: Optional[int] = None
         for i in range(self.core_count):
-            if self._status[i] != "A":
+            if self._status[i] != "A" or self._failed[i]:
                 continue
             if self._crit[i] == Criticality.NO_TASK:
                 return i
@@ -123,7 +128,7 @@ class AccelStateTable:
     def _waiting_critical(self, exclude: Optional[int] = None) -> Optional[int]:
         """A non-accelerated core currently running a critical task."""
         for i in range(self.core_count):
-            if i == exclude:
+            if i == exclude or self._failed[i]:
                 continue
             if self._status[i] == "NA" and self._crit[i] == Criticality.CRITICAL:
                 return i
@@ -136,6 +141,9 @@ class AccelStateTable:
         Pure: does not mutate.  The caller commits with
         :meth:`commit_assign`.
         """
+        if self._failed[core_id]:
+            # A dead core cannot be accelerated (fault injection).
+            return _EMPTY_DECISION
         if self._status[core_id] == "A":
             # Already fast: keep the operating point (the paper's algorithm
             # only re-evaluates budget placement when tasks start on
@@ -189,8 +197,27 @@ class AccelStateTable:
             san.on_budget_commit(self, decision)
         self.check_invariant()
 
+    def retire_core(self, core_id: int) -> None:
+        """Remove a failed core from budget accounting (fault injection).
+
+        The core's slot is reclaimed immediately — the paper's budget is a
+        count of *live* fast cores — and the core is excluded from every
+        future decision.  Idempotent.
+        """
+        if self._failed[core_id]:
+            return
+        self._failed[core_id] = True
+        self._crit[core_id] = Criticality.NO_TASK
+        if self._status[core_id] == "A":
+            self._status[core_id] = "NA"
+            self._accel_count -= 1
+        self.check_invariant()
+
     def reset(self) -> None:
-        """RSU ``rsu_reset``: forget all state (status and criticality)."""
+        """RSU ``rsu_reset``: forget all state (status and criticality).
+
+        Failed cores stay failed — hardware damage survives a state reset.
+        """
         self._status = ["NA"] * self.core_count
         self._crit = [Criticality.NO_TASK] * self.core_count
         self._accel_count = 0

@@ -111,6 +111,19 @@ class SoftwareCataManager:
             proceed=proceed,
         )
 
+    # ------------------------------------------------------ fault injection
+    def holds_runtime_lock(self, core_id: int) -> bool:
+        """True while ``core_id`` owns the RSM lock (injector defers kills)."""
+        return self.rsm is not None and self.rsm.lock.holder == core_id
+
+    def on_core_failed(self, core_id: int) -> None:
+        assert self.rsm is not None
+        self.rsm.retire_core(core_id)
+
+    def on_task_aborted(self, core_id: int) -> None:
+        assert self.rsm is not None
+        self.rsm.set_criticality(core_id, Criticality.NO_TASK)
+
     # ----------------------------------------------------- reconfiguration
     def _locked_reconfig(
         self, worker: "Worker", decide: Callable[[], Decision], proceed: Proceed
@@ -125,6 +138,11 @@ class SoftwareCataManager:
         core.set_spinning(True)
 
         def _granted() -> None:
+            if worker.state == "failed":
+                # The core died while spinning in the FIFO queue.  Hand the
+                # lock straight on; the dead core must not reconfigure.
+                rsm.lock.release()
+                return
             lock_wait = system.sim.now - start_ns
             # Re-decide under the lock: the world may have moved while we
             # waited (another worker may have taken the budget slot).

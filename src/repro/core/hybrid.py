@@ -98,6 +98,11 @@ class RsuTurboManager(RsuCataManager):
             )
         )
 
+    def on_core_failed(self, core_id: int) -> None:
+        super().on_core_failed(core_id)
+        # A lent slot never returns to a dead core.
+        self._lent.pop(core_id, None)
+
     def _on_wake(self, core_id: int) -> None:
         """A blocked core resumed: restore its criticality and re-bid."""
         crit = self._lent.pop(core_id, None)

@@ -62,6 +62,7 @@ class MultiLevelStateTable:
         self.budget_units = budget_units
         self.level = [0] * core_count  # ladder index per core
         self.critical: list[Optional[bool]] = [None] * core_count  # None = no task
+        self.failed = [False] * core_count  # fault injection: removed cores
 
     # ------------------------------------------------------------- queries
     @property
@@ -85,7 +86,7 @@ class MultiLevelStateTable:
         """A boosted core to take one unit from: idle first, then non-critical."""
         best: Optional[int] = None
         for i in range(self.core_count):
-            if self.level[i] == 0:
+            if self.level[i] == 0 or self.failed[i]:
                 continue
             if self.critical[i] is None:
                 return i
@@ -95,6 +96,8 @@ class MultiLevelStateTable:
 
     def on_assign(self, core: int, critical: bool) -> list[tuple[int, int]]:
         """Returns the list of ``(core, new_level)`` changes to apply."""
+        if self.failed[core]:
+            return []
         self.critical[core] = critical
         changes: dict[int, int] = {}
         target = self.level_count - 1
@@ -127,7 +130,9 @@ class MultiLevelStateTable:
             candidates = [
                 i
                 for i in range(self.core_count)
-                if self.critical[i] is True and self.level[i] < self.level_count - 1
+                if self.critical[i] is True
+                and self.level[i] < self.level_count - 1
+                and not self.failed[i]
             ]
             if not candidates:
                 break
@@ -136,6 +141,19 @@ class MultiLevelStateTable:
             changes[i] = self.level[i]
         self.check_invariant()
         return sorted(changes.items())
+
+    def retire_core(self, core: int) -> None:
+        """Fault injection: free the core's units, exclude it from decisions.
+
+        Bookkeeping only — the dead core is powered off, so no DVFS request
+        accompanies the level drop.  Idempotent.
+        """
+        if self.failed[core]:
+            return
+        self.failed[core] = True
+        self.critical[core] = None
+        self.level[core] = 0
+        self.check_invariant()
 
 
 class MultiLevelRsuManager:
@@ -224,3 +242,12 @@ class MultiLevelRsuManager:
 
     def on_worker_idle(self, worker: "Worker", proceed: Proceed) -> None:
         proceed()
+
+    # ------------------------------------------------------ fault injection
+    def on_core_failed(self, core_id: int) -> None:
+        assert self.table is not None
+        self.table.retire_core(core_id)
+
+    def on_task_aborted(self, core_id: int) -> None:
+        assert self.table is not None
+        self.table.critical[core_id] = None

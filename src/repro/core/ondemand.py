@@ -67,6 +67,9 @@ class OndemandGovernor:
         self.ticks += 1
         for core in system.cores:
             cid = core.core_id
+            if table.is_failed(cid):
+                # Fault injection removed this core; never touch its rail.
+                continue
             busy = core.busy and core.cstate == "C0"
             if busy and not table.is_accelerated(cid) and table.budget_available:
                 table.set_criticality(cid, Criticality.NON_CRITICAL)
@@ -102,3 +105,14 @@ class OndemandGovernor:
 
     def on_worker_idle(self, worker: "Worker", proceed: Proceed) -> None:
         proceed()
+
+    # ---------------------------------------------------- fault injection
+    def on_core_failed(self, core_id: int) -> None:
+        table = self.table
+        assert table is not None
+        table.retire_core(core_id)
+
+    def on_task_aborted(self, core_id: int) -> None:
+        table = self.table
+        assert table is not None
+        table.set_criticality(core_id, Criticality.NO_TASK)

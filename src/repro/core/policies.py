@@ -37,6 +37,7 @@ from ..runtime.program import Program
 from ..runtime.scheduler_base import Scheduler
 from ..runtime.system import RuntimeSystem
 from ..sim.config import MachineConfig, default_machine
+from ..sim.faults import FaultPlan, parse_fault_spec
 from .cata import SoftwareCataManager
 from .hybrid import RsuTurboManager
 from .multilevel import MultiLevelRsuManager
@@ -78,8 +79,14 @@ def build_system(
     bl_threshold: float = 0.75,
     bl_edge_budget: int = 64,
     sanitize: bool = False,
+    faults: "str | FaultPlan | None" = None,
 ) -> RuntimeSystem:
-    """Wire a runtime system for one policy on one program."""
+    """Wire a runtime system for one policy on one program.
+
+    ``faults`` accepts a spec string (``kind@time:cN`` clauses or
+    ``chaos:intensity=...``; see :mod:`repro.sim.faults`), an already-parsed
+    :class:`FaultPlan`, or ``None``/``"off"`` for a pristine machine.
+    """
     if machine is None:
         machine = default_machine()
     if not (0 < fast_cores <= machine.core_count):
@@ -186,6 +193,11 @@ def build_system(
             f"unknown policy {policy!r}; expected one of {POLICIES + EXTRA_POLICIES}"
         )
 
+    plan = (
+        faults
+        if isinstance(faults, FaultPlan) or faults is None
+        else parse_fault_spec(faults, seed=seed, core_count=machine.core_count)
+    )
     return RuntimeSystem(
         machine=machine,
         program=program,
@@ -196,6 +208,7 @@ def build_system(
         trace_enabled=trace_enabled,
         policy_name=policy,
         sanitize=sanitize,
+        faults=plan,
     )
 
 
@@ -207,6 +220,7 @@ def run_policy(
     seed: int = 0,
     trace_enabled: bool = True,
     sanitize: bool = False,
+    faults: "str | FaultPlan | None" = None,
 ):
     """Build and run in one call; returns the :class:`RunResult`."""
     system = build_system(
@@ -217,5 +231,6 @@ def run_policy(
         seed=seed,
         trace_enabled=trace_enabled,
         sanitize=sanitize,
+        faults=faults,
     )
     return system.run()

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 from ..sim.config import DVFSLevel, MachineConfig
 from ..sim.dvfs import DVFSController
 from ..sim.engine import Simulator
+from ..sim.locks import SimLock
 from ..sim.trace import ReconfigRecord, Trace
 from .budget import AccelStateTable, Criticality, Decision
 
@@ -166,6 +167,12 @@ class RsuCataManager:
         self._budget = budget
         self._system: "RuntimeSystem | None" = None
         self.rsu: RuntimeSupportUnit | None = None
+        #: Fault injection: while False the RSU ignores ISA notifications and
+        #: the runtime falls back to a software CATA path (see below).
+        self._available = True
+        self.rsu_outages = 0
+        self.fallback_reconfigs = 0
+        self._fallback_lock: SimLock | None = None
 
     def attach(self, system: "RuntimeSystem") -> None:
         self._system = system
@@ -176,6 +183,10 @@ class RsuCataManager:
             trace=system.trace,
             budget=self._budget,
         )
+        # Serializes the software-fallback path during RSU outages, exactly
+        # like the RSM lock serializes software CATA.  Created unconditionally
+        # (cheap) but only ever acquired while the RSU is unavailable.
+        self._fallback_lock = SimLock(system.sim, name="rsu-fallback", trace=system.trace)
 
     def on_run_start(self) -> None:
         pass
@@ -195,18 +206,144 @@ class RsuCataManager:
         worker.core.run_overhead(op_cost, _done, activity=0.8)
 
     def on_task_assigned(self, worker: "Worker", task: "Task", proceed: Proceed) -> None:
-        assert self.rsu is not None
+        rsu = self.rsu
+        assert rsu is not None
+        if not self._available:
+            table = rsu.table
+            crit = Criticality.CRITICAL if task.critical else Criticality.NON_CRITICAL
+            table.set_criticality(worker.core_id, crit)
+            if table.decide_assign(worker.core_id, task.critical).empty:
+                proceed()
+                return
+            self._fallback_reconfig(
+                worker,
+                decide=lambda: table.decide_assign(worker.core_id, task.critical),
+                proceed=proceed,
+            )
+            return
         self._notify(
             worker,
-            lambda: self.rsu.rsu_start_task(worker.core_id, task.critical),
+            lambda: rsu.rsu_start_task(worker.core_id, task.critical),
             proceed,
         )
 
     def on_task_finished(self, worker: "Worker", task: "Task", proceed: Proceed) -> None:
-        assert self.rsu is not None
-        self._notify(worker, lambda: self.rsu.rsu_end_task(worker.core_id), proceed)
+        rsu = self.rsu
+        assert rsu is not None
+        if not self._available:
+            # Software fallback defers deceleration to the worker's next
+            # decision point, exactly like software CATA: bookkeeping only.
+            rsu.table.set_criticality(worker.core_id, Criticality.NO_TASK)
+            proceed()
+            return
+        self._notify(worker, lambda: rsu.rsu_end_task(worker.core_id), proceed)
 
     def on_worker_idle(self, worker: "Worker", proceed: Proceed) -> None:
+        rsu = self.rsu
+        assert rsu is not None
+        table = rsu.table
+        if not self._available:
+            table.set_criticality(worker.core_id, Criticality.NO_TASK)
+            if table.decide_release(worker.core_id).empty:
+                proceed()
+                return
+            self._fallback_reconfig(
+                worker,
+                decide=lambda: table.decide_release(worker.core_id),
+                proceed=proceed,
+            )
+            return
+        if table.is_accelerated(worker.core_id):
+            # Resync after an outage window: the fallback path's deferred
+            # deceleration never happened before the RSU came back.  Never
+            # taken in fault-free runs — rsu_end_task releases eagerly, so
+            # an idling core is always non-accelerated.
+            self._notify(worker, lambda: rsu.rsu_end_task(worker.core_id), proceed)
+            return
         # rsu_end_task already released the budget eagerly; idling needs no
         # further notification.
         proceed()
+
+    # ------------------------------------------------------ fault injection
+    def set_rsu_available(self, available: bool) -> None:
+        """Fault injector: begin/end an RSU outage window."""
+        if not available and self._available:
+            self.rsu_outages += 1
+        self._available = available
+
+    def holds_runtime_lock(self, core_id: int) -> bool:
+        """True while ``core_id`` owns the fallback lock (injector defers kills)."""
+        return self._fallback_lock is not None and self._fallback_lock.holder == core_id
+
+    def on_core_failed(self, core_id: int) -> None:
+        assert self.rsu is not None
+        self.rsu.table.retire_core(core_id)
+
+    def on_task_aborted(self, core_id: int) -> None:
+        assert self.rsu is not None
+        self.rsu.table.set_criticality(core_id, Criticality.NO_TASK)
+
+    def _fallback_reconfig(
+        self, worker: "Worker", decide: Callable[[], Decision], proceed: Proceed
+    ) -> None:
+        """Software CATA path used while the RSU is out: lock, re-decide,
+        cpufreq writes charged to the calling core, ``software-fallback``
+        reconfiguration records."""
+        rsu = self.rsu
+        lock = self._fallback_lock
+        assert rsu is not None and lock is not None
+        system = self.system
+        machine = system.machine
+        core = worker.core
+        start_ns = system.sim.now
+        core.set_spinning(True)
+
+        def _granted() -> None:
+            if worker.state == "failed":
+                # The core died while spinning in the FIFO queue.
+                lock.release()
+                return
+            lock_wait = system.sim.now - start_ns
+            decision = decide()
+            if decision.empty:
+                lock.release()
+                core.set_spinning(False)
+                proceed()
+                return
+            rsu.table.commit(decision)
+            self.fallback_reconfigs += 1
+
+            def _record_and_finish() -> None:
+                system.trace.record_reconfig(
+                    ReconfigRecord(
+                        initiator_core=worker.core_id,
+                        start_ns=start_ns,
+                        end_ns=system.sim.now,
+                        accelerated_core=decision.accel,
+                        decelerated_core=decision.decel,
+                        mechanism="software-fallback",
+                        lock_wait_ns=lock_wait,
+                    )
+                )
+                lock.release()
+                core.set_spinning(False)
+                proceed()
+
+            def _do_accel() -> None:
+                if decision.accel is not None:
+                    system.cpufreq.write_level(
+                        decision.accel, machine.fast, _record_and_finish,
+                        wait_for_transition=False,
+                    )
+                else:
+                    _record_and_finish()
+
+            if decision.decel is not None:
+                system.cpufreq.write_level(
+                    decision.decel, machine.slow, _do_accel,
+                    wait_for_transition=False,
+                )
+            else:
+                _do_accel()
+
+        lock.acquire(worker.core_id, _granted)

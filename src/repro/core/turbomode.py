@@ -135,3 +135,17 @@ class TurboModeManager:
 
     def on_worker_idle(self, worker: "Worker", proceed: Proceed) -> None:
         proceed()
+
+    # ------------------------------------------------------ fault injection
+    def on_core_failed(self, core_id: int) -> None:
+        # The dead core parks in C3 without a halt notification, so the
+        # microcontroller only learns about it here.  Its budget slot is
+        # reclaimed; C0-filtered candidate scans already exclude it.
+        table = self.table
+        assert table is not None
+        table.retire_core(core_id)
+
+    def on_task_aborted(self, core_id: int) -> None:
+        table = self.table
+        assert table is not None
+        table.set_criticality(core_id, Criticality.NO_TASK)

@@ -12,8 +12,11 @@ Layout: ``<root>/<key[:2]>/<key>.json``, one JSON document per result
 (serialized via :mod:`repro.sim.serialize`).  Writes are atomic
 (temp file + :func:`os.replace`) so a concurrent or killed run can never
 leave a half-written entry; reads treat any undecodable or truncated file
-as a miss and delete it, so corruption costs one re-simulation, not a
-crash.
+as a miss and move it into ``<root>/quarantine/`` for post-mortem, so
+corruption costs one re-simulation, not a crash and not the evidence.
+A cache whose filesystem rejects writes (read-only mount, quota, ENOSPC)
+degrades to read-only for the rest of the session instead of failing the
+sweep.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from typing import Any, Optional
 
 from ..runtime.system import RunResult
@@ -30,6 +34,7 @@ from ..sim.serialize import machine_to_dict, result_from_dict, result_to_dict
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "QUARANTINE_DIR",
     "machine_fingerprint",
     "cell_key",
     "ResultCache",
@@ -37,7 +42,12 @@ __all__ = [
 
 #: Bump whenever the simulator's observable behavior or the serialized
 #: schema changes; every previously cached result then misses.
-CACHE_SCHEMA_VERSION: int = 1
+#: v2: cell keys gained the fault-injection spec field.
+CACHE_SCHEMA_VERSION: int = 2
+
+#: Subdirectory (under the cache root) holding corrupt entries moved aside
+#: by :meth:`ResultCache.get` instead of being deleted.
+QUARANTINE_DIR = "quarantine"
 
 
 def machine_fingerprint(machine: Optional[MachineConfig] = None) -> str:
@@ -60,6 +70,7 @@ def cell_key(
     scale: float,
     machine: Optional[MachineConfig] = None,
     trace_enabled: bool = False,
+    faults: str = "off",
 ) -> str:
     """Content address of one grid cell's result."""
     blob = json.dumps(
@@ -72,6 +83,7 @@ def cell_key(
             "scale": scale,
             "machine": machine_fingerprint(machine),
             "trace": bool(trace_enabled),
+            "faults": faults,
         },
         sort_keys=True,
     )
@@ -93,9 +105,29 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.corrupt_evictions = 0
+        self.write_failures = 0
+        #: Set after the first failed write: the sweep continues with the
+        #: cache in read-only mode instead of failing on every cell.
+        self.disabled = False
 
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt entry under ``<root>/quarantine/`` for post-mortem.
+
+        Falls back to deletion (and then to leaving the file in place) if
+        the move itself fails — eviction must never raise.
+        """
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
     def get(self, key: str) -> Optional[RunResult]:
         """Cached result for ``key``, or ``None`` (miss or corrupt entry)."""
@@ -108,38 +140,61 @@ class ResultCache:
             self.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
-            # Truncated/corrupt entry: evict and recompute rather than crash.
+            # Truncated/corrupt entry: quarantine and recompute rather than
+            # crash; the moved-aside file keeps the evidence.
             self.corrupt_evictions += 1
             self.misses += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
 
     def put(self, key: str, result: RunResult) -> None:
-        """Atomically persist ``result`` under ``key``."""
+        """Atomically persist ``result`` under ``key``.
+
+        A failed write (read-only filesystem, quota, ENOSPC) warns once and
+        flips the cache to read-only for the rest of the session — a broken
+        cache must degrade the sweep, not abort it.
+        """
+        if self.disabled:
+            return
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-        )
+        tmp: Optional[str] = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+            )
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(result_to_dict(result), fh, sort_keys=True)
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.remove(tmp)
-            except OSError:
-                pass
-            raise
+            tmp = None
+        except OSError as exc:
+            self.write_failures += 1
+            self.disabled = True
+            warnings.warn(
+                f"result cache at {self.root!r} is not writable ({exc}); "
+                "continuing without persisting results",
+                stacklevel=2,
+            )
+            return
+        finally:
+            if tmp is not None:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
         self.stores += 1
 
     def __len__(self) -> int:
+        """Number of intact entries (quarantined and temp files excluded)."""
         n = 0
-        for _, _, files in os.walk(self.root):
-            n += sum(1 for f in files if f.endswith(".json"))
+        for dirpath, dirnames, files in os.walk(self.root):
+            if QUARANTINE_DIR in dirnames:
+                dirnames.remove(QUARANTINE_DIR)
+            n += sum(
+                1
+                for f in files
+                if f.endswith(".json") and not f.startswith(".tmp-")
+            )
         return n

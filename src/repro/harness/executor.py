@@ -1,10 +1,11 @@
-"""Parallel sweep executor.
+"""Parallel sweep executor with crash recovery.
 
-Every grid cell — one ``(workload, policy, fast, seed)`` simulation at a
-given scale on a given machine — is a pure, deterministic function of its
-key, so independent cells can fan out across a process pool and produce
-bitwise-identical results regardless of worker count or completion order.
-The executor layers three stores, checked in order:
+Every grid cell — one ``(workload, policy, fast, seed, faults)`` simulation
+at a given scale on a given machine — is a pure, deterministic function of
+its key, so independent cells can fan out across a process pool and produce
+bitwise-identical results regardless of worker count, completion order, or
+how many times a worker had to be restarted.  The executor layers three
+stores, checked in order:
 
 1. the caller's in-memory memo (:class:`~repro.harness.runner.GridRunner`
    keeps one per runner),
@@ -13,17 +14,41 @@ The executor layers three stores, checked in order:
 3. actual simulation, inline for ``jobs=1`` or via
    :class:`concurrent.futures.ProcessPoolExecutor` for ``jobs>1``.
 
-Per-cell wall-clock timings and hit/miss counters accumulate in
+The simulation layer is hardened against the failure modes of long
+sweeps (:class:`RetryPolicy`):
+
+* a **crashed worker** (OOM kill, segfault, SIGKILL) breaks the pool; the
+  executor rebuilds it and re-dispatches only the cells that were in
+  flight — finished results are never recomputed;
+* a **hung cell** is detected by a per-cell wall-clock timeout; the stuck
+  pool is torn down, the overdue cell re-queued with one attempt consumed
+  and the innocent in-flight cells re-queued for free;
+* a **transient exception** is retried with exponential backoff (jitter
+  drawn from a seeded RNG, so retry schedules are reproducible), while
+  deterministic errors (``ValueError`` &c.) surface immediately —
+  retrying a misspelled policy name three times helps nobody;
+* after ``pool_failure_limit`` pool teardowns the executor stops trusting
+  process isolation and degrades to inline (in-process) execution for the
+  remaining cells.
+
+Completed cells are checkpointed through the cache and the optional
+:class:`~repro.harness.journal.SweepJournal`, so a sweep killed at cell
+N of M resumes by re-simulating only the unfinished cells.
+
+Per-cell wall-clock timings and hit/miss/recovery counters accumulate in
 :class:`SweepStats`; the harness surfaces them in verbose output and in
 ``GridResult.stats``.
 """
 
 from __future__ import annotations
 
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..core.policies import run_policy
 from ..runtime.system import RunResult
@@ -31,8 +56,24 @@ from ..sim.config import MachineConfig
 from ..sim.serialize import machine_from_dict, machine_to_dict
 from ..workloads import build_program
 from .cache import ResultCache, cell_key
+from .journal import SweepJournal
 
-__all__ = ["CellSpec", "SweepStats", "SweepExecutor", "simulate_cell"]
+__all__ = [
+    "CellSpec",
+    "RetryPolicy",
+    "SweepStats",
+    "SweepExecutor",
+    "simulate_cell",
+]
+
+#: Exception types that no amount of retrying will fix — bad policy names,
+#: malformed fault specs, type errors.  They re-raise immediately so the
+#: caller sees the same exception type with or without the retry layer.
+_NON_RETRYABLE: tuple[type[BaseException], ...] = (
+    ValueError,
+    TypeError,
+    NotImplementedError,
+)
 
 
 @dataclass(frozen=True)
@@ -45,9 +86,13 @@ class CellSpec:
     seed: int
     scale: float
     trace_enabled: bool = False
+    #: Fault-injection spec (see :mod:`repro.sim.faults`); ``"off"`` keeps
+    #: the machine pristine and the cell key backward-distinct.
+    faults: str = "off"
 
     def label(self) -> str:
-        return f"{self.workload}/{self.policy}@{self.fast} seed={self.seed}"
+        tail = f" faults={self.faults}" if self.faults != "off" else ""
+        return f"{self.workload}/{self.policy}@{self.fast} seed={self.seed}{tail}"
 
     def key(self, machine: Optional[MachineConfig] = None) -> str:
         return cell_key(
@@ -58,6 +103,7 @@ class CellSpec:
             self.scale,
             machine,
             self.trace_enabled,
+            self.faults,
         )
 
 
@@ -81,8 +127,40 @@ def simulate_cell(
         fast_cores=spec.fast,
         seed=spec.seed,
         trace_enabled=spec.trace_enabled,
+        faults=spec.faults,
     )
     return result, time.perf_counter() - t0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Crash/timeout/retry behavior of one executor."""
+
+    #: Total tries per cell (first run included).
+    max_attempts: int = 3
+    #: Per-cell wall-clock limit in seconds; ``None`` disables timeouts.
+    cell_timeout_s: Optional[float] = None
+    #: Exponential-backoff base before an exception retry.
+    backoff_base_s: float = 0.25
+    #: Backoff ceiling.
+    backoff_cap_s: float = 10.0
+    #: Pool teardowns tolerated before degrading to inline execution.
+    pool_failure_limit: int = 3
+    #: Seed of the backoff-jitter RNG (reproducible retry schedules).
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive")
+        if self.pool_failure_limit < 1:
+            raise ValueError("pool_failure_limit must be >= 1")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Jittered exponential delay before retry number ``attempt``."""
+        base = min(self.backoff_cap_s, self.backoff_base_s * (2 ** (attempt - 1)))
+        return base * (0.5 + 0.5 * rng.random())
 
 
 @dataclass
@@ -95,6 +173,20 @@ class SweepStats:
     simulated: int = 0
     sim_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: Cells whose cache hit was journaled by an earlier (interrupted) run.
+    resumed: int = 0
+    #: Exception-driven re-executions.
+    retries: int = 0
+    #: Cells that exceeded the per-cell wall-clock limit.
+    timeouts: int = 0
+    #: Process-pool teardowns (worker crash or hung cell).
+    pool_crashes: int = 0
+    #: Cells that ran inline after the executor degraded.
+    inline_cells: int = 0
+    #: Corrupt cache entries moved to quarantine during this batch.
+    quarantined: int = 0
+    #: Cache writes that failed (cache degraded to read-only).
+    cache_write_failures: int = 0
     #: (cell label, seconds) for every simulated cell, submission order.
     timings: list[tuple[str, float]] = field(default_factory=list)
 
@@ -109,6 +201,13 @@ class SweepStats:
         self.simulated += other.simulated
         self.sim_seconds += other.sim_seconds
         self.wall_seconds += other.wall_seconds
+        self.resumed += other.resumed
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.pool_crashes += other.pool_crashes
+        self.inline_cells += other.inline_cells
+        self.quarantined += other.quarantined
+        self.cache_write_failures += other.cache_write_failures
         self.timings.extend(other.timings)
 
     def summary(self) -> str:
@@ -121,7 +220,30 @@ class SweepStats:
             f"sim time: {self.sim_seconds:.2f}s",
             f"wall time: {self.wall_seconds:.2f}s",
         ]
+        # Recovery counters only appear when something actually went wrong,
+        # so the healthy-path summary line is unchanged.
+        for name, value in (
+            ("resumed", self.resumed),
+            ("retries", self.retries),
+            ("timeouts", self.timeouts),
+            ("pool crashes", self.pool_crashes),
+            ("inline cells", self.inline_cells),
+            ("quarantined", self.quarantined),
+            ("cache write failures", self.cache_write_failures),
+        ):
+            if value:
+                parts.append(f"{name}: {value}")
         return "sweep stats — " + ", ".join(parts)
+
+
+@dataclass
+class _Flight:
+    """Bookkeeping for one in-flight pool future."""
+
+    index: int
+    spec: CellSpec
+    attempt: int
+    deadline: Optional[float]
 
 
 class SweepExecutor:
@@ -133,6 +255,9 @@ class SweepExecutor:
         cache: Optional[ResultCache] = None,
         machine: Optional[MachineConfig] = None,
         verbose: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        journal: Optional[SweepJournal] = None,
+        cell_fn: Callable[..., tuple[RunResult, float]] = simulate_cell,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -140,9 +265,21 @@ class SweepExecutor:
         self.cache = cache
         self.machine = machine
         self.verbose = verbose
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.journal = journal
+        #: The function actually run per cell.  Injectable so the chaos
+        #: tests can dispatch crashing/hanging cells into real pool workers
+        #: (monkeypatching doesn't cross a fork boundary after the pool has
+        #: been created, and never crosses a spawn boundary).
+        self.cell_fn = cell_fn
+        self._rng = random.Random(self.retry.jitter_seed)
+        #: Pool teardowns over this executor's lifetime; at
+        #: ``retry.pool_failure_limit`` execution degrades to inline.
+        self.pool_failures = 0
         #: Lifetime totals across every ``run_cells`` call.
         self.stats = SweepStats()
 
+    # ----------------------------------------------------------- public API
     def run_cells(
         self, specs: Sequence[CellSpec]
     ) -> tuple[dict[CellSpec, RunResult], SweepStats]:
@@ -154,48 +291,265 @@ class SweepExecutor:
         """
         t0 = time.perf_counter()
         batch = SweepStats(cells=len(specs))
+        cache = self.cache
+        evictions0 = cache.corrupt_evictions if cache is not None else 0
+        writefails0 = cache.write_failures if cache is not None else 0
         unique = list(dict.fromkeys(specs))
         results: dict[CellSpec, RunResult] = {}
         to_run: list[CellSpec] = []
         for spec in unique:
-            cached = (
-                self.cache.get(spec.key(self.machine))
-                if self.cache is not None
-                else None
-            )
+            key = spec.key(self.machine)
+            cached = cache.get(key) if cache is not None else None
             if cached is not None:
                 if self.verbose:
                     print(f"  cache hit  {spec.label()}", flush=True)
                 batch.cache_hits += 1
+                if self.journal is not None and key in self.journal.completed:
+                    batch.resumed += 1
                 results[spec] = cached
             else:
                 to_run.append(spec)
 
-        for spec, (result, seconds) in zip(to_run, self._simulate(to_run)):
+        if self.verbose and batch.resumed:
+            print(
+                f"  resuming: {batch.resumed} cells completed by a previous "
+                f"run, {len(to_run)} left to simulate",
+                flush=True,
+            )
+
+        for spec, (result, seconds) in zip(to_run, self._simulate(to_run, batch)):
             results[spec] = result
             batch.simulated += 1
             batch.sim_seconds += seconds
             batch.timings.append((spec.label(), seconds))
             if self.verbose:
                 print(f"  simulated  {spec.label()} in {seconds:.2f}s", flush=True)
-            if self.cache is not None:
-                self.cache.put(spec.key(self.machine), result)
+            key = spec.key(self.machine)
+            if cache is not None:
+                cache.put(key, result)
+            if self.journal is not None:
+                self.journal.record(key, spec.label(), seconds)
 
+        if cache is not None:
+            batch.quarantined += cache.corrupt_evictions - evictions0
+            batch.cache_write_failures += cache.write_failures - writefails0
         batch.wall_seconds = time.perf_counter() - t0
         self.stats.merge(batch)
         return results, batch
 
+    # ----------------------------------------------------------- simulation
     def _simulate(
-        self, specs: Sequence[CellSpec]
+        self, specs: Sequence[CellSpec], batch: SweepStats
     ) -> list[tuple[RunResult, float]]:
         if not specs:
             return []
         machine_dict = (
             machine_to_dict(self.machine) if self.machine is not None else None
         )
-        if self.jobs == 1 or len(specs) == 1:
-            return [simulate_cell(spec, machine_dict) for spec in specs]
+        if self.jobs == 1 or len(specs) == 1 or self._degraded:
+            return [
+                self._run_inline(spec, machine_dict, batch, degraded=self._degraded)
+                for spec in specs
+            ]
+        return self._run_pool(specs, machine_dict, batch)
+
+    @property
+    def _degraded(self) -> bool:
+        return self.pool_failures >= self.retry.pool_failure_limit
+
+    def _run_inline(
+        self,
+        spec: CellSpec,
+        machine_dict: Optional[dict[str, Any]],
+        batch: SweepStats,
+        degraded: bool = False,
+    ) -> tuple[RunResult, float]:
+        """Run one cell in-process with exception retries (no timeout —
+        a wall-clock limit cannot preempt our own process)."""
+        policy = self.retry
+        attempt = 1
+        if degraded:
+            batch.inline_cells += 1
+        while True:
+            try:
+                return self.cell_fn(spec, machine_dict)
+            except _NON_RETRYABLE:
+                raise
+            except Exception:
+                if attempt >= policy.max_attempts:
+                    raise
+                batch.retries += 1
+                if self.verbose:
+                    print(
+                        f"  retry      {spec.label()} "
+                        f"(attempt {attempt + 1}/{policy.max_attempts})",
+                        flush=True,
+                    )
+                time.sleep(policy.backoff_s(attempt, self._rng))
+                attempt += 1
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=workers)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down hard — its workers may be hung or dead."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, ValueError):
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_pool(
+        self,
+        specs: Sequence[CellSpec],
+        machine_dict: Optional[dict[str, Any]],
+        batch: SweepStats,
+    ) -> list[tuple[RunResult, float]]:
+        """Resolve cells through a self-healing process pool.
+
+        The work queue holds ``(index, spec, attempt)``; completed indices
+        leave it permanently, so a pool rebuild re-dispatches only the
+        cells that were genuinely lost.
+        """
+        policy = self.retry
         workers = min(self.jobs, len(specs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(simulate_cell, s, machine_dict) for s in specs]
-            return [f.result() for f in futures]
+        results: dict[int, tuple[RunResult, float]] = {}
+        queue: deque[tuple[int, CellSpec, int]] = deque(
+            (i, spec, 1) for i, spec in enumerate(specs)
+        )
+        pool: Optional[ProcessPoolExecutor] = self._new_pool(workers)
+        inflight: dict[Future, _Flight] = {}
+
+        def submit_ready() -> None:
+            assert pool is not None
+            while queue and len(inflight) < 2 * workers:
+                index, spec, attempt = queue.popleft()
+                deadline = (
+                    time.monotonic() + policy.cell_timeout_s
+                    if policy.cell_timeout_s is not None
+                    else None
+                )
+                fut = pool.submit(self.cell_fn, spec, machine_dict)
+                inflight[fut] = _Flight(index, spec, attempt, deadline)
+
+        def requeue_inflight(overdue: set[Future]) -> None:
+            """Return lost in-flight work to the queue.
+
+            Overdue (or crash-implicated) cells pay an attempt; innocent
+            bystanders of the same pool teardown retry for free.
+            """
+            for fut, flight in sorted(
+                inflight.items(), key=lambda item: item[1].index
+            ):
+                if fut in overdue:
+                    if flight.attempt >= policy.max_attempts:
+                        raise TimeoutError(
+                            f"cell {flight.spec.label()} exceeded "
+                            f"{policy.cell_timeout_s}s wall-clock in each of "
+                            f"{policy.max_attempts} attempts"
+                        )
+                    queue.append((flight.index, flight.spec, flight.attempt + 1))
+                else:
+                    queue.append((flight.index, flight.spec, flight.attempt))
+            inflight.clear()
+
+        def teardown_and_recover(overdue: set[Future]) -> None:
+            nonlocal pool
+            assert pool is not None
+            self._kill_pool(pool)
+            self.pool_failures += 1
+            batch.pool_crashes += 1
+            requeue_inflight(overdue)
+            pool = self._new_pool(workers) if not self._degraded else None
+            if self.verbose:
+                mode = "inline execution" if pool is None else "a fresh pool"
+                print(f"  pool lost; re-dispatching {len(queue)} cells via {mode}",
+                      flush=True)
+
+        try:
+            while queue or inflight:
+                if pool is None:
+                    # Degraded: the pool kept dying — finish inline.
+                    while queue:
+                        index, spec, _ = queue.popleft()
+                        if index not in results:
+                            results[index] = self._run_inline(
+                                spec, machine_dict, batch, degraded=True
+                            )
+                    break
+                submit_ready()
+                timeout: Optional[float] = None
+                if policy.cell_timeout_s is not None and inflight:
+                    nearest = min(
+                        f.deadline for f in inflight.values() if f.deadline is not None
+                    )
+                    timeout = max(0.0, nearest - time.monotonic())
+                done, _ = wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+
+                if not done:
+                    # Deadline expired with nothing finished: some cell hung.
+                    now = time.monotonic()
+                    overdue = {
+                        fut
+                        for fut, flight in inflight.items()
+                        if flight.deadline is not None and now >= flight.deadline
+                    }
+                    if not overdue:
+                        continue
+                    batch.timeouts += len(overdue)
+                    if self.verbose:
+                        for flight in sorted(
+                            (inflight[fut] for fut in overdue),
+                            key=lambda f: f.index,
+                        ):
+                            print(
+                                f"  timeout    {flight.spec.label()} "
+                                f"after {policy.cell_timeout_s}s",
+                                flush=True,
+                            )
+                    teardown_and_recover(overdue)
+                    continue
+
+                pool_broke = False
+                # Deterministic handling order (and lint-clean: `done` is a
+                # set), so retry backoff draws don't depend on hash order.
+                for fut in sorted(done, key=lambda f: inflight[f].index):
+                    flight = inflight.pop(fut)
+                    try:
+                        results[flight.index] = fut.result()
+                    except BrokenProcessPool:
+                        # A worker died (OOM kill, segfault).  Every other
+                        # in-flight future is doomed too; implicate this one
+                        # and rebuild.
+                        inflight[fut] = flight
+                        teardown_and_recover({fut})
+                        pool_broke = True
+                        break
+                    except _NON_RETRYABLE:
+                        raise
+                    except Exception:
+                        if flight.attempt >= policy.max_attempts:
+                            raise
+                        batch.retries += 1
+                        if self.verbose:
+                            print(
+                                f"  retry      {flight.spec.label()} (attempt "
+                                f"{flight.attempt + 1}/{policy.max_attempts})",
+                                flush=True,
+                            )
+                        time.sleep(policy.backoff_s(flight.attempt, self._rng))
+                        queue.append(
+                            (flight.index, flight.spec, flight.attempt + 1)
+                        )
+                if pool_broke:
+                    continue
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        return [results[i] for i in range(len(specs))]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from .degradation import run_degradation
 from .estimators import run_estimator_study
 from .figure4 import run_figure4
 from .figure5 import run_figure5
@@ -90,6 +91,16 @@ def _estimators(ctx: RunContext) -> str:
     return run_estimator_study(ctx.runner()).render()
 
 
+def _degradation(ctx: RunContext) -> str:
+    return run_degradation(
+        seed=ctx.seeds[0],
+        scale=ctx.scale * 0.3,
+        jobs=ctx.jobs,
+        cache_dir=ctx.cache_dir,
+        verbose=ctx.verbose,
+    ).render()
+
+
 def _scaling(ctx: RunContext) -> str:
     rows = run_scaling_study(base_scale=ctx.scale * 0.7, seeds=ctx.seeds)
     return render_scaling_study(rows, "fluidanimate")
@@ -137,6 +148,13 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         description="BL vs duration-weighted BL vs static annotations",
         run=_estimators,
         asserts="WBL >= BL on average; fixes the duration-blindness limitation",
+    ),
+    Experiment(
+        exp_id="degradation",
+        paper_artifact="Section VI related work (extension)",
+        description="Policy slowdown under injected machine faults",
+        run=_degradation,
+        asserts="deterministic chaos ladder; per-policy graceful degradation",
     ),
     Experiment(
         exp_id="scaling",

@@ -18,11 +18,14 @@ from __future__ import annotations
 import warnings
 from typing import Optional, Sequence
 
+import os
+
 from ..analysis.metrics import NormalizedPoint, normalize
 from ..runtime.system import RunResult
 from ..sim.config import MachineConfig
 from .cache import ResultCache
-from .executor import CellSpec, SweepExecutor, SweepStats
+from .executor import CellSpec, RetryPolicy, SweepExecutor, SweepStats
+from .journal import SweepJournal
 
 __all__ = ["GridRunner", "GridResult"]
 
@@ -98,6 +101,9 @@ class GridRunner:
         verbose: bool = False,
         jobs: int = 1,
         cache_dir: Optional[str] = None,
+        faults: str = "off",
+        retry: Optional[RetryPolicy] = None,
+        cell_timeout_s: Optional[float] = None,
     ) -> None:
         """``seeds`` enables multi-seed averaging: each grid cell is
         simulated once per seed and the normalized ratios are averaged
@@ -106,7 +112,15 @@ class GridRunner:
 
         ``jobs`` fans independent cells across that many worker processes;
         results are bitwise-identical to ``jobs=1``.  ``cache_dir`` backs
-        the in-memory memo with a persistent on-disk result cache.
+        the in-memory memo with a persistent on-disk result cache and a
+        completion journal (``<cache_dir>/journal.jsonl``) so a killed
+        sweep resumes re-simulating only the unfinished cells.
+
+        ``faults`` injects deterministic machine faults into every cell
+        (see :mod:`repro.sim.faults`); ``"off"`` keeps the machine
+        pristine.  ``retry``/``cell_timeout_s`` tune crash recovery; a
+        bare ``cell_timeout_s`` is shorthand for ``RetryPolicy`` with that
+        wall-clock limit.
         """
         self.scale = scale
         raw: tuple[int, ...] = tuple(seeds) if seeds is not None else (seed,)
@@ -127,11 +141,20 @@ class GridRunner:
         self.machine = machine
         self.trace_enabled = trace_enabled
         self.verbose = verbose
+        self.faults = faults
+        if retry is None and cell_timeout_s is not None:
+            retry = RetryPolicy(cell_timeout_s=cell_timeout_s)
         self.executor = SweepExecutor(
             jobs=jobs,
             cache=ResultCache(cache_dir) if cache_dir is not None else None,
             machine=machine,
             verbose=verbose,
+            retry=retry,
+            journal=(
+                SweepJournal(os.path.join(cache_dir, "journal.jsonl"))
+                if cache_dir is not None
+                else None
+            ),
         )
         #: In-memory memo: full cell key (workload, policy, fast, seed,
         #: scale, machine fingerprint, schema version) -> result.  A
@@ -150,6 +173,7 @@ class GridRunner:
             seed=seed,
             scale=self.scale,
             trace_enabled=self.trace_enabled,
+            faults=self.faults,
         )
 
     def run_one(
@@ -178,6 +202,13 @@ class GridRunner:
             simulated=batch.simulated,
             sim_seconds=batch.sim_seconds,
             wall_seconds=batch.wall_seconds,
+            resumed=batch.resumed,
+            retries=batch.retries,
+            timeouts=batch.timeouts,
+            pool_crashes=batch.pool_crashes,
+            inline_cells=batch.inline_cells,
+            quarantined=batch.quarantined,
+            cache_write_failures=batch.cache_write_failures,
             timings=list(batch.timings),
         )
         return stats

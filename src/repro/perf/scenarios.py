@@ -159,6 +159,24 @@ def _figure4_cell(workload: str, policy: str) -> Measurement:
     return Measurement(ops=system.sim.events_fired, wall_s=wall)
 
 
+def _faulted_cell(workload: str, policy: str, faults: str) -> Measurement:
+    """A Figure 4 cell with an armed fault plan; ops = events fired.
+
+    Tracks the cost of the fault-response paths (worker teardown, task
+    re-enqueue, RSU software fallback) — the fault-free cells above stay
+    the baseline proving the machinery is free when disabled.
+    """
+    program = build_program(workload, scale=1.0, seed=1)
+    system = build_system(
+        program, policy, fast_cores=8, seed=1, trace_enabled=False,
+        faults=faults,
+    )
+    t0 = time.perf_counter()
+    system.run()
+    wall = time.perf_counter() - t0
+    return Measurement(ops=system.sim.events_fired, wall_s=wall)
+
+
 ENGINE_SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         name="engine_churn",
@@ -194,5 +212,15 @@ SWEEP_SCENARIOS: tuple[Scenario, ...] = (
         unit="events",
         params={"workload": "fluidanimate", "policy": "cata",
                 "scale": 1.0, "fast_cores": 8, "seed": 1},
+    ),
+    Scenario(
+        name="faulted_bodytrack_cata_rsu",
+        run=lambda: _faulted_cell(
+            "bodytrack", "cata_rsu", "chaos:intensity=0.5,horizon=4ms"
+        ),
+        unit="events",
+        params={"workload": "bodytrack", "policy": "cata_rsu",
+                "scale": 1.0, "fast_cores": 8, "seed": 1,
+                "faults": "chaos:intensity=0.5,horizon=4ms"},
     ),
 )

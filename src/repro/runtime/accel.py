@@ -61,6 +61,19 @@ class AccelerationManager(Protocol):
         """``worker`` found no work; release its budget, then proceed."""
         ...
 
+    # Fault-injection hooks are *optional*: the injector discovers them via
+    # ``getattr`` so managers that predate fault support keep working.
+    #
+    # * ``on_core_failed(core_id)`` — retire the core from the acceleration
+    #   state table and reclaim its budget slot if it was accelerated.
+    # * ``on_task_aborted(core_id)`` — the task running on ``core_id`` was
+    #   killed; clear the per-core criticality bookkeeping.
+    # * ``holds_runtime_lock(core_id)`` — True while the core owns the
+    #   runtime's reconfiguration lock (the injector defers killing it to
+    #   avoid orphaning the lock).
+    # * ``set_rsu_available(bool)`` — RSU outage window begins/ends
+    #   (hardware-managed variants only).
+
 
 class NullAccelerationManager:
     """No reconfiguration at all — FIFO and CATS runs use this."""
@@ -81,3 +94,9 @@ class NullAccelerationManager:
 
     def on_worker_idle(self, worker: "Worker", proceed: Proceed) -> None:
         proceed()
+
+    def on_core_failed(self, core_id: int) -> None:
+        pass
+
+    def on_task_aborted(self, core_id: int) -> None:
+        pass

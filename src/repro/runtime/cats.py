@@ -82,6 +82,18 @@ class CATSScheduler(Scheduler):
     def pending(self) -> int:
         return self.queues.pending
 
+    def on_core_failed(self, core_id: int) -> None:
+        """Drop a dead core from the fast set.
+
+        If every fast core has failed the stealing guard
+        (``_fast_core_available``) becomes vacuously false and slow cores
+        serve the HPRQ directly — the machine degrades to homogeneous-slow.
+        """
+        self._fast_ids = frozenset(i for i in self._fast_ids if i != core_id)
+
+    def drain_ready(self) -> list[Task]:
+        return self.queues.drain()
+
 
 class CATAScheduler(Scheduler):
     """HPRQ-first scheduling for a dynamically reconfigurable machine."""
@@ -105,3 +117,6 @@ class CATAScheduler(Scheduler):
     @property
     def pending(self) -> int:
         return self.queues.pending
+
+    def drain_ready(self) -> list[Task]:
+        return self.queues.drain()

@@ -1,0 +1,173 @@
+"""Fault injector: arms a :class:`~repro.sim.faults.FaultPlan` against a
+live :class:`~repro.runtime.system.RuntimeSystem`.
+
+The injector schedules one simulation event per planned fault and carries
+out the runtime's *graceful degradation* responses:
+
+* **core_fail** — modeled as an OS hot-unplug.  The worker is powered off
+  permanently; its in-flight task (if any) is aborted and re-enqueued; the
+  acceleration manager retires the core from budget accounting (reclaiming
+  the slot if the core was accelerated); the scheduler drops the core from
+  placement structures (CATS fast set, work-stealing deque); finally every
+  queued ready task has its criticality re-estimated over the surviving
+  cores and is re-enqueued.  A core holding the runtime's reconfiguration
+  lock is *not* killed mid-critical-section (that would orphan the lock and
+  deadlock every other worker); the kill retries shortly after, mirroring
+  how a real hot-unplug waits for kernel-side quiescence.
+* **task_abort** — the task running on the core is killed and re-enqueued;
+  the worker immediately requests new work.  A no-op if the core is not
+  mid-task at that instant.
+* **dvfs_stuck** — the core's rail is clamped to the slow level (see
+  :meth:`~repro.sim.dvfs.DVFSController.force_stuck`).
+* **rsu_off** / **rsu_on** — toggles RSU availability on managers that
+  support it (``set_rsu_available``); others ignore the event.
+
+All responses are deterministic functions of the simulation state, so a
+faulted run is exactly as reproducible as a pristine one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.faults import FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import RuntimeSystem
+
+__all__ = ["FaultInjector"]
+
+#: Retry delay when a kill finds its victim holding the runtime lock.
+_KILL_RETRY_NS = 1_000.0
+
+
+class FaultInjector:
+    """Executes a fault plan against a running system."""
+
+    def __init__(self, system: "RuntimeSystem", plan: FaultPlan) -> None:
+        self.system = system
+        self.plan = plan
+        self.cores_failed = 0
+        self.tasks_aborted = 0
+        self.rails_stuck = 0
+        self.rsu_outages = 0
+        self.tasks_requeued = 0
+        self.tasks_reclassified = 0
+        self.kills_deferred = 0
+        #: Faults that found nothing to act on (abort with no running task,
+        #: rail-stick on a dead core, RSU toggle on a software manager...).
+        self.skipped = 0
+
+    # ---------------------------------------------------------------- arming
+    def arm(self) -> None:
+        """Schedule every planned fault (call once, before the run starts)."""
+        for ev in self.plan.events:
+            self.system.sim.at(ev.time_ns, lambda ev=ev: self._fire(ev))
+
+    def _fire(self, ev: FaultEvent) -> None:
+        if self.system.done:
+            return
+        if ev.kind == "core_fail":
+            assert ev.core is not None
+            self._fail_core(ev.core)
+        elif ev.kind == "task_abort":
+            assert ev.core is not None
+            self._abort_task(ev.core)
+        elif ev.kind == "dvfs_stuck":
+            assert ev.core is not None
+            self._stick_rail(ev.core)
+        elif ev.kind == "rsu_off":
+            self._set_rsu(False)
+        elif ev.kind == "rsu_on":
+            self._set_rsu(True)
+        else:  # pragma: no cover - parse_fault_spec validates kinds
+            raise RuntimeError(f"unknown fault kind {ev.kind!r}")
+
+    # --------------------------------------------------------------- actions
+    def _fail_core(self, core_id: int) -> None:
+        system = self.system
+        if system.done:
+            return
+        worker = system.workers[core_id]
+        if worker.state == "failed":
+            self.skipped += 1
+            return
+        manager = system.manager
+        holds = getattr(manager, "holds_runtime_lock", None)
+        if holds is not None and holds(core_id):
+            # Killing the lock holder mid-critical-section would orphan the
+            # lock; wait for quiescence like a real hot-unplug.
+            self.kills_deferred += 1
+            system.sim.schedule(_KILL_RETRY_NS, lambda: self._fail_core(core_id))
+            return
+        task = worker.fail()
+        self.cores_failed += 1
+        hook = getattr(manager, "on_core_failed", None)
+        if hook is not None:
+            hook(core_id)
+        system.scheduler.on_core_failed(core_id)
+        san = system.sanitizer
+        if san is not None:
+            san.on_core_failed(core_id)
+        # Bottom-level criticality thresholds and queue placement were
+        # decided against the full machine; re-decide over the survivors.
+        self.tasks_reclassified += system.reclassify_ready()
+        if task is not None:
+            # Any progress is lost; the task re-enters the ready queues via
+            # the ordinary path (criticality re-estimated).  Attribute the
+            # readiness to core 0 — the dead core owns no deque anymore.
+            system.ready_context_core = 0
+            system.tdg.mark_aborted(task, system.sim.now)
+            self.tasks_requeued += 1
+        system.dispatch()
+
+    def _abort_task(self, core_id: int) -> None:
+        system = self.system
+        worker = system.workers[core_id]
+        if worker.state != "running" or worker.current_task is None:
+            self.skipped += 1
+            return
+        task = worker.abort_current()
+        self.tasks_aborted += 1
+        hook = getattr(system.manager, "on_task_aborted", None)
+        if hook is not None:
+            hook(core_id)
+        system.ready_context_core = core_id
+        system.tdg.mark_aborted(task, system.sim.now)
+        self.tasks_requeued += 1
+        worker.resume_after_abort()
+        system.dispatch()
+
+    def _stick_rail(self, core_id: int) -> None:
+        system = self.system
+        if system.workers[core_id].state == "failed":
+            # A dead core's rail is already parked; nothing to stick.
+            self.skipped += 1
+            return
+        system.dvfs.force_stuck(core_id)
+        self.rails_stuck += 1
+
+    def _set_rsu(self, available: bool) -> None:
+        hook = getattr(self.system.manager, "set_rsu_available", None)
+        if hook is None:
+            self.skipped += 1
+            return
+        if not available:
+            self.rsu_outages += 1
+        hook(available)
+
+    # --------------------------------------------------------------- summary
+    def summary(self) -> dict:
+        """Fault-response statistics for ``RunResult.extra["faults"]``."""
+        return {
+            "spec": self.plan.spec,
+            "events": len(self.plan),
+            "cores_failed": self.cores_failed,
+            "tasks_aborted": self.tasks_aborted,
+            "rails_stuck": self.rails_stuck,
+            "rsu_outages": self.rsu_outages,
+            "tasks_requeued": self.tasks_requeued,
+            "tasks_reclassified": self.tasks_reclassified,
+            "kills_deferred": self.kills_deferred,
+            "skipped": self.skipped,
+        }

@@ -38,3 +38,6 @@ class FIFOScheduler(Scheduler):
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    def drain_ready(self) -> list[Task]:
+        return self._queue.drain()

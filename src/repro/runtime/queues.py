@@ -41,6 +41,12 @@ class ReadyQueue:
     def peek(self) -> Optional[Task]:
         return self._q[0] if self._q else None
 
+    def drain(self) -> list[Task]:
+        """Remove and return every queued task in FIFO order."""
+        out = list(self._q)
+        self._q.clear()
+        return out
+
     def __len__(self) -> int:
         return len(self._q)
 
@@ -85,6 +91,13 @@ class PriorityReadyQueue:
     def peek(self) -> Optional[Task]:
         return self._heap[0][2] if self._heap else None
 
+    def drain(self) -> list[Task]:
+        """Remove and return every queued task in pop (priority) order."""
+        out = []
+        while self._heap:
+            out.append(heapq.heappop(self._heap)[2])
+        return out
+
     def __len__(self) -> int:
         return len(self._heap)
 
@@ -121,6 +134,10 @@ class DualReadyQueues:
     def push(self, task: Task) -> None:
         """Place a ready task according to its decided criticality."""
         (self.hprq if task.critical else self.lprq).push(task)
+
+    def drain(self) -> list[Task]:
+        """Empty both queues: HPRQ in priority order, then LPRQ in FIFO."""
+        return self.hprq.drain() + self.lprq.drain()
 
     @property
     def pending(self) -> int:

@@ -59,3 +59,22 @@ class Scheduler(ABC):
     @abstractmethod
     def pending(self) -> int:
         """Number of ready tasks waiting in the queues."""
+
+    # ------------------------------------------------------ fault injection
+    def on_core_failed(self, core_id: int) -> None:
+        """A core was removed by fault injection.
+
+        Schedulers that key decisions on core identity (CATS's fast set,
+        work-stealing deques) override this; the default has nothing to do.
+        """
+
+    def drain_ready(self) -> list[Task]:
+        """Remove and return every queued ready task, in dispatch order.
+
+        After a core failure the fault injector drains the queues,
+        re-decides each task's criticality over the surviving cores and
+        re-enqueues — the "recompute criticality" half of graceful
+        degradation.  Schedulers without a drainable central queue return
+        the empty list (their placement is criticality-blind anyway).
+        """
+        return []

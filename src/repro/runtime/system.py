@@ -20,11 +20,13 @@ from ..sim.cstates import CStateController
 from ..sim.dvfs import DVFSController
 from ..sim.energy import EnergyAccountant
 from ..sim.engine import SEC, SimulationError, Simulator
+from ..sim.faults import FaultPlan
 from ..sim.kernel import CpufreqFramework
 from ..sim.power import PowerModel
 from ..sim.trace import Trace
 from .accel import AccelerationManager, NullAccelerationManager
 from .criticality import CriticalityEstimator, StaticAnnotationEstimator
+from .faults import FaultInjector
 from .program import Program
 from .scheduler_base import Scheduler
 from .submission import SubmissionController
@@ -86,6 +88,7 @@ class RuntimeSystem:
         policy_name: str = "custom",
         bl_edge_budget: "Optional[int]" = None,
         sanitize: bool = False,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.machine = machine
         self.program = program
@@ -129,6 +132,11 @@ class RuntimeSystem:
         #: enqueue hint used by the work-stealing scheduler.
         self.ready_context_core: int = 0
         self.submission = SubmissionController(self, program)
+        #: Fault injection is strictly opt-in: with no plan there is no
+        #: injector, no armed events and no per-event overhead.
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self, faults) if faults is not None and len(faults) else None
+        )
         self.done = False
         self.completion_ns: Optional[float] = None
 
@@ -197,9 +205,24 @@ class RuntimeSystem:
     def any_worker_available(self, core_ids: Iterable[int]) -> bool:
         return any(self.workers[i].available for i in core_ids)
 
+    def reclassify_ready(self) -> int:
+        """Re-estimate the criticality of every queued ready task.
+
+        Called by the fault injector after a core failure: thresholds and
+        queue placement were decided against the full machine.  Returns the
+        number of tasks re-enqueued.
+        """
+        tasks = self.scheduler.drain_ready()
+        for task in tasks:
+            task.critical = self.estimator.is_critical(task, self.tdg)
+            self.scheduler.on_task_ready(task)
+        return len(tasks)
+
     # ----------------------------------------------------------------- run
     def run(self, max_events: Optional[int] = None) -> RunResult:
         """Execute the program to completion and return the result."""
+        if self.fault_injector is not None:
+            self.fault_injector.arm()
         self.manager.on_run_start()
         for worker in self.workers[1:]:
             worker.start()
@@ -240,5 +263,12 @@ class RuntimeSystem:
             extra={
                 "energy_breakdown_j": self.energy.energy_breakdown_j(),
                 "time_breakdown_ns": self.energy.time_breakdown_ns(),
+                # Only present when a fault plan is active, so fault-free
+                # results (and their golden fingerprints) are unchanged.
+                **(
+                    {"faults": self.fault_injector.summary()}
+                    if self.fault_injector is not None
+                    else {}
+                ),
             },
         )

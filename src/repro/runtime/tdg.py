@@ -56,6 +56,8 @@ class TaskGraph:
         # waiting for execution", not the historical graph).
         self._bl_counts: dict[int, int] = {}
         self._max_bl_waiting = 0
+        #: Tasks killed by fault injection and re-enqueued (diagnostics).
+        self.aborted_count = 0
 
     # ------------------------------------------------------------- queries
     @property
@@ -222,6 +224,21 @@ class TaskGraph:
         task.state = TaskState.RUNNING
         task.core_id = core_id
         task.start_ns = now_ns
+
+    def mark_aborted(self, task: Task, now_ns: float) -> None:
+        """Fault injection killed a running task: re-enqueue it.
+
+        The task returns to READY through the ordinary ready callback (so
+        the estimator re-decides its criticality and the scheduler re-queues
+        it).  It never finished, so the unfinished count and the bottom-level
+        histogram are untouched; all execution progress is lost.
+        """
+        if task.state is not TaskState.RUNNING:
+            raise RuntimeError(f"{task.name} aborted while {task.state.value}")
+        self.aborted_count += 1
+        task.core_id = None
+        task.state = TaskState.CREATED
+        self._make_ready(task, now_ns)
 
     def mark_finished(self, task: Task, now_ns: float) -> list[Task]:
         """Complete a task; returns the successors that just became ready.

@@ -107,8 +107,57 @@ class Worker:
         else:
             self.system.sim.schedule(latency, self._begin_request)
 
+    # ------------------------------------------------------ fault injection
+    def fail(self) -> Optional[Task]:
+        """Power the worker off permanently at the current instant.
+
+        Any in-flight task is aborted (returned to the caller for
+        re-enqueueing), runtime overhead in flight is cancelled, and the
+        core parks in C3.  The ``failed`` state is terminal: scheduled
+        wake-ups and lock grants targeting this worker become no-ops.
+        """
+        if self.state == "failed":
+            return None
+        task = self.current_task
+        self.current_task = None
+        if self.core.executing_task:
+            self.core.abort_work()
+        self.core.power_off()
+        self.system.cstates.power_off(self.core_id)
+        self.state = "failed"
+        return task
+
+    def abort_current(self) -> Task:
+        """Kill the running task; returns it for re-enqueueing.
+
+        The worker stays alive in a transient ``aborting`` state until the
+        caller re-starts it with :meth:`resume_after_abort` (after the TDG
+        and manager bookkeeping for the dead task is done).
+        """
+        if self.state != "running" or self.current_task is None:
+            raise RuntimeError(
+                f"worker {self.core_id} has no running task to abort "
+                f"(state={self.state})"
+            )
+        task = self.current_task
+        self.current_task = None
+        self.core.abort_work()
+        self.state = "aborting"
+        return task
+
+    def resume_after_abort(self) -> None:
+        """Start requesting work again after :meth:`abort_current`."""
+        if self.state != "aborting":
+            raise RuntimeError(
+                f"worker {self.core_id} is not mid-abort (state={self.state})"
+            )
+        self._begin_request()
+
     # ---------------------------------------------------------- scheduling
     def _begin_request(self) -> None:
+        if self.state == "failed":
+            # A wake-up scheduled before the core failed; nothing to do.
+            return
         self.state = "requesting"
         cost = self.system.machine.overheads.schedule_request_ns
         self.core.run_overhead(cost, self._do_pick)

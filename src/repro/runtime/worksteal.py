@@ -72,3 +72,17 @@ class WorkStealingScheduler(Scheduler):
     @property
     def pending(self) -> int:
         return self._pending
+
+    # ------------------------------------------------------ fault injection
+    def on_core_failed(self, core_id: int) -> None:
+        """Migrate the dead core's deque to core 0, preserving order.
+
+        Work on a dead core's deque would otherwise only leave via steals;
+        core 0 is the submission core and can never fail, so it is a safe
+        permanent home.  ``_pending`` is unchanged — the tasks are still
+        ready, just housed elsewhere.
+        """
+        dead = self._deques[core_id % len(self._deques)]
+        if dead and core_id % len(self._deques) != 0:
+            self._deques[0].extend(dead)
+            dead.clear()

@@ -260,6 +260,9 @@ class Core:
                 f"core {self.core_id} must be woken (C0) before starting work, "
                 f"is in {self._cstate}"
             )
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_core_activity(self.core_id, self._sim.now)
         self._exec = _Execution(
             work=work,
             on_complete=on_complete,
@@ -325,6 +328,9 @@ class Core:
             raise CoreError(f"core {self.core_id} is already in overhead")
         if duration_ns < 0:
             raise CoreError("overhead duration must be non-negative")
+        san = self._sim.sanitizer
+        if san is not None:
+            san.on_core_activity(self.core_id, self._sim.now)
         self._busy = True
         self._activity = activity
         self._sync_energy()
@@ -346,4 +352,41 @@ class Core:
             raise CoreError("cannot spin while executing a task")
         self._busy = spinning
         self._activity = activity if spinning else 0.0
+        self._sync_energy()
+
+    # ----------------------------------------------------- fault injection
+    def abort_work(self) -> None:
+        """Kill the in-flight task execution without firing its callbacks.
+
+        The completion (or block-entry) event is cancelled and all progress
+        is discarded; the caller is responsible for re-enqueueing the task.
+        A task blocked in-kernel is aborted in place (the pending unblock
+        event finds no execution and becomes a no-op).
+        """
+        ex = self._exec
+        if ex is None:
+            return
+        if ex.completion_event is not None:
+            ex.completion_event.cancel()
+        self._exec = None
+        self._busy = False
+        self._activity = 0.0
+        if self._cstate != "C0":
+            # Aborted while blocked in the kernel (C1): the block is moot.
+            self.set_cstate("C0")
+        self._sync_energy()
+
+    def power_off(self) -> None:
+        """Cancel any runtime overhead in flight and drop to zero activity.
+
+        Used when the core fails: the overhead continuation (scheduler pick,
+        RSU notification) must never fire on a dead core.  Task execution is
+        aborted separately via :meth:`abort_work`.
+        """
+        if self._overhead_event is not None:
+            self._overhead_event.cancel()
+            self._overhead_event = None
+            self._overhead_done = None
+        self._busy = False
+        self._activity = 0.0
         self._sync_energy()

@@ -124,3 +124,20 @@ class CStateController:
             for listener in self._wake_listeners:
                 listener(core_id)
         return latency
+
+    # ----------------------------------------------------- fault injection
+    def power_off(self, core_id: int) -> None:
+        """Park a failed core in deep sleep permanently.
+
+        Idle timers are cancelled and the core drops straight to C3.  No
+        halt/wake listeners fire — this is not an idle transition the
+        TurboMode microcontroller reacts to; the acceleration managers learn
+        about the failure through their own ``on_core_failed`` hook.
+        """
+        self._idle[core_id] = False
+        for ev_list in (self._halt_event, self._c3_event):
+            ev = ev_list[core_id]
+            if ev is not None:
+                ev.cancel()
+                ev_list[core_id] = None
+        self._cores[core_id].set_cstate("C3")

@@ -46,6 +46,9 @@ class DVFSController:
         self._pending_target: list[Optional[DVFSLevel]] = [None] * machine.core_count
         self._pending_event: list[Optional[Event]] = [None] * machine.core_count
         self._listeners: list[LevelListener] = []
+        #: Fault injection: a stuck rail clamps every request to this level
+        #: (``None`` = healthy).  Requests away from it still pay the ramp.
+        self._stuck: list[Optional[DVFSLevel]] = [None] * machine.core_count
 
     # ------------------------------------------------------------- queries
     def level_of(self, core_id: int) -> DVFSLevel:
@@ -62,6 +65,10 @@ class DVFSController:
 
     def in_transition(self, core_id: int) -> bool:
         return self._pending_target[core_id] is not None
+
+    def is_stuck(self, core_id: int) -> bool:
+        """True once the rail was damaged by fault injection."""
+        return self._stuck[core_id] is not None
 
     @property
     def transition_ns(self) -> float:
@@ -90,8 +97,16 @@ class DVFSController:
         already at (and stably at) the requested level.  ``on_complete`` fires
         when the new operating point is live; for a no-op request it fires
         immediately (same timestamp).
+
+        A rail damaged by :meth:`force_stuck` clamps every request to the
+        stuck level: asking for a different level still charges a full
+        transition (the controller attempts the ramp) but the rail settles
+        back where it is stuck.
         """
-        if level is self._level[core_id] and self._pending_target[core_id] is None:
+        stuck = self._stuck[core_id]
+        if stuck is not None and level is not stuck:
+            level = stuck
+        elif level is self._level[core_id] and self._pending_target[core_id] is None:
             if on_complete is not None:
                 on_complete()
             return False
@@ -129,3 +144,16 @@ class DVFSController:
 
         self._pending_event[core_id] = self._sim.schedule(self._transition_ns, _complete)
         return True
+
+    # ----------------------------------------------------- fault injection
+    def force_stuck(self, core_id: int) -> None:
+        """Damage the rail: it can no longer leave the slow level.
+
+        If the core is currently fast (or ramping anywhere), one final ramp
+        down to slow is started immediately; afterwards every request away
+        from slow charges a full transition latency but lands back at slow.
+        """
+        slow = self._machine.slow
+        self._stuck[core_id] = slow
+        if self._level[core_id] is not slow or self._pending_target[core_id] is not None:
+            self.request(core_id, slow)

@@ -1,0 +1,243 @@
+"""Deterministic fault model for the simulated machine.
+
+The paper evaluates CATA on a pristine machine; related work (CuttleSys,
+HiDVFS) manages reconfigurable multicores under *degraded* conditions.
+This module provides the fault vocabulary for a degradation study: a
+:class:`FaultPlan` is an immutable, fully deterministic list of
+:class:`FaultEvent`\\ s pinned to simulated timestamps.  Two construction
+paths exist:
+
+* an **explicit spec** — ``kind@time[:cN]`` clauses joined by ``;``, e.g.
+  ``core_fail@1.5ms:c3;dvfs_stuck@2ms:c1;rsu_off@1ms;rsu_on@3ms``;
+* a **chaos spec** — ``chaos:intensity=0.5[,horizon=4ms]`` draws a fault
+  mix from a :class:`random.Random` seeded by SHA-256 of the run seed and
+  the spec string, so the same ``(seed, spec)`` pair always produces the
+  same plan and results stay bitwise-reproducible across processes.
+
+Fault kinds
+-----------
+``core_fail``
+    The core powers off permanently at the given instant (modeled as an
+    OS-mediated hot-unplug: a task in flight is aborted and re-enqueued,
+    the budget slot is reclaimed, the core parks in C3).  Core 0 may never
+    fail — it owns task submission.
+``task_abort``
+    The task running on the core (if any) is killed and re-enqueued; the
+    worker immediately requests new work.
+``dvfs_stuck``
+    The core's voltage rail can no longer leave the slow level.  Requests
+    toward any other level still charge the full 25 µs transition latency
+    but settle back at slow.
+``rsu_off`` / ``rsu_on``
+    The hardware RSU becomes unavailable / available again.  While down,
+    RSU-based managers fall back to the software-runtime reconfiguration
+    path (global lock + cpufreq writes).
+
+The plan itself holds no mutable state; :class:`repro.runtime.faults
+.FaultInjector` arms the events against a live system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultSpecError", "parse_fault_spec"]
+
+FAULT_KINDS = ("core_fail", "task_abort", "dvfs_stuck", "rsu_off", "rsu_on")
+
+#: Kinds that target a specific core (``:cN`` suffix required).
+_CORE_KINDS = ("core_fail", "task_abort", "dvfs_stuck")
+
+#: Default chaos horizon when the spec names none: 4 simulated ms covers
+#: the active window of every fast-scale workload in the test suite.
+_DEFAULT_HORIZON_NS = 4_000_000.0
+
+_TIME_SUFFIXES = (("ns", 1.0), ("us", 1_000.0), ("ms", 1_000_000.0), ("s", 1_000_000_000.0))
+
+
+class FaultSpecError(ValueError):
+    """Raised for malformed or physically impossible fault specs."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One injected fault at a simulated instant."""
+
+    time_ns: float
+    kind: str
+    core: Optional[int] = None
+
+    def label(self) -> str:
+        target = f":c{self.core}" if self.core is not None else ""
+        return f"{self.kind}@{self.time_ns:.0f}ns{target}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events plus its originating spec."""
+
+    spec: str
+    events: tuple[FaultEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _parse_time_ns(text: str) -> float:
+    """``1.5ms`` / ``200us`` / ``1000`` (bare = ns) -> nanoseconds."""
+    raw = text.strip()
+    for suffix, mult in _TIME_SUFFIXES:
+        if raw.endswith(suffix) and raw != suffix:
+            # "ns" also ends with "s"; match the longest suffix first.
+            head = raw[: -len(suffix)]
+            if head and head[-1] not in "num":  # avoid "5mms"-style typos
+                try:
+                    value = float(head)
+                except ValueError as exc:
+                    raise FaultSpecError(f"bad time {text!r}") from exc
+                if value < 0:
+                    raise FaultSpecError(f"negative time {text!r}")
+                return value * mult
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise FaultSpecError(
+            f"bad time {text!r} (expected e.g. 1.5ms, 200us, 1000ns or bare ns)"
+        ) from exc
+    if value < 0:
+        raise FaultSpecError(f"negative time {text!r}")
+    return value
+
+
+def _parse_clause(clause: str, core_count: int) -> FaultEvent:
+    head, _, target = clause.partition(":")
+    kind, at, time_text = head.partition("@")
+    kind = kind.strip()
+    if kind not in FAULT_KINDS:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+        )
+    if at != "@" or not time_text.strip():
+        raise FaultSpecError(f"fault clause {clause!r} needs a @time")
+    time_ns = _parse_time_ns(time_text)
+    core: Optional[int] = None
+    target = target.strip()
+    if kind in _CORE_KINDS:
+        if not target.startswith("c"):
+            raise FaultSpecError(f"{kind} needs a :cN core target, got {clause!r}")
+        try:
+            core = int(target[1:])
+        except ValueError as exc:
+            raise FaultSpecError(f"bad core target {target!r}") from exc
+        if not (0 <= core < core_count):
+            raise FaultSpecError(
+                f"core target {core} out of range [0, {core_count})"
+            )
+        if kind == "core_fail" and core == 0:
+            raise FaultSpecError(
+                "core 0 owns task submission and may not fail (core_fail@...:c0)"
+            )
+    elif target:
+        raise FaultSpecError(f"{kind} takes no core target, got {clause!r}")
+    return FaultEvent(time_ns=time_ns, kind=kind, core=core)
+
+
+def _chaos_rng(seed: int, spec: str) -> random.Random:
+    """Seeded RNG derived from (run seed, spec text) — reproducible anywhere."""
+    digest = hashlib.sha256(f"{seed}|{spec}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _generate_chaos(
+    spec: str, seed: int, core_count: int
+) -> tuple[FaultEvent, ...]:
+    params: dict[str, str] = {}
+    body = spec[len("chaos:"):]
+    for item in body.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, eq, value = item.partition("=")
+        if eq != "=":
+            raise FaultSpecError(f"chaos parameter {item!r} needs key=value")
+        params[key.strip()] = value.strip()
+    unknown = sorted(set(params) - {"intensity", "horizon"})
+    if unknown:
+        raise FaultSpecError(f"unknown chaos parameters {unknown}")
+    try:
+        intensity = float(params.get("intensity", "0.5"))
+    except ValueError as exc:
+        raise FaultSpecError("chaos intensity must be a number") from exc
+    if not (0.0 <= intensity <= 1.0):
+        raise FaultSpecError(f"chaos intensity must be in [0, 1], got {intensity}")
+    horizon_ns = (
+        _parse_time_ns(params["horizon"]) if "horizon" in params else _DEFAULT_HORIZON_NS
+    )
+    if horizon_ns <= 0:
+        raise FaultSpecError("chaos horizon must be positive")
+    if intensity == 0.0:
+        return ()
+
+    rng = _chaos_rng(seed, spec)
+
+    def draw_time() -> float:
+        # Keep faults inside the active window; round to whole ns so the
+        # event times serialize identically everywhere.
+        return float(round(horizon_ns * (0.1 + 0.8 * rng.random())))
+
+    events: list[FaultEvent] = []
+    # Core failures: never core 0, and always leave at least one worker
+    # core alive so the run degrades instead of serializing onto core 0.
+    max_kills = max(0, core_count - 2)
+    kills = min(int(round(2 * intensity)), max_kills)
+    victims = rng.sample(range(1, core_count), kills) if kills else []
+    for core in victims:
+        events.append(FaultEvent(draw_time(), "core_fail", core))
+    sticks = int(round(2 * intensity))
+    for _ in range(sticks):
+        events.append(FaultEvent(draw_time(), "dvfs_stuck", rng.randrange(core_count)))
+    aborts = int(round(3 * intensity))
+    for _ in range(aborts):
+        events.append(FaultEvent(draw_time(), "task_abort", rng.randrange(core_count)))
+    if intensity >= 0.5:
+        start = float(round(horizon_ns * (0.1 + 0.4 * rng.random())))
+        end = float(round(start + horizon_ns * (0.1 + 0.3 * rng.random())))
+        events.append(FaultEvent(start, "rsu_off", None))
+        events.append(FaultEvent(end, "rsu_on", None))
+    return tuple(events)
+
+
+def parse_fault_spec(
+    spec: Optional[str], seed: int, core_count: int
+) -> Optional[FaultPlan]:
+    """Parse a fault spec string into a :class:`FaultPlan`.
+
+    ``None``, ``""`` and ``"off"`` mean *no faults* and return ``None`` —
+    the zero-cost default: no plan, no injector, no per-event overhead.
+    """
+    if spec is None:
+        return None
+    text = spec.strip()
+    if not text or text == "off":
+        return None
+    if core_count < 1:
+        raise FaultSpecError("core_count must be positive")
+    if text.startswith("chaos:") or text == "chaos":
+        if text == "chaos":
+            text = "chaos:intensity=0.5"
+        events = _generate_chaos(text, seed, core_count)
+    else:
+        events = tuple(
+            _parse_clause(clause, core_count)
+            for clause in text.split(";")
+            if clause.strip()
+        )
+        if not events:
+            raise FaultSpecError(f"fault spec {spec!r} contains no clauses")
+    ordered = tuple(
+        sorted(events, key=lambda e: (e.time_ns, e.kind, -1 if e.core is None else e.core))
+    )
+    return FaultPlan(spec=text, events=ordered)

@@ -1,0 +1,77 @@
+"""Sanitizer dead-core invariants added for fault injection."""
+
+import pytest
+
+from repro.analysis.sanitize import Sanitizer, SanitizerError
+
+
+class FakeTable:
+    """Minimal AccelStateTable stand-in for budget/dead-core recounts."""
+
+    def __init__(self, core_count=4, accelerated=(), budget=2):
+        self.core_count = core_count
+        self._accelerated = set(accelerated)
+        self.budget = budget
+        self.accelerated_count = len(self._accelerated)
+
+    def is_accelerated(self, i):
+        return i in self._accelerated
+
+
+class TestDeadCoreInvariants:
+    def test_double_failure_raises(self):
+        san = Sanitizer()
+        san.on_core_failed(3)
+        with pytest.raises(SanitizerError, match="failed twice"):
+            san.on_core_failed(3)
+
+    def test_dead_core_dvfs_request_raises(self):
+        san = Sanitizer()
+        san.on_core_failed(2)
+        with pytest.raises(SanitizerError, match="after the core failed"):
+            san.on_dvfs_request(2, "fast", 100.0)
+
+    def test_live_core_dvfs_request_passes(self):
+        san = Sanitizer()
+        san.on_core_failed(2)
+        san.on_dvfs_request(1, "fast", 100.0)  # no raise
+
+    def test_dead_core_activity_raises(self):
+        san = Sanitizer()
+        san.on_core_failed(5)
+        san.on_core_activity(4, 50.0)
+        with pytest.raises(SanitizerError, match="dead core 5"):
+            san.on_core_activity(5, 60.0)
+        assert san.core_activity_checked == 2
+
+    def test_dead_core_holding_budget_slot_raises(self):
+        san = Sanitizer()
+        san.on_core_failed(1)
+        with pytest.raises(SanitizerError, match="accelerated budget slot"):
+            san.check_dead_not_accelerated(FakeTable(accelerated={1}))
+
+    def test_dead_core_out_of_table_range_ignored(self):
+        san = Sanitizer()
+        san.on_core_failed(10)
+        san.check_dead_not_accelerated(FakeTable(core_count=4))  # no raise
+
+    def test_budget_commit_recounts_dead_cores(self):
+        san = Sanitizer()
+        san.on_core_failed(0)
+        with pytest.raises(SanitizerError, match="accelerated budget slot"):
+            san.on_budget_commit(FakeTable(accelerated={0}, budget=2), "decision")
+
+
+class TestSummary:
+    def test_fault_free_summary_unchanged(self):
+        text = Sanitizer().render_summary()
+        assert "core failures" not in text
+        assert text.endswith("all invariants held")
+
+    def test_faulted_summary_reports_failures(self):
+        san = Sanitizer()
+        san.on_core_failed(1)
+        san.on_core_failed(2)
+        text = san.render_summary()
+        assert "2 core failures" in text
+        assert text.endswith("all invariants held")

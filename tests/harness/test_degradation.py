@@ -1,0 +1,60 @@
+"""Degradation-study harness smoke tests (repro.harness.degradation)."""
+
+from repro.harness.degradation import (
+    DEGRADATION_INTENSITIES,
+    DEGRADATION_POLICIES,
+    DEGRADATION_WORKLOADS,
+    run_degradation,
+)
+
+FAST_ARGS = dict(
+    workloads=("swaptions",),
+    policies=("fifo", "cata_rsu"),
+    intensities=(0.0, 1.0),
+    scale=0.08,
+    seed=1,
+)
+
+
+class TestDegradationStudy:
+    def test_study_shape_and_baseline_row(self):
+        study = run_degradation(**FAST_ARGS)
+        assert len(study.rows) == 1 * 2 * 2  # workloads x policies x intensities
+        for policy in ("fifo", "cata_rsu"):
+            base = study.row("swaptions", policy, 0.0)
+            assert base.slowdown == 1.0
+            assert base.faults_spec == "off"
+            assert base.events_injected == 0
+            chaotic = study.row("swaptions", policy, 1.0)
+            assert chaotic.faults_spec.startswith("chaos:intensity=1")
+            assert chaotic.events_injected > 0
+            assert chaotic.slowdown > 0
+
+    def test_study_is_deterministic(self):
+        a = run_degradation(**FAST_ARGS)
+        b = run_degradation(**FAST_ARGS)
+        assert a.rows == b.rows
+
+    def test_render_and_csv(self):
+        study = run_degradation(**FAST_ARGS)
+        text = study.render()
+        assert "swaptions" in text and "I=1" in text
+        csv = study.to_csv()
+        assert csv.count("\n") == len(study.rows)  # header + rows
+
+    def test_horizon_tracks_each_baseline(self):
+        study = run_degradation(**FAST_ARGS)
+        fifo = study.row("swaptions", "fifo", 1.0)
+        rsu = study.row("swaptions", "cata_rsu", 1.0)
+        # Different fault-free makespans => different chaos horizons.
+        assert fifo.faults_spec != rsu.faults_spec
+
+    def test_defaults_are_sane(self):
+        assert len(DEGRADATION_WORKLOADS) >= 2
+        assert len(DEGRADATION_POLICIES) >= 5
+        assert 0.0 in DEGRADATION_INTENSITIES
+
+    def test_cache_dir_round_trip(self, tmp_path):
+        first = run_degradation(cache_dir=str(tmp_path), **FAST_ARGS)
+        second = run_degradation(cache_dir=str(tmp_path), **FAST_ARGS)
+        assert first.rows == second.rows

@@ -155,6 +155,7 @@ class TestCacheKey:
                 "scale": 0.5,
                 "machine": machine_fingerprint(None),
                 "trace": False,
+                "faults": "off",
             },
             sort_keys=True,
         )

@@ -1,0 +1,165 @@
+"""End-to-end fault injection through the live runtime system.
+
+Every test runs a real (small-scale) workload with an armed
+:class:`~repro.runtime.faults.FaultInjector` and checks the machine's
+*response*: tasks complete, counters account for every event, the golden
+fault-free path is untouched, and the sanitizer's dead-core invariants
+hold throughout.
+"""
+
+import pytest
+
+from repro.core.policies import build_system, run_policy
+from repro.workloads import build_program
+
+SCALE = 0.15
+SEED = 1
+FAST = 8
+
+
+def _program(workload="swaptions", seed=SEED):
+    return build_program(workload, scale=SCALE, seed=seed)
+
+
+def _run(policy, faults, workload="swaptions", sanitize=True, **kw):
+    return run_policy(
+        _program(workload),
+        policy,
+        fast_cores=FAST,
+        seed=SEED,
+        trace_enabled=True,
+        sanitize=sanitize,
+        faults=faults,
+        **kw,
+    )
+
+
+def _task_count(workload="swaptions"):
+    return _program(workload).task_count
+
+
+class TestOffPathIsUntouched:
+    """``faults="off"`` must be byte-identical to no faults at all."""
+
+    @pytest.mark.parametrize("policy", ["fifo", "cata", "cata_rsu"])
+    def test_off_equals_none(self, policy):
+        base = run_policy(_program(), policy, fast_cores=FAST, seed=SEED)
+        off = run_policy(
+            _program(), policy, fast_cores=FAST, seed=SEED, faults="off"
+        )
+        assert off.exec_time_ns == base.exec_time_ns
+        assert off.energy_j == base.energy_j
+        assert "faults" not in base.extra and "faults" not in off.extra
+
+    def test_empty_plan_installs_no_injector(self):
+        system = build_system(
+            _program(), "cata", fast_cores=FAST, seed=SEED,
+            faults="chaos:intensity=0",
+        )
+        assert system.fault_injector is None
+
+
+class TestCoreFailure:
+    def test_kill_mid_run_still_completes(self):
+        result = _run("fifo", "core_fail@200us:c3")
+        faults = result.extra["faults"]
+        assert faults["cores_failed"] == 1
+        assert result.tasks_executed == _task_count()
+
+    def test_killed_fast_core_degrades_cats(self):
+        # Kill a fast core (CATS fast set is cores 0..7); the HPRQ work
+        # must still finish on the survivors.
+        result = _run("cats_sa", "core_fail@200us:c5")
+        assert result.extra["faults"]["cores_failed"] == 1
+        assert result.tasks_executed == _task_count()
+
+    def test_kill_under_cata_reclaims_budget(self):
+        # The sanitizer recounts the budget on every commit and raises if a
+        # dead core still holds an accelerated slot.
+        result = _run("cata", "core_fail@200us:c3;core_fail@300us:c4")
+        assert result.extra["faults"]["cores_failed"] == 2
+        assert result.tasks_executed == _task_count()
+
+    def test_double_kill_is_skipped(self):
+        result = _run("fifo", "core_fail@200us:c3;core_fail@250us:c3")
+        faults = result.extra["faults"]
+        assert faults["cores_failed"] == 1
+        assert faults["skipped"] == 1
+
+
+class TestTaskAbortAndStuckRail:
+    def test_aborted_task_reexecutes(self):
+        # Abort sweeps over several cores: at least one lands on a running
+        # task at 150us in this deterministic schedule.
+        spec = ";".join(f"task_abort@150us:c{c}" for c in range(1, 6))
+        result = _run("fifo", spec)
+        faults = result.extra["faults"]
+        assert faults["tasks_aborted"] >= 1
+        assert faults["tasks_requeued"] >= faults["tasks_aborted"]
+        # Every task still runs to completion exactly once in the ledger.
+        assert result.tasks_executed == _task_count()
+
+    def test_stuck_rail_counts_and_completes(self):
+        result = _run("cata", "dvfs_stuck@100us:c2")
+        assert result.extra["faults"]["rails_stuck"] == 1
+        assert result.tasks_executed == _task_count()
+
+    def test_all_rails_stuck_defeats_acceleration(self):
+        # With every rail pinned at slow from t=0, CATA can never actually
+        # accelerate anything — the run must be slower than healthy CATA.
+        base = _run("cata", None, sanitize=False)
+        stuck_spec = ";".join(f"dvfs_stuck@0ns:c{c}" for c in range(32))
+        stuck = _run("cata", stuck_spec, sanitize=False)
+        assert stuck.extra["faults"]["rails_stuck"] == 32
+        assert stuck.exec_time_ns > base.exec_time_ns
+
+
+class TestRsuOutage:
+    def test_outage_falls_back_to_software_path(self):
+        result = _run(
+            "cata_rsu", "rsu_off@50us;rsu_on@2ms", workload="bodytrack"
+        )
+        faults = result.extra["faults"]
+        assert faults["rsu_outages"] == 1
+        mechanisms = {r.mechanism for r in result.trace.reconfigs}
+        assert "software-fallback" in mechanisms
+        assert result.tasks_executed == _task_count("bodytrack")
+
+    def test_non_rsu_manager_skips_rsu_events(self):
+        result = _run("cata", "rsu_off@50us;rsu_on@2ms")
+        faults = result.extra["faults"]
+        assert faults["rsu_outages"] == 0
+        assert faults["skipped"] == 2
+
+
+class TestChaosEndToEnd:
+    POLICIES = ["fifo", "cats_sa", "cata", "cata_rsu", "turbomode", "cata_rsu_ml"]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_full_intensity_chaos_completes_sanitized(self, policy):
+        result = _run(policy, "chaos:intensity=1,horizon=2ms")
+        assert result.tasks_executed == _task_count()
+        assert result.extra["faults"]["events"] > 0
+
+    def test_chaos_is_deterministic_end_to_end(self):
+        a = _run("cata_rsu", "chaos:intensity=0.8,horizon=2ms")
+        b = _run("cata_rsu", "chaos:intensity=0.8,horizon=2ms")
+        assert a.exec_time_ns == b.exec_time_ns
+        assert a.energy_j == b.energy_j
+        assert a.extra["faults"] == b.extra["faults"]
+
+    def test_summary_reaches_extra(self):
+        result = _run("fifo", "core_fail@200us:c3")
+        faults = result.extra["faults"]
+        assert faults["spec"] == "core_fail@200us:c3"
+        assert faults["events"] == 1
+        assert set(faults) >= {
+            "cores_failed",
+            "tasks_aborted",
+            "rails_stuck",
+            "rsu_outages",
+            "tasks_requeued",
+            "tasks_reclassified",
+            "kills_deferred",
+            "skipped",
+        }

@@ -1,0 +1,146 @@
+"""Fault-spec parsing and chaos-plan determinism (repro.sim.faults)."""
+
+import pytest
+
+from repro.sim.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSpecError,
+    parse_fault_spec,
+)
+
+CORES = 32
+
+
+class TestOffSpecs:
+    @pytest.mark.parametrize("spec", [None, "", "  ", "off"])
+    def test_off_means_no_plan(self, spec):
+        assert parse_fault_spec(spec, seed=1, core_count=CORES) is None
+
+
+class TestExplicitSpecs:
+    def test_single_clause(self):
+        plan = parse_fault_spec("core_fail@1.5ms:c3", seed=1, core_count=CORES)
+        assert isinstance(plan, FaultPlan)
+        assert plan.events == (
+            FaultEvent(time_ns=1_500_000.0, kind="core_fail", core=3),
+        )
+
+    def test_time_suffixes(self):
+        for text, expected in (
+            ("task_abort@1000:c1", 1000.0),
+            ("task_abort@250ns:c1", 250.0),
+            ("task_abort@2us:c1", 2_000.0),
+            ("task_abort@1.5ms:c1", 1_500_000.0),
+            ("task_abort@0.001s:c1", 1_000_000.0),
+        ):
+            plan = parse_fault_spec(text, seed=1, core_count=CORES)
+            assert plan.events[0].time_ns == expected
+
+    def test_multi_clause_sorted_by_time(self):
+        plan = parse_fault_spec(
+            "dvfs_stuck@2ms:c1;core_fail@1ms:c3;rsu_off@0.5ms",
+            seed=1,
+            core_count=CORES,
+        )
+        assert [e.kind for e in plan.events] == [
+            "rsu_off",
+            "core_fail",
+            "dvfs_stuck",
+        ]
+        assert len(plan) == 3
+
+    def test_rsu_events_take_no_core(self):
+        plan = parse_fault_spec("rsu_off@1ms;rsu_on@2ms", seed=1, core_count=CORES)
+        assert all(e.core is None for e in plan.events)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "explode@1ms:c1",          # unknown kind
+            "core_fail:c1",            # missing @time
+            "core_fail@:c1",           # empty time
+            "core_fail@-1ms:c1",       # negative time
+            "core_fail@1ms",           # missing core target
+            "core_fail@1ms:3",         # malformed core target
+            "core_fail@1ms:c99",       # out of range
+            "core_fail@1ms:c0",        # core 0 owns submission
+            "rsu_off@1ms:c1",          # rsu takes no core
+            ";;",                      # no clauses
+            "core_fail@1mms:c1",       # typo'd unit
+        ],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad, seed=1, core_count=CORES)
+
+    def test_fault_spec_error_is_value_error(self):
+        assert issubclass(FaultSpecError, ValueError)
+
+
+class TestChaosSpecs:
+    def test_same_seed_same_plan(self):
+        a = parse_fault_spec("chaos:intensity=0.8", seed=7, core_count=CORES)
+        b = parse_fault_spec("chaos:intensity=0.8", seed=7, core_count=CORES)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        a = parse_fault_spec("chaos:intensity=0.8", seed=7, core_count=CORES)
+        b = parse_fault_spec("chaos:intensity=0.8", seed=8, core_count=CORES)
+        assert a != b
+
+    def test_spec_text_feeds_the_rng(self):
+        # The horizon parameter changes the plan even at equal intensity.
+        a = parse_fault_spec("chaos:intensity=0.5", seed=1, core_count=CORES)
+        b = parse_fault_spec(
+            "chaos:intensity=0.5,horizon=4ms", seed=1, core_count=CORES
+        )
+        assert a != b
+
+    def test_bare_chaos_defaults(self):
+        plan = parse_fault_spec("chaos", seed=1, core_count=CORES)
+        assert plan is not None and len(plan) > 0
+
+    def test_zero_intensity_is_empty(self):
+        plan = parse_fault_spec("chaos:intensity=0", seed=1, core_count=CORES)
+        assert plan is not None and len(plan) == 0
+
+    def test_core_zero_never_killed(self):
+        for seed in range(20):
+            plan = parse_fault_spec("chaos:intensity=1", seed=seed, core_count=CORES)
+            assert all(
+                e.core != 0 for e in plan.events if e.kind == "core_fail"
+            )
+
+    def test_kills_leave_survivors_on_tiny_machines(self):
+        for cores in (1, 2, 3):
+            plan = parse_fault_spec("chaos:intensity=1", seed=3, core_count=cores)
+            kills = sum(1 for e in plan.events if e.kind == "core_fail")
+            assert kills <= max(0, cores - 2)
+
+    def test_rsu_outage_window_ordered(self):
+        plan = parse_fault_spec("chaos:intensity=1", seed=5, core_count=CORES)
+        offs = [e.time_ns for e in plan.events if e.kind == "rsu_off"]
+        ons = [e.time_ns for e in plan.events if e.kind == "rsu_on"]
+        assert len(offs) == len(ons) == 1
+        assert offs[0] < ons[0]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "chaos:intensity=2",
+            "chaos:intensity=-0.1",
+            "chaos:intensity=abc",
+            "chaos:frobnicate=1",
+            "chaos:intensity",
+            "chaos:horizon=0ns",
+        ],
+    )
+    def test_malformed_chaos_raises(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad, seed=1, core_count=CORES)
+
+    def test_all_kinds_are_known(self):
+        plan = parse_fault_spec("chaos:intensity=1", seed=11, core_count=CORES)
+        assert {e.kind for e in plan.events} <= set(FAULT_KINDS)
