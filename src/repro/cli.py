@@ -19,6 +19,11 @@ writing code:
                and ``BENCH_sweep.json``, ``--check`` gates on regressions
 ``lint``       AST determinism linter over the source tree
 ``analyze-tdg``  static race/deadlock analysis of workload task graphs
+``serve``      persistent sweep daemon (HTTP/JSON job queue over the
+               resumable executor); see ``docs/service.md``
+``submit``     submit a sweep grid to a running daemon
+``status``     progress of a submitted job (``--wait`` long-polls)
+``fetch``      results of a finished job, with SHA-256 fingerprints
 =============  =============================================================
 
 ``run --sanitize`` attaches the sim-sanitizer (runtime invariant checks,
@@ -178,6 +183,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--seeds", nargs="+", type=int, default=[1, 2, 3])
     add_executor_flags(p_exp)
 
+    from .service.client import DEFAULT_URL
+    from .service.protocol import DEFAULT_CLIENT, DEFAULT_HOST, DEFAULT_PORT
+
+    p_serve = sub.add_parser(
+        "serve", help="run the persistent sweep service daemon"
+    )
+    p_serve.add_argument("--host", default=DEFAULT_HOST)
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                         help=f"TCP port (default {DEFAULT_PORT}; 0 picks a "
+                         "free one, announced on stdout and in "
+                         "<state-dir>/endpoint.json)")
+    p_serve.add_argument("--state-dir", default=".repro-service",
+                         metavar="PATH",
+                         help="result cache, journal and job log; the daemon "
+                         "resumes everything in here after a restart")
+    p_serve.add_argument("--jobs", type=positive_int, default=1, metavar="N",
+                         help="worker processes of the simulation tier")
+    p_serve.add_argument("--default-share", type=positive_int, default=2,
+                         metavar="N",
+                         help="concurrency share of unconfigured clients")
+    p_serve.add_argument("--share", action="append", default=[],
+                         metavar="CLIENT=N",
+                         help="per-client concurrency share (repeatable)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="per-cell executor logging")
+    add_resilience_flags(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a sweep grid to a running daemon"
+    )
+    p_submit.add_argument("benchmarks", nargs="+", choices=sorted(BENCHMARKS))
+    p_submit.add_argument("--policies", nargs="+",
+                          default=["cats_sa", "cata", "cata_rsu"],
+                          choices=POLICIES + EXTRA_POLICIES)
+    p_submit.add_argument("--budgets", nargs="+", type=int, default=[8, 16, 24])
+    p_submit.add_argument("--seeds", nargs="+", type=int, default=[1])
+    p_submit.add_argument("--scale", type=float, default=0.5)
+    p_submit.add_argument("--faults", default="off", metavar="SPEC")
+    p_submit.add_argument("--url", default=DEFAULT_URL,
+                          help="daemon base URL")
+    p_submit.add_argument("--client", default=DEFAULT_CLIENT,
+                          help="client name for fairness accounting")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job settles, then print the "
+                          "results table")
+    p_submit.add_argument("--timeout", type=float, default=3600.0,
+                          metavar="SEC", help="--wait deadline")
+
+    p_status = sub.add_parser("status", help="progress of a submitted job")
+    p_status.add_argument("job", help="job id from `repro submit`")
+    p_status.add_argument("--url", default=DEFAULT_URL)
+    p_status.add_argument("--detail", action="store_true",
+                          help="per-cell states")
+    p_status.add_argument("--wait", type=float, default=0.0, metavar="SEC",
+                          help="long-poll until the job settles or SEC passes")
+
+    p_fetch = sub.add_parser(
+        "fetch", help="results of a finished job (with fingerprints)"
+    )
+    p_fetch.add_argument("job", help="job id from `repro submit`")
+    p_fetch.add_argument("--url", default=DEFAULT_URL)
+    p_fetch.add_argument("--json", metavar="FILE", default=None,
+                         help="also dump the full response as JSON")
+
     p_rsu = sub.add_parser("rsu", help="RSU area/power overhead")
     p_rsu.add_argument("--cores", nargs="+", type=int, default=[32, 64, 128, 256, 1024])
 
@@ -320,6 +389,137 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return table + "\n" + grid.stats.summary()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    shares: dict[str, int] = {}
+    for item in args.share:
+        name, sep, value = item.partition("=")
+        if not sep or not name or not value.isdigit() or int(value) < 1:
+            raise SystemExit(
+                f"--share expects CLIENT=N with N >= 1, got {item!r}"
+            )
+        shares[name] = int(value)
+    return serve(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        retry=_retry_from_args(args),
+        shares=shares or None,
+        default_share=args.default_share,
+        verbose=args.verbose,
+    )
+
+
+def _render_job_status(status: dict) -> str:
+    lines = [
+        f"job {status['job']} ({status['client']}): {status['state']} — "
+        f"{status['done']}/{status['unique']} cells done, "
+        f"{status['running']} running, {status['pending']} pending, "
+        f"{status['failed']} failed",
+        f"  cached: {status['cached']}  simulated: {status['simulated']}  "
+        f"attached: {status['attached']}  deduped: {status['deduped']}  "
+        f"resumed: {status['resumed']}",
+    ]
+    for row in status.get("detail", []):
+        src = "cache" if row["from_cache"] else "sim"
+        extra = f"  [{row['error']}]" if row["error"] else ""
+        lines.append(
+            f"    {row['state']:<8} {row['label']:<40} "
+            f"{row['seconds']:8.3f}s  {src}{extra}"
+        )
+    return "\n".join(lines)
+
+
+def _render_fetch(payload: dict) -> str:
+    from .analysis import render_table as _table
+
+    rows = []
+    for item in payload["results"]:
+        result = item["result"]
+        edp = result["energy_j"] * result["exec_time_ns"] / 1e9
+        rows.append(
+            [
+                item["label"],
+                f"{result['exec_time_ns'] / 1e6:.3f}",
+                f"{result['energy_j']:.4f}",
+                f"{edp:.4e}",
+                "cache" if item["from_cache"] else "sim",
+                item["fingerprint"][:12],
+            ]
+        )
+    table = _table(
+        ["cell", "exec ms", "energy J", "EDP J*s", "source", "sha256[:12]"],
+        rows,
+        title=f"job {payload['job']} results",
+    )
+    return (
+        table
+        + f"\ncells: {payload['cells']}  cached: {payload['cached']}  "
+        f"simulated: {payload['simulated']}  resumed: {payload['resumed']}"
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    receipt = client.submit(
+        workloads=list(args.benchmarks),
+        policies=list(args.policies),
+        budgets=list(args.budgets),
+        seeds=list(args.seeds),
+        scale=args.scale,
+        faults=args.faults,
+        client=args.client,
+    )
+    print(
+        f"job {receipt['job']} accepted: {receipt['cells']} cells "
+        f"({receipt['cached']} already cached, {receipt['attached']} "
+        f"in flight elsewhere, {receipt['pending']} queued)"
+    )
+    if not args.wait:
+        print(f"poll with: repro status {receipt['job']} --url {client.url}")
+        return 0
+    status = client.wait(receipt["job"], timeout_s=args.timeout)
+    if status.get("state") != "done":
+        print(_render_job_status(client.status(receipt["job"], detail=True)))
+        return 1
+    print(_render_fetch(client.fetch(receipt["job"])))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    status = (
+        client.status(args.job, wait_s=args.wait)
+        if args.wait > 0
+        else client.status(args.job, detail=args.detail)
+    )
+    if args.wait > 0 and args.detail:
+        status = client.status(args.job, detail=True)
+    print(_render_job_status(status))
+    return 0 if status["state"] != "failed" else 1
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    payload = client.fetch(args.job)
+    print(_render_fetch(payload))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, sort_keys=True)
+        print(f"wrote full response to {args.json}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     # The analysis drivers own their argument parsing; hand over before the
@@ -386,6 +586,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             with open(args.csv, "w", encoding="utf-8") as fh:
                 fh.write(study.to_csv() + "\n")
             print(f"wrote {len(study.rows)} rows to {args.csv}")
+    elif args.command == "serve":
+        return _cmd_serve(args)
+    elif args.command in ("submit", "status", "fetch"):
+        from .service.client import ServiceError
+
+        handler = {
+            "submit": _cmd_submit,
+            "status": _cmd_status,
+            "fetch": _cmd_fetch,
+        }[args.command]
+        try:
+            return handler(args)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     elif args.command == "section5c":
         runner = GridRunner(scale=args.scale, trace_enabled=True)
         print(render_section5c(run_section5c(runner, fast_cores=args.fast)))

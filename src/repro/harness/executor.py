@@ -60,11 +60,24 @@ from .journal import SweepJournal
 
 __all__ = [
     "CellSpec",
+    "CellFailedError",
     "RetryPolicy",
     "SweepStats",
     "SweepExecutor",
     "simulate_cell",
 ]
+
+
+class CellFailedError(RuntimeError):
+    """A cell exhausted its attempts for a reason other than a timeout.
+
+    Raised when a cell was in flight during ``max_attempts`` worker-pool
+    crashes in a row — the repeated implication suggests the cell itself
+    (e.g. an OOM-triggering configuration) is killing its workers.
+    Distinct from :class:`TimeoutError`, which keeps meaning exactly
+    "exceeded ``cell_timeout_s`` wall-clock"; a sweep with timeouts
+    disabled can still see this error.
+    """
 
 #: Exception types that no amount of retrying will fix — bad policy names,
 #: malformed fault specs, type errors.  They re-raise immediately so the
@@ -170,6 +183,10 @@ class SweepStats:
     cells: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
+    #: Duplicate specs in the submitted batch, resolved once and fanned
+    #: back out; ``cells == cache_hits + simulated + deduped`` holds for
+    #: every ``run_cells`` batch.
+    deduped: int = 0
     simulated: int = 0
     sim_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -198,6 +215,7 @@ class SweepStats:
         self.cells += other.cells
         self.memo_hits += other.memo_hits
         self.cache_hits += other.cache_hits
+        self.deduped += other.deduped
         self.simulated += other.simulated
         self.sim_seconds += other.sim_seconds
         self.wall_seconds += other.wall_seconds
@@ -223,6 +241,7 @@ class SweepStats:
         # Recovery counters only appear when something actually went wrong,
         # so the healthy-path summary line is unchanged.
         for name, value in (
+            ("deduped", self.deduped),
             ("resumed", self.resumed),
             ("retries", self.retries),
             ("timeouts", self.timeouts),
@@ -243,7 +262,14 @@ class _Flight:
     index: int
     spec: CellSpec
     attempt: int
-    deadline: Optional[float]
+    #: Submission sequence number; the pool dispatches FIFO, so at any
+    #: instant the ``workers`` lowest-seq in-flight futures are the ones
+    #: that can actually be executing.
+    seq: int
+    #: Wall-clock deadline, armed at *dispatch* (when the flight becomes
+    #: one of the ``workers`` oldest in flight), not at submit — a cell
+    #: queued behind busy workers must not burn budget before it starts.
+    deadline: Optional[float] = None
 
 
 class SweepExecutor:
@@ -258,6 +284,9 @@ class SweepExecutor:
         retry: Optional[RetryPolicy] = None,
         journal: Optional[SweepJournal] = None,
         cell_fn: Callable[..., tuple[RunResult, float]] = simulate_cell,
+        on_cell_complete: Optional[
+            Callable[[CellSpec, str, RunResult, float, bool], None]
+        ] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -272,6 +301,11 @@ class SweepExecutor:
         #: (monkeypatching doesn't cross a fork boundary after the pool has
         #: been created, and never crosses a spawn boundary).
         self.cell_fn = cell_fn
+        #: Called as ``(spec, key, result, seconds, from_cache)`` after a
+        #: cell is resolved and checkpointed (cache + journal).  The sweep
+        #: service uses this for journal-backed per-cell progress streaming;
+        #: ``seconds`` is 0.0 for cache hits.
+        self.on_cell_complete = on_cell_complete
         self._rng = random.Random(self.retry.jitter_seed)
         #: Pool teardowns over this executor's lifetime; at
         #: ``retry.pool_failure_limit`` execution degrades to inline.
@@ -295,6 +329,10 @@ class SweepExecutor:
         evictions0 = cache.corrupt_evictions if cache is not None else 0
         writefails0 = cache.write_failures if cache is not None else 0
         unique = list(dict.fromkeys(specs))
+        # Duplicates resolve once and fan back out; count them so the
+        # batch identity `cells == cache_hits + simulated + deduped` holds
+        # and summary() coverage adds up.
+        batch.deduped = len(specs) - len(unique)
         results: dict[CellSpec, RunResult] = {}
         to_run: list[CellSpec] = []
         for spec in unique:
@@ -307,6 +345,8 @@ class SweepExecutor:
                 if self.journal is not None and key in self.journal.completed:
                     batch.resumed += 1
                 results[spec] = cached
+                if self.on_cell_complete is not None:
+                    self.on_cell_complete(spec, key, cached, 0.0, True)
             else:
                 to_run.append(spec)
 
@@ -329,6 +369,8 @@ class SweepExecutor:
                 cache.put(key, result)
             if self.journal is not None:
                 self.journal.record(key, spec.label(), seconds)
+            if self.on_cell_complete is not None:
+                self.on_cell_complete(spec, key, result, seconds, False)
 
         if cache is not None:
             batch.quarantined += cache.corrupt_evictions - evictions0
@@ -422,47 +464,72 @@ class SweepExecutor:
         )
         pool: Optional[ProcessPoolExecutor] = self._new_pool(workers)
         inflight: dict[Future, _Flight] = {}
+        next_seq = 0
 
         def submit_ready() -> None:
+            nonlocal next_seq
             assert pool is not None
             while queue and len(inflight) < 2 * workers:
                 index, spec, attempt = queue.popleft()
-                deadline = (
-                    time.monotonic() + policy.cell_timeout_s
-                    if policy.cell_timeout_s is not None
-                    else None
-                )
                 fut = pool.submit(self.cell_fn, spec, machine_dict)
-                inflight[fut] = _Flight(index, spec, attempt, deadline)
+                inflight[fut] = _Flight(index, spec, attempt, next_seq)
+                next_seq += 1
 
-        def requeue_inflight(overdue: set[Future]) -> None:
+        def arm_deadlines() -> None:
+            """Start wall clocks for the flights that can actually be
+            running.
+
+            Up to ``2 * workers`` futures are submitted to keep workers
+            fed, but only the ``workers`` oldest of them hold a worker at
+            any instant (the pool dispatches FIFO).  Arming a deadline at
+            submit time would charge queue wait against the cell's budget
+            and let an oversubscribed sweep declare never-started cells
+            overdue; arm at dispatch instead.
+            """
+            if policy.cell_timeout_s is None:
+                return
+            now = time.monotonic()
+            running = sorted(inflight.values(), key=lambda f: f.seq)[:workers]
+            for flight in running:
+                if flight.deadline is None:
+                    flight.deadline = now + policy.cell_timeout_s
+
+        def requeue_inflight(overdue: set[Future], cause: str) -> None:
             """Return lost in-flight work to the queue.
 
             Overdue (or crash-implicated) cells pay an attempt; innocent
-            bystanders of the same pool teardown retry for free.
+            bystanders of the same pool teardown retry for free, with a
+            fresh wall clock armed when the rebuilt pool dispatches them.
             """
             for fut, flight in sorted(
                 inflight.items(), key=lambda item: item[1].index
             ):
                 if fut in overdue:
                     if flight.attempt >= policy.max_attempts:
-                        raise TimeoutError(
-                            f"cell {flight.spec.label()} exceeded "
-                            f"{policy.cell_timeout_s}s wall-clock in each of "
-                            f"{policy.max_attempts} attempts"
+                        if cause == "timeout":
+                            raise TimeoutError(
+                                f"cell {flight.spec.label()} exceeded "
+                                f"{policy.cell_timeout_s}s wall-clock in each "
+                                f"of {policy.max_attempts} attempts"
+                            )
+                        raise CellFailedError(
+                            f"cell {flight.spec.label()} was in flight during "
+                            f"a worker-pool crash in each of "
+                            f"{policy.max_attempts} attempts; the cell is "
+                            "likely killing its workers (e.g. OOM)"
                         )
                     queue.append((flight.index, flight.spec, flight.attempt + 1))
                 else:
                     queue.append((flight.index, flight.spec, flight.attempt))
             inflight.clear()
 
-        def teardown_and_recover(overdue: set[Future]) -> None:
+        def teardown_and_recover(overdue: set[Future], cause: str) -> None:
             nonlocal pool
             assert pool is not None
             self._kill_pool(pool)
             self.pool_failures += 1
             batch.pool_crashes += 1
-            requeue_inflight(overdue)
+            requeue_inflight(overdue, cause)
             pool = self._new_pool(workers) if not self._degraded else None
             if self.verbose:
                 mode = "inline execution" if pool is None else "a fresh pool"
@@ -481,12 +548,13 @@ class SweepExecutor:
                             )
                     break
                 submit_ready()
+                arm_deadlines()
                 timeout: Optional[float] = None
-                if policy.cell_timeout_s is not None and inflight:
-                    nearest = min(
-                        f.deadline for f in inflight.values() if f.deadline is not None
-                    )
-                    timeout = max(0.0, nearest - time.monotonic())
+                armed = [
+                    f.deadline for f in inflight.values() if f.deadline is not None
+                ]
+                if armed:
+                    timeout = max(0.0, min(armed) - time.monotonic())
                 done, _ = wait(
                     set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
                 )
@@ -512,7 +580,7 @@ class SweepExecutor:
                                 f"after {policy.cell_timeout_s}s",
                                 flush=True,
                             )
-                    teardown_and_recover(overdue)
+                    teardown_and_recover(overdue, "timeout")
                     continue
 
                 pool_broke = False
@@ -527,7 +595,7 @@ class SweepExecutor:
                         # in-flight future is doomed too; implicate this one
                         # and rebuild.
                         inflight[fut] = flight
-                        teardown_and_recover({fut})
+                        teardown_and_recover({fut}, "crash")
                         pool_broke = True
                         break
                     except _NON_RETRYABLE:

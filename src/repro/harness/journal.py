@@ -32,6 +32,10 @@ class SweepJournal:
         self.recorded = 0
         #: Torn/garbage lines skipped by the loader.
         self.skipped_lines = 0
+        #: Per-key simulation seconds, for entries that carried one; lets
+        #: a resumed run (or the sweep service) report how long a cell
+        #: took even when it was finished by an earlier process.
+        self.seconds: dict[str, float] = {}
         #: Keys found on disk when the journal was opened (prior runs).
         self.completed: set[str] = self._load()
 
@@ -52,6 +56,8 @@ class SweepJournal:
                         continue
                     if isinstance(key, str):
                         done.add(key)
+                        if isinstance(entry.get("seconds"), (int, float)):
+                            self.seconds[key] = float(entry["seconds"])
         except FileNotFoundError:
             pass
         except OSError:
@@ -84,6 +90,7 @@ class SweepJournal:
             # An unwritable journal degrades resume reporting, nothing else.
             return
         self.completed.add(key)
+        self.seconds[key] = round(seconds, 6)
         self.recorded += 1
 
     def _ends_with_newline(self) -> bool:

@@ -1,0 +1,57 @@
+"""Persistent sweep service: daemon, client, protocol, fairness.
+
+ROADMAP item 1 made concrete: the content-addressed, resumable sweep
+harness (:mod:`repro.harness`) promoted into long-running infrastructure.
+``repro serve`` runs an asyncio job-queue daemon that accepts sweep
+requests over HTTP/JSON, deduplicates identical in-flight cells across
+clients, streams journal-backed per-cell progress, serves warm-cache
+results in O(1) with zero simulation, and enforces per-client concurrency
+shares; ``repro submit`` / ``repro status`` / ``repro fetch`` are the
+client tier.  The worker tier is an unmodified
+:class:`~repro.harness.executor.SweepExecutor`, so served results are
+bitwise-identical to the single-process CLI path and the daemon survives
+SIGKILL with journal-backed resume.  See ``docs/service.md``.
+"""
+
+from .client import (
+    DEFAULT_URL,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+)
+from .fairness import DEFAULT_SHARE, FairScheduler
+from .protocol import (
+    DEFAULT_CLIENT,
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    MAX_CELLS_PER_SUBMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    expand_submit,
+    result_fingerprint,
+    spec_from_dict,
+    spec_to_dict,
+)
+from .server import ServiceServer, SweepService, serve
+
+__all__ = [
+    "DEFAULT_CLIENT",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_SHARE",
+    "DEFAULT_URL",
+    "MAX_CELLS_PER_SUBMIT",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "FairScheduler",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceUnavailableError",
+    "SweepService",
+    "expand_submit",
+    "result_fingerprint",
+    "serve",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,164 @@
+"""Client tier of the sweep service: ``repro submit/status/fetch``.
+
+A thin, dependency-free (``http.client``) JSON client for the daemon's
+protocol (:mod:`repro.service.protocol`).  One connection per request —
+the daemon speaks ``Connection: close`` — which keeps the client trivially
+robust against daemon restarts: a request either gets a complete JSON
+response or raises :class:`ServiceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Optional
+from urllib.parse import urlsplit
+
+from .protocol import DEFAULT_CLIENT, DEFAULT_HOST, DEFAULT_PORT
+
+__all__ = [
+    "DEFAULT_URL",
+    "ServiceError",
+    "ServiceUnavailableError",
+    "ServiceClient",
+]
+
+DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with a non-200 status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceUnavailableError(ServiceError):
+    """No daemon reachable at the configured URL."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        RuntimeError.__init__(
+            self, f"no sweep daemon reachable at {url} ({reason}); "
+            "start one with `repro serve`"
+        )
+        self.status = 0
+        self.message = reason
+
+
+class ServiceClient:
+    """Blocking JSON client for one sweep daemon."""
+
+    def __init__(self, url: str = DEFAULT_URL, timeout_s: float = 60.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = split.hostname or DEFAULT_HOST
+        self.port = split.port or DEFAULT_PORT
+        self.url = f"http://{self.host}:{self.port}"
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------- transport
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict[str, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout_s if timeout_s is not None else self.timeout_s,
+        )
+        try:
+            payload = (
+                json.dumps(body, sort_keys=True).encode("utf-8")
+                if body is not None
+                else None
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (ConnectionError, socket.timeout, socket.gaierror, OSError) as exc:
+            raise ServiceUnavailableError(self.url, str(exc)) from exc
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(
+                response.status, f"undecodable response body: {exc}"
+            ) from exc
+        if response.status != 200:
+            message = (
+                data.get("error", raw.decode("utf-8", "replace"))
+                if isinstance(data, dict)
+                else str(data)
+            )
+            raise ServiceError(response.status, message)
+        return data
+
+    # ------------------------------------------------------------------- API
+    def submit(
+        self,
+        workloads: list[str],
+        policies: list[str],
+        budgets: Optional[list[int]] = None,
+        seeds: Optional[list[int]] = None,
+        scale: float = 1.0,
+        faults: str = "off",
+        client: str = DEFAULT_CLIENT,
+    ) -> dict[str, Any]:
+        """Submit a grid; returns the daemon's receipt (``job`` id &c.)."""
+        body: dict[str, Any] = {
+            "client": client,
+            "workloads": workloads,
+            "policies": policies,
+            "budgets": budgets if budgets is not None else [8],
+            "seeds": seeds if seeds is not None else [1],
+            "scale": scale,
+            "faults": faults,
+        }
+        return self.submit_body(body)
+
+    def submit_body(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Submit a raw protocol body (grid or explicit ``cells`` list)."""
+        return self._request("POST", "/v1/jobs", body=body)
+
+    def status(
+        self, job_id: str, detail: bool = False, wait_s: float = 0.0
+    ) -> dict[str, Any]:
+        """Job progress; ``wait_s > 0`` long-polls until the job settles."""
+        query = []
+        if detail:
+            query.append("detail=1")
+        if wait_s > 0:
+            query.append(f"wait={wait_s:g}")
+        path = f"/v1/jobs/{job_id}" + ("?" + "&".join(query) if query else "")
+        timeout = self.timeout_s + wait_s if wait_s > 0 else None
+        return self._request("GET", path, timeout_s=timeout)
+
+    def wait(
+        self, job_id: str, timeout_s: float = 3600.0, poll_s: float = 30.0
+    ) -> dict[str, Any]:
+        """Long-poll (in ``poll_s`` slices) until done/failed or timeout."""
+        import time as _time
+
+        deadline = _time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                return self.status(job_id)
+            status = self.status(job_id, wait_s=min(poll_s, remaining))
+            if status.get("state") in ("done", "failed"):
+                return status
+
+    def fetch(self, job_id: str) -> dict[str, Any]:
+        """Results of a finished job (serialized results + fingerprints)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/healthz")

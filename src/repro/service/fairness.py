@@ -1,0 +1,103 @@
+"""Multi-tenant fair scheduling: weighted round-robin over client queues.
+
+The daemon serves several clients from one worker tier; without fairness a
+single client submitting a 5000-cell grid would starve everyone behind it.
+The scheduler keeps one FIFO per client and deals cells out in rotation —
+each visit grants a client up to its *share* (concurrency weight) before
+moving on, and the rotation cursor persists across calls, so over time
+client ``c`` receives ``share_c / sum(shares)`` of the worker slots while
+contended, and everything when alone.
+
+Pure data structure, no locking — the service serializes access under its
+own lock — and deterministic: rotation order is first-seen submission
+order, never hash order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Optional
+
+__all__ = ["DEFAULT_SHARE", "FairScheduler"]
+
+#: Concurrency share of a client the operator didn't configure explicitly.
+DEFAULT_SHARE = 2
+
+
+class FairScheduler:
+    """Weighted round-robin dealer over per-client FIFO queues."""
+
+    def __init__(
+        self,
+        default_share: int = DEFAULT_SHARE,
+        shares: Optional[dict[str, int]] = None,
+    ) -> None:
+        if default_share < 1:
+            raise ValueError(f"default_share must be >= 1, got {default_share}")
+        self.default_share = default_share
+        self._shares: dict[str, int] = {}
+        for client, share in (shares or {}).items():
+            self.set_share(client, share)
+        #: Per-client FIFOs, in first-seen order (deterministic rotation).
+        self._queues: "OrderedDict[str, deque[Any]]" = OrderedDict()
+        #: Name of the client the next take() visit starts *after*.
+        self._cursor: Optional[str] = None
+
+    def set_share(self, client: str, share: int) -> None:
+        if share < 1:
+            raise ValueError(f"share for {client!r} must be >= 1, got {share}")
+        self._shares[client] = share
+
+    def share(self, client: str) -> int:
+        return self._shares.get(client, self.default_share)
+
+    def enqueue(self, client: str, item: Any) -> None:
+        self._queues.setdefault(client, deque()).append(item)
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def __len__(self) -> int:
+        return self.pending()
+
+    def clients(self) -> list[str]:
+        """Clients with queued work, rotation order."""
+        return [c for c, q in self._queues.items() if q]
+
+    def take(self, max_items: int) -> list[Any]:
+        """Deal out up to ``max_items`` queued items, fairly.
+
+        Round-robin over the clients with queued work, starting after the
+        client the previous call stopped at; each visit grants a client up
+        to its share.  Rounds repeat until ``max_items`` are dealt or every
+        queue is empty, so a lone client still gets a full batch.
+        """
+        if max_items < 1:
+            return []
+        dealt: list[Any] = []
+        while len(dealt) < max_items:
+            order = self.clients()
+            if not order:
+                break
+            # Rotate so the round starts after the previous cursor.
+            if self._cursor in order:
+                pivot = order.index(self._cursor) + 1
+                order = order[pivot:] + order[:pivot]
+            progressed = False
+            for client in order:
+                queue = self._queues[client]
+                grant = min(self.share(client), max_items - len(dealt))
+                while grant > 0 and queue:
+                    dealt.append(queue.popleft())
+                    grant -= 1
+                    progressed = True
+                self._cursor = client
+                if len(dealt) >= max_items:
+                    break
+            if not progressed:
+                break
+        # Drop drained queues so rotation only visits live clients (their
+        # configured shares persist).
+        for client in [c for c, q in self._queues.items() if not q]:
+            del self._queues[client]
+        return dealt

@@ -1,0 +1,740 @@
+"""Sweep service daemon: ``repro serve``.
+
+Promotes the crash-proof sweep harness into long-running infrastructure.
+Architecture, front to back:
+
+* an **asyncio HTTP/JSON front** (:class:`ServiceServer`) — a minimal
+  stdlib HTTP/1.1 loop over ``asyncio.start_server``, one JSON response
+  per connection; long-polls park in ``asyncio.to_thread`` so they never
+  block the event loop;
+* the **service core** (:class:`SweepService`) — thread-safe job/cell
+  bookkeeping: submissions expand to content-addressed cells, identical
+  in-flight cells from different clients collapse onto one
+  :class:`_CellTask` (simulated exactly once), warm cells are answered
+  from the :class:`~repro.harness.cache.ResultCache` in O(1) with no
+  simulation, and a :class:`~repro.service.fairness.FairScheduler`
+  enforces per-client concurrency shares;
+* the **worker tier** — one background thread draining fair batches
+  through an unmodified :class:`~repro.harness.executor.SweepExecutor`
+  (same retries, timeouts, pool recovery, journal), so service results
+  are bitwise-identical to the single-process CLI path.
+
+Durability: submissions are appended (fsynced) to ``<state>/jobs.jsonl``
+before they are acknowledged, completed cells land in the result cache
+and the fsynced sweep journal.  A SIGKILLed daemon therefore restarts by
+replaying ``jobs.jsonl``: finished cells resolve instantly from the cache
+(counted as *resumed* when the journal vouches for them) and only
+genuinely unfinished cells are re-simulated.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from ..harness.cache import ResultCache
+from ..harness.executor import CellSpec, RetryPolicy, SweepExecutor
+from ..harness.journal import SweepJournal
+from ..runtime.system import RunResult
+from ..sim.config import MachineConfig
+from ..sim.serialize import result_to_dict
+from .fairness import DEFAULT_SHARE, FairScheduler
+from .protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    expand_submit,
+    result_fingerprint,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = ["SweepService", "ServiceServer", "serve"]
+
+_PENDING = "pending"
+_RUNNING = "running"
+_DONE = "done"
+_FAILED = "failed"
+
+
+@dataclass
+class _CellTask:
+    """One unique in-flight cell, shared by every job that requested it."""
+
+    spec: CellSpec
+    key: str
+    state: str = _PENDING
+    #: Simulation seconds (0.0 when served from cache).
+    seconds: float = 0.0
+    #: Resolved from the warm cache, no simulation on behalf of anyone.
+    from_cache: bool = False
+    #: Vouched for by the sweep journal of an earlier daemon life.
+    resumed: bool = False
+    error: str = ""
+    #: Jobs subscribed for completion accounting (only those that were
+    #: waiting on this cell at submit time; warm hits never subscribe).
+    jobs: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Job:
+    """One accepted submission."""
+
+    job_id: str
+    client: str
+    #: Unique cell keys, submission order.
+    keys: list[str]
+    #: Requested cells including duplicates within the submission.
+    requested: int
+    #: Duplicates inside this submission (resolved once, fanned out).
+    deduped: int = 0
+    #: Cells already resolved when the job arrived (warm cache / an
+    #: earlier job's finished work).
+    cached_at_submit: int = 0
+    #: Cells that were already queued or running for another client when
+    #: this job arrived — deduplicated in flight, simulated exactly once.
+    attached: int = 0
+    #: Cells vouched for by the journal of a previous daemon life.
+    resumed: int = 0
+    #: Cells simulated after this job subscribed to them.
+    simulated: int = 0
+    #: Cells that resolved from cache after subscription (rare: another
+    #: batch finished them between submit and dispatch).
+    cached_after_submit: int = 0
+    #: Keys already resolved when this job arrived — from this job's point
+    #: of view they were served from the warm cache, whatever first
+    #: resolved them.
+    pre_resolved: set[str] = field(default_factory=set)
+
+
+class SweepService:
+    """Thread-safe core of the sweep daemon (usable without HTTP)."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        machine: Optional[MachineConfig] = None,
+        shares: Optional[dict[str, int]] = None,
+        default_share: int = DEFAULT_SHARE,
+        verbose: bool = False,
+    ) -> None:
+        self.state_dir = state_dir
+        os.makedirs(state_dir, exist_ok=True)
+        cache_dir = os.path.join(state_dir, "cache")
+        self.cache = ResultCache(cache_dir)
+        self.journal = SweepJournal(os.path.join(cache_dir, "journal.jsonl"))
+        self.machine = machine
+        self.verbose = verbose
+        self.executor = SweepExecutor(
+            jobs=jobs,
+            cache=self.cache,
+            machine=machine,
+            verbose=verbose,
+            retry=retry,
+            journal=self.journal,
+            on_cell_complete=self._on_cell_complete,
+        )
+        self.scheduler = FairScheduler(default_share=default_share, shares=shares)
+        #: Cells per worker batch: mirrors the executor's oversubscription
+        #: window so the pool stays fed, small enough that fairness and
+        #: in-flight dedup re-evaluate frequently.
+        self.batch_size = max(2 * jobs, 4)
+        self._cond = threading.Condition()
+        self._tasks: dict[str, _CellTask] = {}
+        self._jobs: dict[str, _Job] = {}
+        self._job_seq = 1
+        self._jobs_log_path = os.path.join(state_dir, "jobs.jsonl")
+        self._jobs_log: Optional[Any] = None
+        self._started_monotonic = time.monotonic()
+        self._stop = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+        self.recovered_jobs = self._recover()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Start the worker tier (idempotent)."""
+        if self._worker is not None:
+            return
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="repro-sweep-worker", daemon=True
+        )
+        self._worker.start()
+
+    def stop(self) -> None:
+        """Stop the worker tier; pending work persists in ``jobs.jsonl``."""
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join(timeout=30.0)
+            self._worker = None
+        self.journal.close()
+        if self._jobs_log is not None:
+            try:
+                self._jobs_log.close()
+            except OSError:
+                pass
+            self._jobs_log = None
+
+    # ------------------------------------------------------------ durability
+    def _log_job(self, job_id: str, client: str, specs: list[CellSpec]) -> None:
+        """Persist a submission before acknowledging it (fsync, like the
+        sweep journal): a SIGKILLed daemon must be able to finish every
+        job it ever accepted."""
+        line = json.dumps(
+            {
+                "job": job_id,
+                "client": client,
+                "cells": [spec_to_dict(s) for s in specs],
+            },
+            sort_keys=True,
+        )
+        try:
+            if self._jobs_log is None:
+                self._jobs_log = open(self._jobs_log_path, "a", encoding="utf-8")
+                if self._jobs_log.tell() > 0:
+                    # Torn tail from a killed writer: start on a fresh line.
+                    with open(self._jobs_log_path, "rb") as fh:
+                        fh.seek(-1, os.SEEK_END)
+                        if fh.read(1) != b"\n":
+                            self._jobs_log.write("\n")
+            self._jobs_log.write(line + "\n")
+            self._jobs_log.flush()
+            os.fsync(self._jobs_log.fileno())
+        except OSError:
+            # An unwritable log degrades restart recovery, nothing else.
+            pass
+
+    def _recover(self) -> int:
+        """Replay ``jobs.jsonl``: re-register every job of previous daemon
+        lives.  Finished cells resolve instantly from the cache; only the
+        unfinished remainder re-enters the queue."""
+        entries: list[tuple[str, str, list[CellSpec]]] = []
+        try:
+            with open(self._jobs_log_path, encoding="utf-8") as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        entry = json.loads(raw)
+                        job_id = str(entry["job"])
+                        client = str(entry["client"])
+                        specs = [spec_from_dict(c) for c in entry["cells"]]
+                    except (json.JSONDecodeError, KeyError, TypeError,
+                            ValueError):
+                        continue  # torn tail or garbage: skip, don't crash
+                    entries.append((job_id, client, specs))
+        except FileNotFoundError:
+            return 0
+        except OSError:
+            return 0
+        for job_id, client, specs in entries:
+            self._register(job_id, client, specs)
+            seq = _job_seq_of(job_id)
+            if seq is not None:
+                self._job_seq = max(self._job_seq, seq + 1)
+        return len(entries)
+
+    # ------------------------------------------------------------ submission
+    def submit(self, body: Any) -> dict[str, Any]:
+        """Accept one submit request; returns the receipt."""
+        client, specs = expand_submit(body)
+        with self._cond:
+            job_id = f"j{self._job_seq:06d}"
+            self._job_seq += 1
+        self._log_job(job_id, client, specs)
+        job = self._register(job_id, client, specs)
+        return self._receipt(job)
+
+    def _register(
+        self, job_id: str, client: str, specs: list[CellSpec]
+    ) -> _Job:
+        with self._cond:
+            unique = list(dict.fromkeys(specs))
+            job = _Job(
+                job_id=job_id,
+                client=client,
+                keys=[],
+                requested=len(specs),
+                deduped=len(specs) - len(unique),
+            )
+            for spec in unique:
+                key = spec.key(self.machine)
+                job.keys.append(key)
+                task = self._tasks.get(key)
+                if task is not None and task.state in (_PENDING, _RUNNING):
+                    # In-flight dedup: another client already queued this
+                    # exact cell; subscribe instead of re-simulating.
+                    task.jobs.add(job_id)
+                    job.attached += 1
+                    continue
+                if task is not None and task.state == _DONE:
+                    job.cached_at_submit += 1
+                    job.pre_resolved.add(key)
+                    if task.resumed:
+                        job.resumed += 1
+                    continue
+                # Unknown (or previously failed) cell: O(1) warm-cache
+                # probe first, simulate only on a genuine miss.
+                cached = self.cache.get(key)
+                if cached is not None:
+                    resumed = key in self.journal.completed
+                    self._tasks[key] = _CellTask(
+                        spec=spec,
+                        key=key,
+                        state=_DONE,
+                        seconds=self.journal.seconds.get(key, 0.0),
+                        from_cache=True,
+                        resumed=resumed,
+                    )
+                    job.cached_at_submit += 1
+                    job.pre_resolved.add(key)
+                    if resumed:
+                        job.resumed += 1
+                    continue
+                task = _CellTask(spec=spec, key=key)
+                task.jobs.add(job_id)
+                self._tasks[key] = task
+                self.scheduler.enqueue(client, task)
+            self._jobs[job_id] = job
+            self._cond.notify_all()
+        return job
+
+    def _receipt(self, job: _Job) -> dict[str, Any]:
+        pending = (
+            len(job.keys) - job.cached_at_submit - job.attached
+        )
+        return {
+            "job": job.job_id,
+            "client": job.client,
+            "cells": job.requested,
+            "unique": len(job.keys),
+            "deduped": job.deduped,
+            "cached": job.cached_at_submit,
+            "attached": job.attached,
+            "pending": pending,
+            "resumed": job.resumed,
+        }
+
+    # ------------------------------------------------------------ worker tier
+    def _worker_loop(self) -> None:
+        while True:
+            batch: list[_CellTask] = []
+            with self._cond:
+                while not self._stop.is_set():
+                    batch = self._take_batch_locked()
+                    if batch:
+                        break
+                    self._cond.wait(timeout=0.25)
+                if self._stop.is_set():
+                    return
+            specs = [task.spec for task in batch]
+            try:
+                self.executor.run_cells(specs)
+            except Exception as exc:  # the daemon must survive any cell error
+                # Exhausted retries / non-retryable cell error: fail every
+                # batch cell that didn't complete, keep serving.
+                with self._cond:
+                    for task in batch:
+                        if task.state != _DONE:
+                            task.state = _FAILED
+                            task.error = f"{type(exc).__name__}: {exc}"
+                    self._cond.notify_all()
+
+    def _take_batch_locked(self) -> list[_CellTask]:
+        batch: list[_CellTask] = []
+        while len(batch) < self.batch_size:
+            taken = self.scheduler.take(self.batch_size - len(batch))
+            if not taken:
+                break
+            for task in taken:
+                # A cell can have been resolved (or failed) since it was
+                # queued — e.g. by a previous batch it was attached to.
+                if task.state == _PENDING:
+                    task.state = _RUNNING
+                    batch.append(task)
+        return batch
+
+    def _on_cell_complete(
+        self,
+        spec: CellSpec,
+        key: str,
+        result: RunResult,
+        seconds: float,
+        from_cache: bool,
+    ) -> None:
+        """Executor hook: journal-backed per-cell progress streaming."""
+        with self._cond:
+            task = self._tasks.get(key)
+            if task is None:
+                return
+            task.state = _DONE
+            task.seconds = seconds
+            task.from_cache = from_cache
+            task.error = ""
+            for job_id in task.jobs:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    continue
+                if from_cache:
+                    job.cached_after_submit += 1
+                else:
+                    job.simulated += 1
+            task.jobs.clear()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------ queries
+    def status(self, job_id: str, detail: bool = False) -> dict[str, Any]:
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            return self._status_locked(job, detail)
+
+    def _status_locked(self, job: _Job, detail: bool) -> dict[str, Any]:
+        counts = {_PENDING: 0, _RUNNING: 0, _DONE: 0, _FAILED: 0}
+        rows: list[dict[str, Any]] = []
+        for key in job.keys:
+            task = self._tasks[key]
+            counts[task.state] += 1
+            if detail:
+                rows.append(
+                    {
+                        "label": task.spec.label(),
+                        "key": key,
+                        "state": task.state,
+                        "seconds": round(task.seconds, 6),
+                        "from_cache": task.from_cache,
+                        "resumed": task.resumed,
+                        "error": task.error,
+                    }
+                )
+        if counts[_FAILED]:
+            state = _FAILED
+        elif counts[_DONE] == len(job.keys):
+            state = _DONE
+        elif counts[_RUNNING] or counts[_DONE]:
+            state = _RUNNING
+        else:
+            state = "queued"
+        payload: dict[str, Any] = {
+            "job": job.job_id,
+            "client": job.client,
+            "state": state,
+            "cells": job.requested,
+            "unique": len(job.keys),
+            "deduped": job.deduped,
+            "pending": counts[_PENDING],
+            "running": counts[_RUNNING],
+            "done": counts[_DONE],
+            "failed": counts[_FAILED],
+            "cached": job.cached_at_submit + job.cached_after_submit,
+            "attached": job.attached,
+            "simulated": job.simulated,
+            "resumed": job.resumed,
+        }
+        if detail:
+            payload["detail"] = rows
+        return payload
+
+    def wait_settled(self, job_id: str, timeout_s: float) -> dict[str, Any]:
+        """Block until the job settles (done/failed) or the deadline
+        passes; returns the final status either way (long-poll body)."""
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise KeyError(job_id)
+                status = self._status_locked(job, detail=False)
+                remaining = deadline - time.monotonic()
+                if status["state"] in (_DONE, _FAILED) or remaining <= 0:
+                    return status
+                self._cond.wait(timeout=min(remaining, 1.0))
+
+    def fetch(self, job_id: str) -> dict[str, Any]:
+        """Results of a finished job, each with its SHA-256 fingerprint."""
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            status = self._status_locked(job, detail=False)
+            if status["state"] != _DONE:
+                raise _NotDone(status["state"])
+            tasks = [self._tasks[key] for key in job.keys]
+            pre_resolved = set(job.pre_resolved)
+        results = []
+        for task in tasks:
+            result = self.cache.get(task.key)
+            if result is None:
+                # Quarantined/evicted behind our back; recoverable by
+                # resubmitting (the cell will re-simulate).
+                raise _NotDone(f"result for {task.spec.label()} missing from cache")
+            results.append(
+                {
+                    "label": task.spec.label(),
+                    "cell": spec_to_dict(task.spec),
+                    "key": task.key,
+                    "fingerprint": result_fingerprint(result),
+                    "seconds": round(task.seconds, 6),
+                    "from_cache": task.from_cache or task.key in pre_resolved,
+                    "result": result_to_dict(result),
+                }
+            )
+        payload = dict(status)
+        payload["results"] = results
+        return payload
+
+    def health(self) -> dict[str, Any]:
+        stats = self.executor.stats
+        with self._cond:
+            active = sum(
+                1
+                for task in self._tasks.values()
+                if task.state in (_PENDING, _RUNNING)
+            )
+            return {
+                "ok": True,
+                "version": PROTOCOL_VERSION,
+                "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+                "jobs": len(self._jobs),
+                "recovered_jobs": self.recovered_jobs,
+                "active_cells": active,
+                "known_cells": len(self._tasks),
+                "stats": {
+                    "cells": stats.cells,
+                    "cache_hits": stats.cache_hits,
+                    "deduped": stats.deduped,
+                    "simulated": stats.simulated,
+                    "resumed": stats.resumed,
+                    "retries": stats.retries,
+                    "timeouts": stats.timeouts,
+                    "pool_crashes": stats.pool_crashes,
+                    "sim_seconds": round(stats.sim_seconds, 6),
+                },
+            }
+
+
+def _job_seq_of(job_id: str) -> Optional[int]:
+    if job_id.startswith("j") and job_id[1:].isdigit():
+        return int(job_id[1:])
+    return None
+
+
+class _NotDone(Exception):
+    """Job not in a fetchable state; maps to HTTP 409."""
+
+
+# ---------------------------------------------------------------- HTTP front
+class ServiceServer:
+    """Minimal stdlib HTTP/1.1 front over a :class:`SweepService`."""
+
+    def __init__(
+        self,
+        service: SweepService,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the actual ``(host, port)``
+        (``port=0`` picks a free one)."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._write_endpoint_file()
+        return self.host, self.port
+
+    def _write_endpoint_file(self) -> None:
+        """Drop ``<state>/endpoint.json`` so clients and smoke harnesses
+        can find a daemon bound to an ephemeral port."""
+        path = os.path.join(self.service.state_dir, "endpoint.json")
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "host": self.host,
+                        "port": self.port,
+                        "pid": os.getpid(),
+                        "url": f"http://{self.host}:{self.port}",
+                    },
+                    fh,
+                    sort_keys=True,
+                )
+        except OSError:
+            pass
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.service.stop()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, payload = 500, {"error": "internal error"}
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=30.0)
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                raise _BadRequest("malformed request line")
+            method, target = parts[0].upper(), parts[1]
+            headers: dict[str, str] = {}
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            body = await reader.readexactly(length) if length > 0 else b""
+            status, payload = await self._route(method, target, body)
+        except _BadRequest as exc:
+            status, payload = 400, {"error": str(exc)}
+        except (asyncio.IncompleteReadError, asyncio.TimeoutError):
+            status, payload = 400, {"error": "truncated request"}
+        except ConnectionError:
+            writer.close()
+            return
+        except Exception as exc:  # one bad request must not
+            # take the daemon down.
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        try:
+            blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                      409: "Conflict", 500: "Internal Server Error"}.get(
+                status, "OK")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(blob)}\r\n"
+                "Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + blob)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/")
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        if method == "POST" and path == "/v1/jobs":
+            try:
+                parsed = json.loads(body.decode("utf-8")) if body else {}
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise _BadRequest(f"body is not valid JSON: {exc}") from exc
+            try:
+                # Submission writes fsynced state; keep it off the loop.
+                receipt = await asyncio.to_thread(self.service.submit, parsed)
+            except ProtocolError as exc:
+                return 400, {"error": str(exc)}
+            return 200, receipt
+        if method == "GET" and path == "/v1/healthz":
+            return 200, self.service.health()
+        if method == "GET" and path.startswith("/v1/jobs/"):
+            rest = path[len("/v1/jobs/"):]
+            try:
+                if rest.endswith("/results"):
+                    job_id = rest[: -len("/results")]
+                    return 200, await asyncio.to_thread(
+                        self.service.fetch, job_id
+                    )
+                job_id = rest
+                wait_s = float(query.get("wait", "0") or "0")
+                detail = query.get("detail", "0") not in ("0", "", "false")
+                if wait_s > 0:
+                    status = await asyncio.to_thread(
+                        self.service.wait_settled, job_id, min(wait_s, 300.0)
+                    )
+                    if detail:
+                        status = self.service.status(job_id, detail=True)
+                    return 200, status
+                return 200, self.service.status(job_id, detail=detail)
+            except KeyError:
+                return 404, {"error": f"unknown job {rest.split('/')[0]!r}"}
+            except _NotDone as exc:
+                return 409, {"error": f"job not fetchable: {exc}"}
+            except ValueError as exc:
+                raise _BadRequest(str(exc)) from exc
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+class _BadRequest(Exception):
+    pass
+
+
+def serve(
+    state_dir: str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    jobs: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    shares: Optional[dict[str, int]] = None,
+    default_share: int = DEFAULT_SHARE,
+    verbose: bool = False,
+) -> int:
+    """Blocking entry point for ``repro serve``; returns an exit code."""
+    service = SweepService(
+        state_dir,
+        jobs=jobs,
+        retry=retry,
+        shares=shares,
+        default_share=default_share,
+        verbose=verbose,
+    )
+    server = ServiceServer(service, host=host, port=port)
+
+    async def _main() -> None:
+        bound_host, bound_port = await server.start()
+        print(
+            f"repro-serve listening on http://{bound_host}:{bound_port} "
+            f"(state dir {state_dir!r}, jobs={jobs}, "
+            f"recovered {service.recovered_jobs} jobs)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            import signal as _signal
+
+            for sig in (_signal.SIGINT, _signal.SIGTERM):
+                loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, OSError):  # pragma: no cover — non-POSIX
+            pass
+        await stop.wait()
+        print("repro-serve shutting down", flush=True)
+        await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover — belt and braces
+        pass
+    return 0

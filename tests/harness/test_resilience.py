@@ -22,6 +22,7 @@ import pytest
 
 from repro.harness.cache import QUARANTINE_DIR, ResultCache
 from repro.harness.executor import (
+    CellFailedError,
     CellSpec,
     RetryPolicy,
     SweepExecutor,
@@ -74,6 +75,18 @@ def hang_once_cell(spec, machine_dict=None):
     """Hang (far beyond any test timeout) on the first attempt per cell."""
     if _once(f"hang-{spec.policy}-{spec.seed}"):
         time.sleep(600)
+    return simulate_cell(spec, machine_dict)
+
+
+def slow_cell(spec, machine_dict=None):
+    """Take ~1s of wall clock regardless of simulation cost."""
+    time.sleep(1.0)
+    return simulate_cell(spec, machine_dict)
+
+
+def hang_forever_cell(spec, machine_dict=None):
+    """Hang on every attempt (never returns within any test timeout)."""
+    time.sleep(600)
     return simulate_cell(spec, machine_dict)
 
 
@@ -306,6 +319,52 @@ class TestPoolResilience:
         for s in specs:
             assert results[s].tasks_executed > 0
 
+    def test_queued_cells_do_not_burn_timeout_budget_before_dispatch(self):
+        # Regression: deadlines used to be armed at *submit* time while up
+        # to 2*workers futures were submitted, so with jobs=2 and 4 slow
+        # cells the last two burned their wall-clock budget waiting for a
+        # worker and were declared overdue without ever starting —
+        # tearing down a healthy pool and requeueing innocent cells.
+        # 1.5s is a limit only a never-started cell could trip: every
+        # cell needs ~1s once running, but the second wave doesn't start
+        # until ~1s in.
+        specs = [_spec(seed=s) for s in (1, 2, 3, 4)]
+        ex = SweepExecutor(
+            jobs=2,
+            retry=_fast_retry(cell_timeout_s=1.5),
+            cell_fn=slow_cell,
+        )
+        results, batch = ex.run_cells(specs)
+        assert batch.simulated == 4
+        assert batch.timeouts == 0
+        assert batch.pool_crashes == 0
+        for s in specs:
+            assert results[s].tasks_executed > 0
+
+    def test_crash_exhaustion_raises_cell_failed_not_timeout(self, chaos_dir):
+        # Regression: exhausting attempts through repeated pool *crashes*
+        # used to raise TimeoutError("... exceeded Nones wall-clock ...")
+        # even with timeouts disabled, because the timeout message was
+        # reused for the BrokenProcessPool path.
+        specs = [_spec(policy=p) for p in ("fifo", "cats_sa")]
+        ex = SweepExecutor(
+            jobs=2,
+            retry=_fast_retry(max_attempts=1, pool_failure_limit=100),
+            cell_fn=kill_in_worker_cell,
+        )
+        with pytest.raises(CellFailedError, match="pool crash"):
+            ex.run_cells(specs)
+
+    def test_timeout_exhaustion_still_raises_timeout_error(self, chaos_dir):
+        specs = [_spec(policy=p) for p in ("fifo", "cats_sa")]
+        ex = SweepExecutor(
+            jobs=2,
+            retry=_fast_retry(max_attempts=1, cell_timeout_s=0.5),
+            cell_fn=hang_forever_cell,
+        )
+        with pytest.raises(TimeoutError, match="0.5s wall-clock"):
+            ex.run_cells(specs)
+
     def test_pool_results_bitwise_match_inline_under_faults(self, tmp_path):
         faults = "chaos:intensity=0.8,horizon=1ms"
         specs = [
@@ -381,6 +440,48 @@ class TestCheckpointResume:
         for s in specs:
             assert results[s].exec_time_ns == clean[s].exec_time_ns
 
+    def test_torn_journal_tail_still_resumes_unfinished_cells_only(
+        self, tmp_path
+    ):
+        # A daemon (or sweep) SIGKILLed mid-append leaves a torn journal
+        # line; the repaired journal must still credit the intact entries
+        # as resumed and re-simulate only the genuinely unfinished cells.
+        cache_dir = str(tmp_path / "cache")
+        journal_path = os.path.join(cache_dir, "journal.jsonl")
+        specs = [_spec(policy=p) for p in ("fifo", "cats_sa", "cata")]
+        first = SweepExecutor(
+            jobs=1,
+            cache=ResultCache(cache_dir),
+            journal=SweepJournal(journal_path),
+        )
+        first.run_cells(specs[:1])
+        first.journal.close()
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"key": "torn-mid-append')  # no newline, cut JSON
+
+        calls = []
+
+        def counting_cell(spec, machine_dict=None):
+            calls.append(spec)
+            return simulate_cell(spec, machine_dict)
+
+        journal = SweepJournal(journal_path)
+        assert journal.skipped_lines == 1
+        assert journal.seconds.keys() == {specs[0].key()}
+        resumed = SweepExecutor(
+            jobs=1,
+            cache=ResultCache(cache_dir),
+            journal=journal,
+            cell_fn=counting_cell,
+        )
+        results, batch = resumed.run_cells(specs)
+        assert batch.resumed == 1
+        assert batch.simulated == 2
+        assert [s.policy for s in calls] == ["cats_sa", "cata"]
+        fresh, _ = SweepExecutor(jobs=1).run_cells(specs)
+        for s in specs:
+            assert results[s].exec_time_ns == fresh[s].exec_time_ns
+
     def test_quarantine_counted_in_batch_stats(self, tmp_path):
         cache_dir = str(tmp_path / "cache")
         spec = _spec()
@@ -393,6 +494,36 @@ class TestCheckpointResume:
         _, batch = ex.run_cells([spec])
         assert batch.quarantined == 1
         assert batch.simulated == 1
+
+
+class TestDuplicateSpecAccounting:
+    def test_duplicate_specs_counted_so_cells_add_up(self, tmp_path):
+        # Regression: run_cells set cells=len(specs) but resolved only the
+        # uniques, so with duplicates memo/cache/simulated never summed to
+        # cells and summary() misreported coverage.
+        a, b = _spec(seed=1), _spec(seed=2)
+        cache = ResultCache(str(tmp_path / "cache"))
+        ex = SweepExecutor(jobs=1, cache=cache)
+        results, batch = ex.run_cells([a, b, a, a])
+        assert batch.cells == 4
+        assert batch.deduped == 2
+        assert batch.simulated == 2
+        assert batch.cache_hits == 0
+        assert batch.cells == batch.cache_hits + batch.simulated + batch.deduped
+        assert set(results) == {a, b}
+        assert "deduped: 2" in batch.summary()
+        # Warm rerun: same identity, now entirely from cache.
+        _, warm = ex.run_cells([a, b, a, a])
+        assert (warm.cache_hits, warm.simulated, warm.deduped) == (2, 0, 2)
+        assert warm.cells == warm.cache_hits + warm.simulated + warm.deduped
+        # Lifetime merge accumulates the new counter too.
+        assert ex.stats.deduped == 4
+
+    def test_no_duplicates_keeps_summary_clean(self):
+        ex = SweepExecutor(jobs=1)
+        _, batch = ex.run_cells([_spec()])
+        assert batch.deduped == 0
+        assert "deduped" not in batch.summary()
 
 
 class TestStatsPlumbing:

@@ -1,0 +1,85 @@
+"""Unit tests for the weighted round-robin fair scheduler."""
+
+import pytest
+
+from repro.service.fairness import FairScheduler
+
+
+class TestValidation:
+    def test_default_share_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairScheduler(default_share=0)
+
+    def test_share_must_be_positive(self):
+        sched = FairScheduler()
+        with pytest.raises(ValueError):
+            sched.set_share("a", 0)
+        with pytest.raises(ValueError):
+            FairScheduler(shares={"a": -1})
+
+    def test_share_lookup_falls_back_to_default(self):
+        sched = FairScheduler(default_share=3, shares={"vip": 5})
+        assert sched.share("vip") == 5
+        assert sched.share("anyone") == 3
+
+
+class TestDealing:
+    def test_lone_client_gets_full_batch(self):
+        sched = FairScheduler(default_share=1)
+        for i in range(5):
+            sched.enqueue("solo", f"s{i}")
+        assert sched.take(10) == ["s0", "s1", "s2", "s3", "s4"]
+        assert sched.pending() == 0
+
+    def test_contended_clients_split_by_share(self):
+        sched = FairScheduler(shares={"big": 2, "small": 1})
+        for i in range(6):
+            sched.enqueue("big", f"b{i}")
+            sched.enqueue("small", f"s{i}")
+        dealt = sched.take(6)
+        # One full rotation grants big 2, small 1, then repeats: 2:1.
+        assert dealt == ["b0", "b1", "s0", "b2", "b3", "s1"]
+        assert sched.pending() == 6
+
+    def test_rotation_cursor_persists_across_calls(self):
+        sched = FairScheduler(default_share=1)
+        for i in range(3):
+            sched.enqueue("a", f"a{i}")
+            sched.enqueue("b", f"b{i}")
+        assert sched.take(1) == ["a0"]
+        # The next call must start after 'a', not restart at 'a'.
+        assert sched.take(1) == ["b0"]
+        assert sched.take(2) == ["a1", "b1"]
+
+    def test_share_is_per_round_not_a_cap(self):
+        # A small-share client is deprioritized, never starved: once the
+        # bigger queue drains, the remaining budget flows to it.
+        sched = FairScheduler(shares={"big": 3, "small": 1})
+        for i in range(3):
+            sched.enqueue("big", f"b{i}")
+        for i in range(4):
+            sched.enqueue("small", f"s{i}")
+        dealt = sched.take(7)
+        assert dealt == ["b0", "b1", "b2", "s0", "s1", "s2", "s3"]
+
+    def test_take_zero_or_negative_is_empty(self):
+        sched = FairScheduler()
+        sched.enqueue("a", "x")
+        assert sched.take(0) == []
+        assert sched.take(-1) == []
+        assert sched.pending() == 1
+
+    def test_drained_clients_leave_rotation_but_keep_shares(self):
+        sched = FairScheduler(shares={"a": 4})
+        sched.enqueue("a", "a0")
+        sched.take(1)
+        assert sched.clients() == []
+        assert sched.share("a") == 4
+        sched.enqueue("a", "a1")
+        assert sched.take(1) == ["a1"]
+
+    def test_first_seen_order_is_deterministic(self):
+        sched = FairScheduler(default_share=1)
+        for client in ("zeta", "alpha", "mid"):
+            sched.enqueue(client, client + "-item")
+        assert sched.take(3) == ["zeta-item", "alpha-item", "mid-item"]

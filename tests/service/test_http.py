@@ -1,0 +1,177 @@
+"""End-to-end tests over a live HTTP daemon: a real :class:`ServiceServer`
+bound to an ephemeral port, driven through :class:`ServiceClient` — the
+exact stack ``repro submit``/``status``/``fetch`` use."""
+
+import asyncio
+import http.client
+import json
+import os
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServiceServer, SweepService
+
+SCALE = 0.05
+
+
+class _LiveServer:
+    """A ServiceServer running on its own asyncio loop in a daemon thread."""
+
+    def __init__(self, state_dir):
+        self.service = SweepService(state_dir, jobs=1)
+        self.server = ServiceServer(self.service, host="127.0.0.1", port=0)
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self.loop
+        ).result(timeout=10)
+        self.url = f"http://{self.server.host}:{self.server.port}"
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+@pytest.fixture
+def live(tmp_path):
+    server = _LiveServer(str(tmp_path / "state"))
+    yield server
+    server.close()
+
+
+def _submit(svc_client, **overrides):
+    kwargs = {
+        "workloads": ["swaptions"],
+        "policies": ["fifo", "cata"],
+        "budgets": [8],
+        "seeds": [1],
+        "scale": SCALE,
+    }
+    kwargs.update(overrides)
+    return svc_client.submit(**kwargs)
+
+
+class TestRoundtrip:
+    def test_submit_wait_fetch(self, live):
+        client = ServiceClient(live.url)
+        receipt = _submit(client, client="cli-test")
+        assert receipt["cells"] == 2
+        status = client.wait(receipt["job"], timeout_s=120)
+        assert status["state"] == "done"
+        assert status["simulated"] == 2
+        fetched = client.fetch(receipt["job"])
+        assert len(fetched["results"]) == 2
+        for row in fetched["results"]:
+            assert len(row["fingerprint"]) == 64
+            assert row["result"]["exec_time_ns"] > 0
+
+    def test_warm_resubmit_over_http_simulates_nothing(self, live):
+        client = ServiceClient(live.url)
+        first = _submit(client)
+        client.wait(first["job"], timeout_s=120)
+        second = _submit(client)
+        assert second["cached"] == 2
+        status = client.wait(second["job"], timeout_s=30)
+        assert status["state"] == "done"
+        assert status["simulated"] == 0
+        f1 = client.fetch(first["job"])
+        f2 = client.fetch(second["job"])
+        assert [r["fingerprint"] for r in f1["results"]] == [
+            r["fingerprint"] for r in f2["results"]
+        ]
+
+    def test_status_detail_and_longpoll(self, live):
+        client = ServiceClient(live.url)
+        receipt = _submit(client, policies=["fifo"])
+        # Long-poll: one request that returns only once the job settles.
+        status = client.status(receipt["job"], wait_s=60)
+        assert status["state"] == "done"
+        detail = client.status(receipt["job"], detail=True)
+        assert [row["state"] for row in detail["detail"]] == ["done"]
+
+    def test_healthz(self, live):
+        client = ServiceClient(live.url)
+        health = client.health()
+        assert health["ok"] is True
+        assert health["jobs"] == 0
+        assert "stats" in health
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404(self, live):
+        client = ServiceClient(live.url)
+        with pytest.raises(ServiceError) as err:
+            client.status("j424242")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.fetch("j424242")
+        assert err.value.status == 404
+
+    def test_bad_submission_is_400(self, live):
+        client = ServiceClient(live.url)
+        with pytest.raises(ServiceError) as err:
+            _submit(client, workloads=["not-a-workload"])
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.submit_body({"cells": "nope"})
+        assert err.value.status == 400
+
+    def test_fetch_before_done_is_409(self, live):
+        # Park a job behind a worker tier that never picks it up: stop the
+        # worker thread first so the cell stays queued.
+        live.service.stop()
+        client = ServiceClient(live.url, timeout_s=10)
+        receipt = client.submit_body(
+            {
+                "workloads": ["swaptions"],
+                "policies": ["fifo"],
+                "budgets": [8],
+                "seeds": [7],
+                "scale": SCALE,
+            }
+        )
+        with pytest.raises(ServiceError) as err:
+            client.fetch(receipt["job"])
+        assert err.value.status == 409
+
+    def test_malformed_body_is_400_and_daemon_survives(self, live):
+        conn = http.client.HTTPConnection(
+            live.server.host, live.server.port, timeout=10
+        )
+        conn.request(
+            "POST", "/v1/jobs", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        resp = conn.getresponse()
+        assert resp.status == 400
+        resp.read()
+        conn.close()
+        # The daemon shrugged it off and still serves.
+        assert ServiceClient(live.url).health()["ok"] is True
+
+    def test_unknown_route_is_404(self, live):
+        conn = http.client.HTTPConnection(
+            live.server.host, live.server.port, timeout=10
+        )
+        conn.request("GET", "/v1/nope")
+        resp = conn.getresponse()
+        assert resp.status == 404
+        resp.read()
+        conn.close()
+
+
+class TestEndpointFile:
+    def test_endpoint_file_advertises_bound_port(self, live):
+        path = os.path.join(live.service.state_dir, "endpoint.json")
+        with open(path, encoding="utf-8") as fh:
+            endpoint = json.load(fh)
+        assert endpoint["port"] == live.server.port
+        assert endpoint["url"] == live.url
+        assert endpoint["pid"] == os.getpid()
