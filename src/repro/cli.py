@@ -15,8 +15,9 @@ writing code:
 ``figure5``    regenerate Figure 5
 ``section5c``  reconfiguration/lock statistics (Section V-C)
 ``rsu``        RSU area/power overhead (Section III-B.4)
-``perf``       simulator performance benchmarks; writes ``BENCH_engine.json``
-               and ``BENCH_sweep.json``, ``--check`` gates on regressions
+``perf``       simulator performance benchmarks; appends a run record to
+               ``BENCH_history.jsonl``, ``--check`` gates on regressions
+               vs the committed baselines, ``--update`` rewrites them
 ``lint``       AST determinism linter over the source tree
 ``analyze-tdg``  static race/deadlock analysis of workload task graphs
 ``serve``      persistent sweep daemon (HTTP/JSON job queue over the
@@ -110,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "(results are identical to --jobs 1)")
         p.add_argument("--cache-dir", metavar="PATH", default=None,
                        help="persistent on-disk result cache directory")
+        p.add_argument("--batch-cells", type=positive_int, default=1,
+                       metavar="N",
+                       help="cells simulated back-to-back per worker task on "
+                       "shared kernel buffers; amortizes per-cell setup, "
+                       "results are identical to --batch-cells 1")
         p.add_argument("--verbose", action="store_true",
                        help="per-cell timing and cache hit/miss reporting")
 
@@ -265,6 +271,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--threshold", type=float, default=None, metavar="FRAC",
                         help="regression threshold as a fraction "
                         "(default: 0.30)")
+    p_perf.add_argument("--update", action="store_true",
+                        help="rewrite the BENCH_*.json baselines with this "
+                        "run's numbers (default: measure + append history "
+                        "only, baselines untouched)")
+    p_perf.add_argument("--only", nargs="+", metavar="SCENARIO",
+                        help="run (and check) only the named scenarios; "
+                        "incompatible with --update")
 
     # Delegated subcommands: main() hands the remaining argv to the
     # analysis drivers before this parser ever runs, so these entries only
@@ -371,6 +384,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         verbose=args.verbose,
         faults=args.faults,
         retry=_retry_from_args(args),
+        batch_cells=args.batch_cells,
     )
     grid = runner.run_grid(
         args.policies, workloads=[args.benchmark], fast_counts=args.budgets
@@ -549,6 +563,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cache_dir=args.cache_dir,
             verbose=args.verbose,
             retry=_retry_from_args(args),
+            batch_cells=args.batch_cells,
         )
         fn = run_figure4 if args.command == "figure4" else run_figure5
         result = fn(runner, fast_counts=tuple(args.fast))
@@ -580,6 +595,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             verbose=args.verbose,
+            batch_cells=args.batch_cells,
         )
         print(study.render())
         if args.csv:
@@ -618,6 +634,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(run_experiment(args.exp_id, scale=args.scale,
                                  seeds=tuple(args.seeds), jobs=args.jobs,
                                  cache_dir=args.cache_dir,
+                                 batch_cells=args.batch_cells,
                                  verbose=args.verbose))
     elif args.command == "characterize":
         stats = [
@@ -639,6 +656,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             smoke=args.smoke,
             check=args.check,
             threshold=threshold,
+            update=args.update,
+            only=tuple(args.only) if args.only else None,
         )
         print(report)
         return code

@@ -36,6 +36,7 @@ from ..runtime.worksteal import WorkStealingScheduler
 from ..runtime.program import Program
 from ..runtime.scheduler_base import Scheduler
 from ..runtime.system import RuntimeSystem
+from ..sim.arrays import KernelArena
 from ..sim.config import MachineConfig, default_machine
 from ..sim.faults import FaultPlan, parse_fault_spec
 from .cata import SoftwareCataManager
@@ -80,12 +81,16 @@ def build_system(
     bl_edge_budget: int = 64,
     sanitize: bool = False,
     faults: "str | FaultPlan | None" = None,
+    arena: "Optional[KernelArena]" = None,
 ) -> RuntimeSystem:
     """Wire a runtime system for one policy on one program.
 
     ``faults`` accepts a spec string (``kind@time:cN`` clauses or
     ``chaos:intensity=...``; see :mod:`repro.sim.faults`), an already-parsed
     :class:`FaultPlan`, or ``None``/``"off"`` for a pristine machine.
+    ``arena`` donates reusable kernel buffers for multi-cell worker
+    sessions (see :mod:`repro.sim.arrays`); callers must ``reset()`` it
+    between cells.
     """
     if machine is None:
         machine = default_machine()
@@ -209,6 +214,7 @@ def build_system(
         policy_name=policy,
         sanitize=sanitize,
         faults=plan,
+        arena=arena,
     )
 
 
@@ -221,6 +227,7 @@ def run_policy(
     trace_enabled: bool = True,
     sanitize: bool = False,
     faults: "str | FaultPlan | None" = None,
+    arena: "Optional[KernelArena]" = None,
 ):
     """Build and run in one call; returns the :class:`RunResult`."""
     system = build_system(
@@ -232,5 +239,6 @@ def run_policy(
         trace_enabled=trace_enabled,
         sanitize=sanitize,
         faults=faults,
+        arena=arena,
     )
     return system.run()

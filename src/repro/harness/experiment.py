@@ -41,6 +41,7 @@ class RunContext:
     jobs: int = 1
     cache_dir: Optional[str] = None
     verbose: bool = False
+    batch_cells: int = 1
 
     def runner(self, **overrides) -> GridRunner:
         kwargs = dict(
@@ -49,6 +50,7 @@ class RunContext:
             jobs=self.jobs,
             cache_dir=self.cache_dir,
             verbose=self.verbose,
+            batch_cells=self.batch_cells,
         )
         kwargs.update(overrides)
         return GridRunner(**kwargs)
@@ -98,6 +100,7 @@ def _degradation(ctx: RunContext) -> str:
         jobs=ctx.jobs,
         cache_dir=ctx.cache_dir,
         verbose=ctx.verbose,
+        batch_cells=ctx.batch_cells,
     ).render()
 
 
@@ -177,6 +180,7 @@ def run_experiment(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     verbose: bool = False,
+    batch_cells: int = 1,
 ) -> str:
     """Run one experiment by id and return its rendered artifact."""
     ctx = RunContext(
@@ -185,6 +189,7 @@ def run_experiment(
         jobs=jobs,
         cache_dir=cache_dir,
         verbose=verbose,
+        batch_cells=batch_cells,
     )
     for exp in EXPERIMENTS:
         if exp.exp_id == exp_id:

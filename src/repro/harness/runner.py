@@ -104,6 +104,7 @@ class GridRunner:
         faults: str = "off",
         retry: Optional[RetryPolicy] = None,
         cell_timeout_s: Optional[float] = None,
+        batch_cells: int = 1,
     ) -> None:
         """``seeds`` enables multi-seed averaging: each grid cell is
         simulated once per seed and the normalized ratios are averaged
@@ -120,7 +121,9 @@ class GridRunner:
         (see :mod:`repro.sim.faults`); ``"off"`` keeps the machine
         pristine.  ``retry``/``cell_timeout_s`` tune crash recovery; a
         bare ``cell_timeout_s`` is shorthand for ``RetryPolicy`` with that
-        wall-clock limit.
+        wall-clock limit.  ``batch_cells`` dispatches that many cells per
+        worker task, simulated back-to-back on shared kernel buffers
+        (bitwise-identical results; amortizes per-cell setup).
         """
         self.scale = scale
         raw: tuple[int, ...] = tuple(seeds) if seeds is not None else (seed,)
@@ -155,6 +158,7 @@ class GridRunner:
                 if cache_dir is not None
                 else None
             ),
+            batch_cells=batch_cells,
         )
         #: In-memory memo: full cell key (workload, policy, fast, seed,
         #: scale, machine fingerprint, schema version) -> result.  A
@@ -207,6 +211,7 @@ class GridRunner:
             timeouts=batch.timeouts,
             pool_crashes=batch.pool_crashes,
             inline_cells=batch.inline_cells,
+            batched_cells=batch.batched_cells,
             quarantined=batch.quarantined,
             cache_write_failures=batch.cache_write_failures,
             timings=list(batch.timings),

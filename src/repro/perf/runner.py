@@ -25,24 +25,47 @@ dimensionless, machine-independent score.  The regression check compares
 *normalized* values only, so a slower CI runner does not trip it.  Scenario
 sizes never change with ``--smoke`` (only the repetition count does), so
 smoke results are comparable against full-mode baselines.
+
+Alongside the two baseline files, every run appends one JSON line to
+``BENCH_history.jsonl`` — ``{sha, date, mode, calibration_ops_per_sec,
+normalized: {scenario: score}}`` — so throughput trends are greppable
+across commits without diffing baselines.  Baselines themselves only
+change under ``--update``.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import subprocess
 from pathlib import Path
 from typing import Optional
 
 from .scenarios import ENGINE_SCENARIOS, SWEEP_SCENARIOS, Scenario, calibrate
 
-__all__ = ["run_perf", "BENCH_ENGINE", "BENCH_SWEEP", "REGRESSION_THRESHOLD"]
+__all__ = [
+    "run_perf",
+    "BENCH_ENGINE",
+    "BENCH_SWEEP",
+    "BENCH_HISTORY",
+    "REGRESSION_THRESHOLD",
+    "CALIBRATION_DRIFT_WARN",
+]
 
 SCHEMA_VERSION = 1
 BENCH_ENGINE = "BENCH_engine.json"
 BENCH_SWEEP = "BENCH_sweep.json"
+#: Append-only per-run log: one JSON line per ``repro perf`` invocation.
+BENCH_HISTORY = "BENCH_history.jsonl"
 #: Fail ``--check`` when a scenario's normalized throughput drops by more
 #: than this fraction versus the committed baseline.
 REGRESSION_THRESHOLD = 0.30
+#: Warn (never fail) when the host's calibration rate differs from the
+#: baseline's by more than this factor in either direction — normalized
+#: scores still cancel machine speed to first order, but a 3x-different
+#: host shifts the interpreter/C-extension cost balance enough that a
+#: near-threshold verdict deserves suspicion.
+CALIBRATION_DRIFT_WARN = 3.0
 
 
 def _measure(scenario: Scenario, reps: int, cal_ops_per_sec: float) -> dict:
@@ -129,19 +152,102 @@ def _load_baseline(path: Path) -> Optional[dict]:
         return None
 
 
+def _git_sha(cwd: Optional[Path] = None) -> str:
+    """Short SHA of the *measured code* (this module's checkout)."""
+    if cwd is None:
+        cwd = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def _history_record(mode: str, cal: float, docs: tuple[dict, ...]) -> dict:
+    """One flat line per run: enough to plot normalized trends over commits."""
+    normalized = {
+        name: entry["normalized"]
+        for doc in docs
+        for name, entry in doc["scenarios"].items()
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "sha": _git_sha(),
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "mode": mode,
+        "calibration_ops_per_sec": round(cal, 1),
+        "normalized": normalized,
+    }
+
+
+def _calibration_drift(
+    baselines: dict[str, Optional[dict]], cal: float, report: list[str]
+) -> None:
+    """Report host-speed drift vs each baseline; warn past the 3x band."""
+    for name, baseline in baselines.items():
+        base_cal = (baseline or {}).get("calibration_ops_per_sec")
+        if not base_cal:
+            continue
+        ratio = cal / base_cal
+        line = f"  calibration vs {name}: {ratio:.2f}x baseline host speed"
+        if ratio > CALIBRATION_DRIFT_WARN or ratio < 1.0 / CALIBRATION_DRIFT_WARN:
+            line += (
+                f"   WARNING: >{CALIBRATION_DRIFT_WARN:g}x drift — normalized"
+                " comparisons are noisy on a very different host"
+            )
+        report.append(line)
+
+
+def _select(
+    scenarios: tuple[Scenario, ...], only: Optional[tuple[str, ...]]
+) -> tuple[Scenario, ...]:
+    if only is None:
+        return scenarios
+    return tuple(s for s in scenarios if s.name in only)
+
+
 def run_perf(
     out_dir: str = ".",
     smoke: bool = False,
     check: bool = False,
     threshold: float = REGRESSION_THRESHOLD,
+    update: bool = False,
+    only: Optional[tuple[str, ...]] = None,
 ) -> tuple[str, int]:
     """Run every scenario; returns ``(report_text, exit_code)``.
 
-    Writes ``BENCH_engine.json`` and ``BENCH_sweep.json`` into ``out_dir``.
-    With ``check=True``, the files already at those paths (the committed
-    baselines) are read *before* being overwritten and the exit code is 1
-    if any scenario's normalized throughput regressed beyond ``threshold``.
+    Every run appends one line to ``BENCH_history.jsonl`` in ``out_dir``
+    (git SHA, UTC date, calibration, normalized score per scenario) — the
+    longitudinal record.  The ``BENCH_engine.json`` / ``BENCH_sweep.json``
+    *baselines* are rewritten only with ``update=True``, so casual runs
+    and CI checks can never silently move the goalposts.  With
+    ``check=True`` the committed baselines are compared against the fresh
+    measurements (exit code 1 if any scenario's normalized throughput
+    regressed beyond ``threshold``) and the host-speed drift vs the
+    baseline calibration is reported, warning — not failing — beyond
+    ``CALIBRATION_DRIFT_WARN``.
+
+    ``only`` restricts the run to the named scenarios (the comparison
+    then covers exactly that subset).  It cannot be combined with
+    ``update`` — a filtered run would silently drop every other scenario
+    from the baseline files.
     """
+    if only is not None:
+        if update:
+            raise ValueError("--only cannot be combined with --update: a "
+                             "filtered run would write partial baselines")
+        known = {s.name for s in ENGINE_SCENARIOS + SWEEP_SCENARIOS}
+        unknown = sorted(set(only) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
     out = Path(out_dir)
     mode = "smoke" if smoke else "full"
     # Best-of-2 in smoke mode: a single repetition showed up to ~20%
@@ -154,23 +260,44 @@ def run_perf(
 
     engine_path = out / BENCH_ENGINE
     sweep_path = out / BENCH_SWEEP
+    need_baselines = check or update
     baselines = {
-        BENCH_ENGINE: _load_baseline(engine_path) if check else None,
-        BENCH_SWEEP: _load_baseline(sweep_path) if check else None,
+        BENCH_ENGINE: _load_baseline(engine_path) if need_baselines else None,
+        BENCH_SWEEP: _load_baseline(sweep_path) if need_baselines else None,
     }
 
     report.append("engine scenarios:")
-    engine_doc = _bench_doc("engine", ENGINE_SCENARIOS, mode, reps, cal, report)
+    engine_doc = _bench_doc(
+        "engine", _select(ENGINE_SCENARIOS, only), mode, reps, cal, report
+    )
     report.append("sweep scenarios:")
-    sweep_doc = _bench_doc("sweep", SWEEP_SCENARIOS, mode, reps, cal, report)
+    sweep_doc = _bench_doc(
+        "sweep", _select(SWEEP_SCENARIOS, only), mode, reps, cal, report
+    )
 
-    engine_path.write_text(json.dumps(engine_doc, indent=2) + "\n")
-    sweep_path.write_text(json.dumps(sweep_doc, indent=2) + "\n")
-    report.append(f"wrote {engine_path} and {sweep_path}")
+    if update:
+        engine_path.write_text(json.dumps(engine_doc, indent=2) + "\n")
+        sweep_path.write_text(json.dumps(sweep_doc, indent=2) + "\n")
+        report.append(f"updated baselines {engine_path} and {sweep_path}")
+    else:
+        report.append(
+            f"baselines left untouched (re-run with --update to rewrite "
+            f"{BENCH_ENGINE} / {BENCH_SWEEP})"
+        )
+
+    history_path = out / BENCH_HISTORY
+    record = _history_record(mode, cal, (engine_doc, sweep_doc))
+    try:
+        with history_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        report.append(f"appended run record to {history_path}")
+    except OSError as exc:
+        report.append(f"could not append {history_path}: {exc}")
 
     failures: list[str] = []
     if check:
         report.append(f"regression check (threshold {threshold:.0%}):")
+        _calibration_drift(baselines, cal, report)
         failures += _compare(baselines[BENCH_ENGINE], engine_doc, threshold, report)
         failures += _compare(baselines[BENCH_SWEEP], sweep_doc, threshold, report)
         if failures:

@@ -12,25 +12,43 @@ Micro scenarios stress exactly the paths the inner-loop work optimized:
   :class:`~repro.sim.engine.Simulator`;
 * ``cancel_churn`` — lazy cancellation plus periodic heap compaction;
 * ``tdg_relax`` — the bottom-level relaxation walk charged as the BL
-  estimator's overhead (the hottest function of dense-TDG runs).
+  estimator's overhead (the hottest function of dense-TDG runs);
+* ``tdg_relax_array`` — the same walk with the flat-array kernel layer
+  (:mod:`repro.sim.arrays`) forced on, whatever the environment toggle;
+* ``energy_sweep`` — power-state churn through the interval-batched
+  energy accountant (append, replay sweep, finalize);
+* ``pipeline_e2e`` / ``pipeline_e2e_nokernels`` — one end-to-end engine
+  cell on a chain-heavy serial pipeline, with array kernels pinned on
+  and off, so the end-to-end kernel speedup is a ratio of two rows in
+  the same bench file.
 
 Macro scenarios are full Figure 4 cells (scale 1.0, 8 fast cores, seed 1)
 driven through the same ``build_program``/``build_system`` wiring as the
 paper sweeps, with tracing off — the configuration the acceptance speedup
-is measured on.
+is measured on — plus the ``batched_cells`` / ``unbatched_cells`` pair
+timing the executor's multi-cell worker sessions (``--batch-cells``).
 """
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator, Optional
 
 from ..core.policies import build_system
+from ..harness.executor import CellSpec, SweepExecutor
+from ..runtime.program import Program
 from ..runtime.task import TaskType
 from ..runtime.tdg import TaskGraph
+from ..sim.arrays import ENV_TOGGLE
+from ..sim.config import default_machine
+from ..sim.energy import EnergyAccountant
 from ..sim.engine import Simulator
+from ..sim.power import CoreState, PowerModel
 from ..workloads import build_program
+from ..workloads.synthetic import StageSpec, make_pipeline
 
 __all__ = [
     "Measurement",
@@ -136,9 +154,14 @@ def _cancel_churn(rounds: int = 600, batch: int = 256) -> Measurement:
     return Measurement(ops=sim.events_fired + rounds * (batch // 2), wall_s=wall)
 
 
-def _tdg_relax(n_tasks: int = 20_000, fan: int = 6, budget: int = 64) -> Measurement:
+def _tdg_relax(
+    n_tasks: int = 20_000,
+    fan: int = 6,
+    budget: int = 64,
+    array_kernels: Optional[bool] = None,
+) -> Measurement:
     """Dense dependence chains driving the bottom-level relaxation walk."""
-    graph = TaskGraph(bl_edge_budget=budget)
+    graph = TaskGraph(bl_edge_budget=budget, array_kernels=array_kernels)
     ttype = TaskType(name="bench", criticality=0, activity=0.5)
     t0 = time.perf_counter()
     for i in range(n_tasks):
@@ -146,6 +169,87 @@ def _tdg_relax(n_tasks: int = 20_000, fan: int = 6, budget: int = 64) -> Measure
         graph.submit(ttype, cpu_cycles=1000.0, mem_ns=100.0, deps=deps)
     wall = time.perf_counter() - t0
     return Measurement(ops=graph.bl_edges_visited_total, wall_s=wall)
+
+
+def _energy_sweep(n_transitions: int = 200_000, cores: int = 32) -> Measurement:
+    """Core power-state churn through the interval-batched accountant.
+
+    Cycles every core through the five interned states a real run visits
+    (fast/slow busy, idle, halt, sleep) on a monotone clock.  Crosses the
+    periodic flush threshold several times, so the scenario times the full
+    append -> replay-sweep -> finalize pipeline, not just the appends.
+    """
+    machine = default_machine()
+    sim = Simulator()
+    acct = EnergyAccountant(sim, PowerModel(machine.power), cores)
+    states = (
+        CoreState(level=machine.fast, cstate="C0", activity=1.0, busy=True),
+        CoreState(level=machine.slow, cstate="C0", activity=0.8, busy=True),
+        CoreState(level=machine.slow, cstate="C0", activity=0.1, busy=False),
+        CoreState(level=machine.slow, cstate="C1", activity=0.0, busy=False),
+        CoreState(level=machine.fast, cstate="C3", activity=0.0, busy=False),
+    )
+    set_state = acct.set_state
+    t0 = time.perf_counter()
+    for i in range(n_transitions):
+        sim._now += 50.0
+        set_state(i % cores, states[i % 5])
+    acct.finalize()
+    wall = time.perf_counter() - t0
+    assert acct.total_energy_j > 0.0
+    return Measurement(ops=n_transitions, wall_s=wall)
+
+
+@contextmanager
+def _forced_kernels(value: str) -> Iterator[None]:
+    """Pin ``REPRO_ARRAY_KERNELS`` while a system is *constructed*.
+
+    The toggle is consulted at TaskGraph/EnergyAccountant construction
+    time, so wrapping only the build (not the timed run) cleanly selects
+    the backend for a whole cell.
+    """
+    prev = os.environ.get(ENV_TOGGLE)
+    os.environ[ENV_TOGGLE] = value
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ[ENV_TOGGLE]
+        else:
+            os.environ[ENV_TOGGLE] = prev
+
+
+def _pipeline_program(items: int) -> Program:
+    """A serial-stage pipeline: the chain-heavy TDG shape where each
+    ``submit`` ripples bottom-level updates deep into the graph."""
+
+    def ttype(name: str, criticality: int) -> TaskType:
+        return TaskType(name=name, criticality=criticality, activity=0.5)
+
+    stages = (
+        StageSpec(ttype("ingest", 1), mean_us=2.0, beta=0.4, serial=True),
+        StageSpec(ttype("work", 0), mean_us=4.0, beta=0.3, width=2),
+        StageSpec(ttype("emit", 1), mean_us=1.5, beta=0.4, serial=True),
+    )
+    return make_pipeline("serialpipe", items=items, stages=stages, seed=1)
+
+
+def _pipeline_e2e(items: int = 800, kernels: str = "1") -> Measurement:
+    """End-to-end engine cell on the chain-heavy pipeline; ops = events.
+
+    ``kernels`` pins the array-kernel toggle for the cell ("1" on, "0"
+    off), making the on/off end-to-end ratio visible inside one bench
+    file: ``pipeline_e2e`` vs ``pipeline_e2e_nokernels``.
+    """
+    program = _pipeline_program(items)
+    with _forced_kernels(kernels):
+        system = build_system(
+            program, "cats_bl", fast_cores=8, seed=1, trace_enabled=False
+        )
+    t0 = time.perf_counter()
+    system.run()
+    wall = time.perf_counter() - t0
+    return Measurement(ops=system.sim.events_fired, wall_s=wall)
 
 
 # ----------------------------------------------------------- macro scenarios
@@ -177,6 +281,32 @@ def _faulted_cell(workload: str, policy: str, faults: str) -> Measurement:
     return Measurement(ops=system.sim.events_fired, wall_s=wall)
 
 
+def _cell_batch_sweep(batch_cells: int, n_cells: int = 64, jobs: int = 2) -> Measurement:
+    """A many-tiny-cells pool sweep timing multi-cell worker sessions.
+
+    ``batched_cells`` dispatches 32-cell chunks, each simulated
+    back-to-back in one kernel-arena session on the worker — the pool
+    task round-trip (pickle, queue, future) and the per-cell setup (the
+    machine object, the value-keyed power memo: 32 cores x ~5 interned
+    states re-resolved per cell otherwise, the kernel buffers) amortize
+    across the chunk; ``unbatched_cells`` pays one dispatch and one
+    setup per cell.  Results are identical either way; the throughput
+    gap is the amortization, so cells are deliberately tiny (scale
+    0.005) to keep setup a visible fraction.  Ops = cells; pool startup
+    is inside the wall for both variants.
+    """
+    specs = [
+        CellSpec(workload="blackscholes", policy="cata", fast=8, seed=s, scale=0.005)
+        for s in range(1, n_cells + 1)
+    ]
+    executor = SweepExecutor(jobs=jobs, batch_cells=batch_cells)
+    t0 = time.perf_counter()
+    results, _ = executor.run_cells(specs)
+    wall = time.perf_counter() - t0
+    assert len(results) == n_cells
+    return Measurement(ops=n_cells, wall_s=wall)
+
+
 ENGINE_SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         name="engine_churn",
@@ -195,6 +325,35 @@ ENGINE_SCENARIOS: tuple[Scenario, ...] = (
         run=_tdg_relax,
         unit="bl_edges",
         params={"n_tasks": 20_000, "fan": 6, "budget": 64},
+    ),
+    Scenario(
+        name="tdg_relax_array",
+        run=lambda: _tdg_relax(array_kernels=True),
+        unit="bl_edges",
+        params={"n_tasks": 20_000, "fan": 6, "budget": 64,
+                "array_kernels": True},
+    ),
+    Scenario(
+        name="energy_sweep",
+        run=_energy_sweep,
+        unit="transitions",
+        params={"n_transitions": 200_000, "cores": 32},
+    ),
+    Scenario(
+        name="pipeline_e2e",
+        run=lambda: _pipeline_e2e(kernels="1"),
+        unit="events",
+        params={"workload": "serialpipe", "policy": "cats_bl",
+                "items": 800, "fast_cores": 8, "seed": 1,
+                "array_kernels": True},
+    ),
+    Scenario(
+        name="pipeline_e2e_nokernels",
+        run=lambda: _pipeline_e2e(kernels="0"),
+        unit="events",
+        params={"workload": "serialpipe", "policy": "cats_bl",
+                "items": 800, "fast_cores": 8, "seed": 1,
+                "array_kernels": False},
     ),
 )
 
@@ -222,5 +381,21 @@ SWEEP_SCENARIOS: tuple[Scenario, ...] = (
         params={"workload": "bodytrack", "policy": "cata_rsu",
                 "scale": 1.0, "fast_cores": 8, "seed": 1,
                 "faults": "chaos:intensity=0.5,horizon=4ms"},
+    ),
+    Scenario(
+        name="batched_cells",
+        run=lambda: _cell_batch_sweep(batch_cells=32),
+        unit="cells",
+        params={"workload": "blackscholes", "policy": "cata",
+                "scale": 0.005, "fast_cores": 8, "seeds": [1, 64],
+                "jobs": 2, "batch_cells": 32},
+    ),
+    Scenario(
+        name="unbatched_cells",
+        run=lambda: _cell_batch_sweep(batch_cells=1),
+        unit="cells",
+        params={"workload": "blackscholes", "policy": "cata",
+                "scale": 0.005, "fast_cores": 8, "seeds": [1, 64],
+                "jobs": 2, "batch_cells": 1},
     ),
 )

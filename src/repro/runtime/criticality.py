@@ -40,6 +40,14 @@ class CriticalityEstimator(Protocol):
     """Interface shared by the estimation methods."""
 
     name: str
+    #: Whether the estimator reads bottom levels (``task.bottom_level``,
+    #: ``graph.max_bottom_level_waiting``) or charges for the relaxation
+    #: walk.  When False the TaskGraph skips BL maintenance entirely —
+    #: nothing else in the system observes bottom levels unless a policy
+    #: wires ``bottom_level_priority`` explicitly (only the *_bl policies
+    #: do, and those use BL estimators).  Consulted via ``getattr(...,
+    #: "needs_bottom_levels", True)`` so custom estimators default safe.
+    needs_bottom_levels: bool
 
     def on_submit(self, task: Task, graph: TaskGraph) -> None:
         """Observe a newly submitted task (before its cost is charged)."""
@@ -62,6 +70,8 @@ class StaticAnnotationEstimator:
     """``#pragma omp task criticality(c)`` — critical iff c > 0."""
 
     name = "static_annotations"
+    #: Annotations never look at the TDG shape — BL upkeep is pure waste.
+    needs_bottom_levels = False
 
     def on_submit(self, task: Task, graph: TaskGraph) -> None:
         pass
@@ -88,6 +98,7 @@ class BottomLevelEstimator:
     """
 
     name = "bottom_level"
+    needs_bottom_levels = True
 
     def __init__(
         self,
@@ -161,6 +172,9 @@ class WeightedBottomLevelEstimator:
     """
 
     name = "weighted_bottom_level"
+    #: Maintains its own WBL map but still charges ``bl_edges_visited``
+    #: and walks ``graph.predecessors`` — the integer-BL upkeep must run.
+    needs_bottom_levels = True
 
     def __init__(
         self,

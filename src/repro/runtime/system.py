@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from ..sim.arrays import KernelArena
 from ..sim.config import DVFSLevel, MachineConfig
 from ..sim.core_model import Core
 from ..sim.cstates import CStateController
@@ -89,6 +90,7 @@ class RuntimeSystem:
         bl_edge_budget: "Optional[int]" = None,
         sanitize: bool = False,
         faults: Optional[FaultPlan] = None,
+        arena: Optional[KernelArena] = None,
     ) -> None:
         self.machine = machine
         self.program = program
@@ -106,7 +108,16 @@ class RuntimeSystem:
             self.sim.sanitizer = self.sanitizer
         self.trace = Trace(enabled=trace_enabled)
         self.power_model = PowerModel(machine.power)
-        self.energy = EnergyAccountant(self.sim, self.power_model, machine.core_count)
+        #: Optional multi-cell worker arena: donates reusable flat buffers
+        #: and fingerprint-scoped memos to the energy accountant and TDG.
+        self.arena = arena
+        self.energy = EnergyAccountant(
+            self.sim,
+            self.power_model,
+            machine.core_count,
+            shared_power_memo=arena.power_memo if arena is not None else None,
+            log=arena.transitions if arena is not None else None,
+        )
         levels = list(initial_levels) if initial_levels is not None else None
         self.dvfs = DVFSController(self.sim, machine, self.trace, levels)
         self.cpufreq = CpufreqFramework(self.sim, machine, self.dvfs)
@@ -116,12 +127,22 @@ class RuntimeSystem:
         ]
         self.dvfs.add_listener(self._on_level_changed)
         self.cstates = CStateController(self.sim, machine, self.cores)
-        self.tdg = TaskGraph(on_ready=self._on_task_ready, bl_edge_budget=bl_edge_budget)
-        self.scheduler = scheduler
-        scheduler.attach(self)
         self.estimator: CriticalityEstimator = (
             estimator if estimator is not None else StaticAnnotationEstimator()
         )
+        # The estimator is resolved before the TDG so the graph can skip
+        # bottom-level maintenance for policies that never read it (static
+        # annotations): those runs pay zero relaxation cost.  Policies that
+        # order queues by BL (cats_bl/cata_bl) use BL estimators, so the
+        # tracked/untracked split is decided by the estimator alone.
+        self.tdg = TaskGraph(
+            on_ready=self._on_task_ready,
+            bl_edge_budget=bl_edge_budget,
+            track_bottom_levels=getattr(self.estimator, "needs_bottom_levels", True),
+            arena=arena,
+        )
+        self.scheduler = scheduler
+        scheduler.attach(self)
         self.manager: AccelerationManager = (
             manager if manager is not None else NullAccelerationManager()
         )

@@ -19,9 +19,13 @@ slowdown).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
+from ..sim import arrays
 from .task import Task, TaskState, TaskType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.arrays import KernelArena
 
 __all__ = ["TaskGraph"]
 
@@ -35,12 +39,28 @@ class TaskGraph:
         self,
         on_ready: Optional[ReadyCallback] = None,
         bl_edge_budget: Optional[int] = None,
+        track_bottom_levels: bool = True,
+        array_kernels: Optional[bool] = None,
+        arena: "Optional[KernelArena]" = None,
     ) -> None:
         """``bl_edge_budget`` caps the edges visited by one submission's
         bottom-level relaxation walk.  Real runtimes bound this exploration
         (the paper's limitation: "only a sub-graph of the TDG is considered
         to estimate criticality"); an unbounded walk is O(n²) on pipeline
-        chains.  ``None`` keeps bottom-levels exact."""
+        chains.  ``None`` keeps bottom-levels exact.
+
+        ``track_bottom_levels=False`` skips BL maintenance entirely — legal
+        only when nothing observes bottom levels.  Static-annotation
+        policies qualify: their estimator charges no submission cost
+        (``submit_cost_ns`` is 0 regardless of ``bl_edges_visited``), reads
+        annotations rather than ``task.bottom_level``, and neither the
+        serialized result nor the trace contains a bottom level.  The skip
+        only takes effect on the array-kernel path (``array_kernels``,
+        default: the ``REPRO_ARRAY_KERNELS`` environment toggle), so the
+        reference path stays byte-for-byte the historical implementation.
+
+        ``arena`` donates reusable flat buffers for multi-cell worker
+        sessions (see :class:`repro.sim.arrays.KernelArena`)."""
         if bl_edge_budget is not None and bl_edge_budget < 0:
             raise ValueError("bl_edge_budget must be non-negative")
         self._tasks: list[Task] = []
@@ -58,6 +78,15 @@ class TaskGraph:
         self._max_bl_waiting = 0
         #: Tasks killed by fault injection and re-enqueued (diagnostics).
         self.aborted_count = 0
+        #: Flat-array kernel state (bl/fin/histogram/CSR); None selects the
+        #: reference object-walking implementation.
+        self._k: Optional[arrays.BottomLevelState] = None
+        if arrays.kernels_enabled(array_kernels):
+            if arena is not None:
+                self._k = arena.bl  # cleared by arena.reset()
+            else:
+                self._k = arrays.BottomLevelState()
+        self._track = track_bottom_levels
 
     # ------------------------------------------------------------- queries
     @property
@@ -75,12 +104,17 @@ class TaskGraph:
     @property
     def max_bottom_level(self) -> int:
         """Largest BL among all tasks ever submitted (monotone)."""
-        return self._max_bottom_level
+        return self._k.max_bl if self._k is not None else self._max_bottom_level
 
     @property
     def max_bottom_level_waiting(self) -> int:
         """Largest BL among tasks not yet finished (the estimator's view)."""
-        return self._max_bl_waiting
+        return self._k.max_bl_waiting if self._k is not None else self._max_bl_waiting
+
+    @property
+    def tracks_bottom_levels(self) -> bool:
+        """False when BL maintenance is skipped (unobservable; see ctor)."""
+        return self._track or self._k is None
 
     @property
     def bl_edges_visited_total(self) -> int:
@@ -110,35 +144,70 @@ class TaskGraph:
         """
         task_id = len(self._tasks)
         dep_ids = tuple(deps)
-        for d in dep_ids:
-            if not (0 <= d < task_id):
-                raise ValueError(f"task {task_id} depends on unknown task {d}")
+        k = self._k
+        if k is not None and k.native:
+            # Dep validation happens inside the fused C kernel (before any
+            # buffer mutation), which raises the reference's exact error.
+            # Consequence: a submission with *both* bad deps and bad task
+            # parameters reports the parameter error first here, the dep
+            # error first on the other paths — no caller passes both.
+            pass
+        elif k is not None:
+            # Two C-speed scans replace the per-dep Python check; on a bad
+            # dep the reference loop re-runs to raise the identical error.
+            if dep_ids and (min(dep_ids) < 0 or max(dep_ids) >= task_id):
+                for d in dep_ids:
+                    if not (0 <= d < task_id):
+                        raise ValueError(f"task {task_id} depends on unknown task {d}")
+        else:
+            for d in dep_ids:
+                if not (0 <= d < task_id):
+                    raise ValueError(f"task {task_id} depends on unknown task {d}")
+        # Positional construction (fields up to ``phase``), submit_ns set
+        # after: one task is built per submit and the kwargs form showed
+        # up in the tdg_relax profile.
         task = Task(
-            task_id=task_id,
-            ttype=ttype,
-            cpu_cycles=cpu_cycles,
-            mem_ns=mem_ns,
-            activity=ttype.activity if activity is None else activity,
-            block_at=block_at,
-            block_ns=block_ns,
-            phase=phase,
-            submit_ns=now_ns,
+            task_id,
+            ttype,
+            cpu_cycles,
+            mem_ns,
+            ttype.activity if activity is None else activity,
+            block_at,
+            block_ns,
+            phase,
         )
-        self._tasks.append(task)
-        self._preds.append(dep_ids)
-        self._unfinished += 1
+        task.submit_ns = now_ns
+        tasks = self._tasks
+        if k is not None:
+            # Fused kernel submission: CSR append, per-occurrence pending
+            # count and the relaxation walk in one call.  With tracking
+            # off the walk is skipped and 0 edges are charged — provably
+            # unobservable under the static-annotation wiring (see ctor).
+            edges_visited, pending = k.submit(
+                dep_ids, self._preds, tasks, self._bl_edge_budget, self._track
+            )
+            tasks.append(task)
+            self._preds.append(dep_ids)
+            self._unfinished += 1
+            for pred in map(tasks.__getitem__, dep_ids):
+                pred.successors.append(task)
+            task.pending_preds = pending
+            self._bl_edges_visited_total += edges_visited
+        else:
+            tasks.append(task)
+            self._preds.append(dep_ids)
+            self._unfinished += 1
+            pending = 0
+            for d in dep_ids:
+                pred = tasks[d]
+                if pred.state is not TaskState.FINISHED:
+                    pending += 1
+                pred.successors.append(task)
+            task.pending_preds = pending
+            self._bl_counts[0] = self._bl_counts.get(0, 0) + 1
 
-        pending = 0
-        for d in dep_ids:
-            pred = self._tasks[d]
-            if pred.state is not TaskState.FINISHED:
-                pending += 1
-            pred.successors.append(task)
-        task.pending_preds = pending
-        self._bl_counts[0] = self._bl_counts.get(0, 0) + 1
-
-        edges_visited = self._relax_bottom_levels(task, dep_ids)
-        self._bl_edges_visited_total += edges_visited
+            edges_visited = self._relax_bottom_levels(task, dep_ids)
+            self._bl_edges_visited_total += edges_visited
 
         if pending == 0:
             self._make_ready(task, now_ns)
@@ -251,9 +320,15 @@ class TaskGraph:
         task.state = TaskState.FINISHED
         task.end_ns = now_ns
         self._unfinished -= 1
-        self._bl_counts[task.bottom_level] -= 1
-        while self._max_bl_waiting > 0 and not self._bl_counts.get(self._max_bl_waiting):
-            self._max_bl_waiting -= 1
+        k = self._k
+        if k is not None:
+            k.fin[task.task_id] = 1
+            if self._track:
+                k.retire(task.task_id)
+        else:
+            self._bl_counts[task.bottom_level] -= 1
+            while self._max_bl_waiting > 0 and not self._bl_counts.get(self._max_bl_waiting):
+                self._max_bl_waiting -= 1
         newly_ready: list[Task] = []
         for succ in task.successors:
             succ.pending_preds -= 1
@@ -266,7 +341,18 @@ class TaskGraph:
 
     # ---------------------------------------------------------- validation
     def validate_bottom_levels(self) -> None:
-        """Recompute every BL from scratch and compare (test support)."""
+        """Recompute every BL from scratch and compare (test support).
+
+        On the kernel path this additionally cross-checks the flat ``bl``
+        buffer against ``task.bottom_level`` and against the CSR-based
+        numpy recompute (:meth:`repro.sim.arrays.BottomLevelState
+        .recompute`) — three independent derivations must agree.
+        """
+        if not self.tracks_bottom_levels:
+            raise RuntimeError(
+                "bottom levels are not tracked on this graph "
+                "(track_bottom_levels=False); nothing to validate"
+            )
         n = len(self._tasks)
         exact = [0] * n
         for t in reversed(self._tasks):
@@ -277,3 +363,18 @@ class TaskGraph:
                 raise AssertionError(
                     f"{t.name}: incremental BL {t.bottom_level} != exact {exact[t.task_id]}"
                 )
+        k = self._k
+        if k is not None and n:
+            for t in self._tasks:
+                if k.bl[t.task_id] != t.bottom_level:
+                    raise AssertionError(
+                        f"{t.name}: flat buffer BL {k.bl[t.task_id]} != "
+                        f"object BL {t.bottom_level}"
+                    )
+            csr = k.recompute()
+            for tid in range(n):
+                if int(csr[tid]) != exact[tid]:
+                    raise AssertionError(
+                        f"task {tid}: CSR recompute BL {int(csr[tid])} != "
+                        f"exact {exact[tid]}"
+                    )

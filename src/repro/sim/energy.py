@@ -5,50 +5,106 @@ activity, busy flag) the accountant closes the open interval at the old power
 draw and opens a new one.  Total energy is therefore an exact integral of the
 piecewise-constant power signal — no sampling error, fully deterministic.
 
+Two integration modes produce bit-identical results (pinned by
+tests/golden and ``tests/sim/test_arrays.py``):
+
+* **interval-batched** (default; the array-kernel path): ``set_state``
+  only appends ``(t, core, power, bucket)`` to the flat
+  :class:`~repro.sim.arrays.TransitionLog`; the integration runs as one
+  replay sweep at :meth:`finalize` — and at any earlier sync point (a
+  mid-run property read, or the periodic flush bounding log memory).
+  Replaying transitions in append order reproduces the exact float
+  summation order of the eager path: per-core partial sums accrue in
+  that core's chronological order and the bucket sums in the global
+  chronological interleaving, because that *is* append order.  A prefix
+  flush performs the same additions at the same points in the sequence,
+  so syncing early is bitwise-neutral.  The sweep itself runs in C when
+  :func:`repro.sim.arrays.native_enabled` (compiled with FP contraction
+  off, so every multiply/divide rounds exactly as CPython does), else
+  as a Python loop over the same buffers.
+* **eager** (``REPRO_ARRAY_KERNELS=0``): the historical per-edge accrual
+  in ``set_state`` itself.
+
+All accumulators live in ``array('d')`` buffers shared by every mode —
+a C double round-trips Python floats exactly, so the representation is
+bitwise-neutral too.
+
 EDP (energy-delay product), the paper's energy metric, is provided at the
 end of a run as ``energy_j * exec_time_s``.
 """
 
 from __future__ import annotations
 
+from array import array
+from typing import Optional
+
+from . import _ckernels, arrays
 from .engine import SEC, Simulator
 from .power import CoreState, PowerModel
 
 __all__ = ["EnergyAccountant"]
 
+#: Replay the transition log whenever it grows past this many entries —
+#: bounds memory on long cells without changing any float (prefix sums).
+_FLUSH_THRESHOLD = 65536
+
 
 class EnergyAccountant:
     """Integrates chip energy (cores + uncore) over simulation time."""
 
-    #: Breakdown bucket names, in reporting order.
+    #: Breakdown bucket names, in reporting order (bucket index order).
     BUCKETS = ("busy_fast", "busy_slow", "idle_c0", "halt_c1", "sleep_c3")
 
-    def __init__(self, sim: Simulator, model: PowerModel, core_count: int) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        model: PowerModel,
+        core_count: int,
+        batched: Optional[bool] = None,
+        shared_power_memo: Optional[dict] = None,
+        log: Optional[arrays.TransitionLog] = None,
+    ) -> None:
+        """``batched`` selects interval-batched integration (default: the
+        ``REPRO_ARRAY_KERNELS`` environment toggle).  ``shared_power_memo``
+        is an arena-scoped, *value-keyed* ``{CoreState: (watts, bucket)}``
+        cache shared across cells of one machine fingerprint;
+        ``log`` donates a reusable transition-log buffer (arena)."""
         self._sim = sim
         self._model = model
         self._core_count = core_count
-        self._core_energy_j = [0.0] * core_count
-        self._core_last_change_ns = [0.0] * core_count
-        self._core_state: list[CoreState | None] = [None] * core_count
+        self._core_energy_j = array("d", bytes(8 * core_count))
+        self._core_last_change_ns = array("d", bytes(8 * core_count))
+        #: Power/bucket of each core's current state, installed whenever a
+        #: transition is applied (eagerly, or by the replay sweep).
+        self._core_power = array("d", bytes(8 * core_count))
+        self._core_bidx = array("q", bytes(8 * core_count))
+        self._has_state = array("b", bytes(core_count))
         self._start_ns = sim.now
         self._finalized_at_ns: float | None = None
-        self._bucket_energy_j: dict[str, float] = {b: 0.0 for b in self.BUCKETS}
-        self._bucket_time_ns: dict[str, float] = {b: 0.0 for b in self.BUCKETS}
-        #: (watts, bucket, state) per distinct CoreState *object*.  A run
-        #: only ever visits a handful of states per core (level × C-state ×
-        #: activity), while set_state fires on every task/overhead/C-state
-        #: edge — memoizing the power model here removes the whole
-        #: core_w()/_bucket_of() pipeline from the inner loop.  Keyed by
-        #: id(state) rather than the state: the dataclass-generated
-        #: __hash__/__eq__ walk every field (including the nested DVFSLevel)
-        #: and dominated this path.  Cores intern their states, and the
-        #: cached tuple holds the state itself, so the id cannot be recycled
-        #: while the entry exists.
-        self._power_bucket: dict[int, tuple[float, str, CoreState]] = {}
-        #: Power/bucket of each core's *current* state, resolved once when
-        #: the state is set so _accrue never hashes a CoreState.
-        self._core_power: list[float] = [0.0] * core_count
-        self._core_bucket: list[str] = [""] * core_count
+        self._bucket_energy = array("d", bytes(8 * len(self.BUCKETS)))
+        self._bucket_time = array("d", bytes(8 * len(self.BUCKETS)))
+        #: (watts, bucket_index, state) per distinct CoreState *object*.
+        #: A run only ever visits a handful of states per core (level ×
+        #: C-state × activity), while set_state fires on every
+        #: task/overhead/C-state edge — memoizing the power model here
+        #: removes the whole core_w()/_bucket_of() pipeline from the
+        #: inner loop.  Keyed by id(state) rather than the state: the
+        #: dataclass-generated __hash__/__eq__ walk every field
+        #: (including the nested DVFSLevel) and dominated this path.
+        #: Cores intern their states, and the cached tuple holds the
+        #: state itself, so the id cannot be recycled while the entry
+        #: exists.
+        self._power_bucket: dict[int, tuple[float, int, CoreState]] = {}
+        #: Arena-level L2 behind the id-keyed L1: keyed by the CoreState
+        #: *value* (frozen dataclass), so entries survive across cells of a
+        #: multi-cell worker session without any id-recycling hazard.  The
+        #: arena clears it when the machine fingerprint changes — power is a
+        #: pure function of (machine, state).  Hashing a state walks its
+        #: fields, but only on an L1 miss: a handful of times per cell.
+        self._shared_power_memo = shared_power_memo
+        self._batched = arrays.kernels_enabled(batched)
+        self._native = self._batched and arrays.native_enabled()
+        self._log = log if log is not None else arrays.TransitionLog()
 
     @staticmethod
     def _bucket_of(state: CoreState) -> str:
@@ -61,40 +117,128 @@ class EnergyAccountant:
             return "idle_c0"
         return "busy_fast" if state.level.name == "fast" else "busy_slow"
 
+    def _resolve(self, state: CoreState) -> tuple[float, int, CoreState]:
+        """(watts, bucket_index, state) via the L1 id-memo, then the L2."""
+        entry = self._power_bucket.get(id(state))
+        if entry is None:
+            shared = self._shared_power_memo
+            if shared is not None:
+                cached = shared.get(state)
+                if cached is None:
+                    cached = (
+                        self._model.core_w(state),
+                        self.BUCKETS.index(self._bucket_of(state)),
+                    )
+                    shared[state] = cached
+                # The L1 entry must hold *this* state object (not the
+                # value-equal one keying the L2) so its id stays pinned.
+                entry = (cached[0], cached[1], state)
+            else:
+                entry = (
+                    self._model.core_w(state),
+                    self.BUCKETS.index(self._bucket_of(state)),
+                    state,
+                )
+            self._power_bucket[id(state)] = entry
+        return entry
+
     # ------------------------------------------------------------- updates
     def set_state(self, core_id: int, state: CoreState) -> None:
         """Record that ``core_id`` is in ``state`` from now on."""
-        self._accrue(core_id)
-        self._core_state[core_id] = state
         entry = self._power_bucket.get(id(state))
         if entry is None:
-            entry = (self._model.core_w(state), self._bucket_of(state), state)
-            self._power_bucket[id(state)] = entry
+            entry = self._resolve(state)
+        if self._batched:
+            log = self._log
+            log.t.append(self._sim._now)
+            log.core.append(core_id)
+            log.power.append(entry[0])
+            log.bidx.append(entry[1])
+            if len(log.t) >= _FLUSH_THRESHOLD:
+                self._sync()
+            return
+        self._accrue(core_id)
+        self._has_state[core_id] = 1
         self._core_power[core_id] = entry[0]
-        self._core_bucket[core_id] = entry[1]
+        self._core_bidx[core_id] = entry[1]
 
     def _accrue(self, core_id: int) -> None:
         # Reads the simulator clock directly (not through the `now`
         # property): this runs on every power-relevant state edge.
         now = self._sim._now
-        if self._core_state[core_id] is not None:
-            last_change = self._core_last_change_ns
-            dt_ns = now - last_change[core_id]
+        if self._has_state[core_id]:
+            dt_ns = now - self._core_last_change_ns[core_id]
             if dt_ns < 0:
                 raise RuntimeError("time went backwards in energy accounting")
-            # Power/bucket were resolved when this state was installed.
+            # Power/bucket were installed when this state was applied.
             joules = self._core_power[core_id] * dt_ns / SEC
-            bucket = self._core_bucket[core_id]
+            bucket = self._core_bidx[core_id]
             self._core_energy_j[core_id] += joules
-            self._bucket_energy_j[bucket] += joules
-            self._bucket_time_ns[bucket] += dt_ns
+            self._bucket_energy[bucket] += joules
+            self._bucket_time[bucket] += dt_ns
+        self._core_last_change_ns[core_id] = now
+
+    def _sync(self) -> None:
+        """Replay the pending transition log (batched mode).
+
+        One sweep over the flat buffers, performing exactly the additions
+        the eager path would have performed at each ``set_state`` edge, in
+        the same order.  No-op when the log is empty (eager mode, or
+        nothing pending).
+        """
+        log = self._log
+        n = len(log.t)
+        if not n:
+            return
+        if self._native:
+            addr = lambda a: a.buffer_info()[0]  # noqa: E731
+            bad = _ckernels.load().energy_replay(
+                addr(log.t),
+                addr(log.core),
+                addr(log.power),
+                addr(log.bidx),
+                n,
+                addr(self._core_energy_j),
+                addr(self._core_last_change_ns),
+                addr(self._core_power),
+                addr(self._core_bidx),
+                addr(self._has_state),
+                addr(self._bucket_energy),
+                addr(self._bucket_time),
+            )
+            if bad >= 0:
+                raise RuntimeError("time went backwards in energy accounting")
+            log.clear()
+            return
+        has_state = self._has_state
+        last_change = self._core_last_change_ns
+        core_energy = self._core_energy_j
+        bucket_energy = self._bucket_energy
+        bucket_time = self._bucket_time
+        core_power = self._core_power
+        core_bidx = self._core_bidx
+        sec = SEC
+        for now, core_id, power, bidx in zip(log.t, log.core, log.power, log.bidx):
+            if has_state[core_id]:
+                dt_ns = now - last_change[core_id]
+                if dt_ns < 0:
+                    raise RuntimeError("time went backwards in energy accounting")
+                joules = core_power[core_id] * dt_ns / sec
+                bucket = core_bidx[core_id]
+                core_energy[core_id] += joules
+                bucket_energy[bucket] += joules
+                bucket_time[bucket] += dt_ns
+            else:
+                has_state[core_id] = 1
             last_change[core_id] = now
-        else:
-            self._core_last_change_ns[core_id] = now
+            core_power[core_id] = power
+            core_bidx[core_id] = bidx
+        log.clear()
 
     # ------------------------------------------------------------- results
     def finalize(self) -> None:
         """Close all open intervals at the current simulation time."""
+        self._sync()
         for core_id in range(self._core_count):
             self._accrue(core_id)
         self._finalized_at_ns = self._sim.now
@@ -106,10 +250,12 @@ class EnergyAccountant:
 
     def core_energy_j(self, core_id: int) -> float:
         """Accrued energy of one core (call :meth:`finalize` first)."""
+        self._sync()
         return self._core_energy_j[core_id]
 
     @property
     def cores_energy_j(self) -> float:
+        self._sync()
         return sum(self._core_energy_j)
 
     @property
@@ -133,10 +279,12 @@ class EnergyAccountant:
         argument is precisely that CATA removes ``idle_c0``/``busy_fast``
         waste by decelerating cores that finished their tasks.
         """
-        out = dict(self._bucket_energy_j)
+        self._sync()
+        out = {name: self._bucket_energy[i] for i, name in enumerate(self.BUCKETS)}
         out["uncore"] = self.uncore_energy_j
         return out
 
     def time_breakdown_ns(self) -> dict[str, float]:
         """Aggregate core-time spent in each state bucket."""
-        return dict(self._bucket_time_ns)
+        self._sync()
+        return {name: self._bucket_time[i] for i, name in enumerate(self.BUCKETS)}

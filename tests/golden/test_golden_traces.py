@@ -16,8 +16,11 @@ import pytest
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from regenerate import (  # noqa: E402
+    GOLDEN_FAST,
     GOLDEN_PATH,
     GOLDEN_POLICIES,
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
     fingerprint,
     run_cell,
 )
@@ -51,3 +54,44 @@ def test_trace_is_bitwise_identical_to_golden(golden, cell):
         f"{cell}: serialized RunResult diverged from the pre-optimization "
         "golden trace — the change is not output-preserving"
     )
+
+
+# ------------------------------------------------- array-kernel toggling
+#: Representative cells re-fingerprinted under each kernel backend: one
+#: software-reconfiguration policy and one BL-estimator policy, including
+#: the pipeline benchmark whose chains stress the relaxation walk.
+TOGGLE_CELLS = ("fluidanimate/cata", "dedup/cats_bl")
+
+
+@pytest.mark.parametrize("toggle", ["1", "0", "py"])
+@pytest.mark.parametrize("cell", TOGGLE_CELLS)
+def test_golden_identical_under_kernel_toggle(golden, cell, toggle, monkeypatch):
+    """Kernels forced on, off, and pure-Python all hit the golden hash."""
+    monkeypatch.setenv("REPRO_ARRAY_KERNELS", toggle)
+    workload, policy = cell.split("/")
+    result = run_cell(workload, policy)
+    assert fingerprint(result) == golden["cells"][cell]["sha256"], (
+        f"{cell} diverged from golden with REPRO_ARRAY_KERNELS={toggle} — "
+        "the kernel toggle changed observable output"
+    )
+
+
+@pytest.mark.parametrize("toggle", ["1", "0"])
+def test_faulted_cell_identical_under_kernel_toggle(toggle, monkeypatch):
+    """A chaos-spec cell is backend-invariant too (no golden hash is
+    committed for faulted runs; the kernels-off run is the reference)."""
+    from repro.core.policies import run_policy
+    from repro.workloads import build_program
+
+    def faulted_fingerprint():
+        program = build_program("bodytrack", scale=GOLDEN_SCALE, seed=GOLDEN_SEED)
+        result = run_policy(
+            program, "cata_rsu", fast_cores=GOLDEN_FAST, seed=GOLDEN_SEED,
+            trace_enabled=True, faults="chaos:intensity=0.5,horizon=4ms",
+        )
+        return fingerprint(result)
+
+    monkeypatch.setenv("REPRO_ARRAY_KERNELS", "0")
+    reference = faulted_fingerprint()
+    monkeypatch.setenv("REPRO_ARRAY_KERNELS", toggle)
+    assert faulted_fingerprint() == reference

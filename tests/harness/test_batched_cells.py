@@ -1,0 +1,197 @@
+"""Multi-cell worker sessions (``--batch-cells``): bitwise identity,
+arena memo scoping across machine changes, and chunk failure paths.
+
+The batched dispatch exists purely to amortize per-cell setup; these
+tests pin the contract that it is *observably absent* — every result is
+byte-identical to the one-cell-per-task (fresh-state) execution, and a
+failing cell inside a chunk surfaces exactly the error it would have
+raised alone while its chunk-mates still complete.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.harness.executor import (
+    CellSpec,
+    RetryPolicy,
+    SweepExecutor,
+    _machine_fingerprint,
+    simulate_cell,
+    simulate_cell_batch,
+)
+from repro.sim.arrays import KernelArena
+from repro.sim.config import default_machine
+from repro.sim.serialize import machine_to_dict, result_to_dict
+
+SCALE = 0.05
+
+
+def _spec(workload="blackscholes", policy="cata", seed=1, fast=8):
+    return CellSpec(
+        workload=workload, policy=policy, fast=fast, seed=seed, scale=SCALE
+    )
+
+
+def _canon(result) -> str:
+    """Canonical byte form of a RunResult (the golden-trace reduction)."""
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+MIXED_SPECS = [
+    _spec(seed=1),
+    _spec(seed=2),
+    _spec(workload="swaptions", policy="cats_bl", seed=1),
+    _spec(workload="fluidanimate", policy="cata_rsu", seed=3, fast=16),
+    _spec(seed=3),
+]
+
+
+def _run(jobs: int, batch_cells: int):
+    ex = SweepExecutor(jobs=jobs, batch_cells=batch_cells)
+    results, stats = ex.run_cells(list(MIXED_SPECS))
+    return {s: _canon(results[s]) for s in MIXED_SPECS}, stats
+
+
+class TestBitwiseIdentity:
+    def test_inline_batched_equals_unbatched(self):
+        plain, _ = _run(jobs=1, batch_cells=1)
+        batched, stats = _run(jobs=1, batch_cells=3)
+        assert batched == plain
+        assert stats.batched_cells == len(MIXED_SPECS)
+
+    def test_pool_batched_equals_unbatched(self):
+        plain, _ = _run(jobs=2, batch_cells=1)
+        batched, stats = _run(jobs=2, batch_cells=3)
+        assert batched == plain
+        assert stats.batched_cells == len(MIXED_SPECS)
+
+    def test_batch_helper_matches_per_cell_calls(self):
+        specs = MIXED_SPECS[:3]
+        fresh = [_canon(simulate_cell(s)[0]) for s in specs]
+        batch = [_canon(r) for r, _ in simulate_cell_batch(tuple(specs))]
+        assert batch == fresh
+
+
+class TestArenaMachineScoping:
+    """The PR regression test: back-to-back cells with *different*
+    machines through one arena must equal fresh-process runs — the
+    fingerprint-scoped memos may never leak across machines."""
+
+    def _machines(self):
+        base = default_machine()
+        hot = dataclasses.replace(
+            base, power=dataclasses.replace(base.power, uncore_w=25.0)
+        )
+        return machine_to_dict(base), machine_to_dict(hot)
+
+    def test_machine_change_between_cells_is_invisible(self):
+        dict_a, dict_b = self._machines()
+        spec = _spec(seed=1)
+        fresh_a = _canon(simulate_cell(spec, dict_a)[0])
+        fresh_b = _canon(simulate_cell(spec, dict_b)[0])
+        assert fresh_a != fresh_b  # the machines genuinely differ
+
+        arena = KernelArena()
+        session = [
+            _canon(simulate_cell(spec, dict_a, arena=arena)[0]),
+            _canon(simulate_cell(spec, dict_b, arena=arena)[0]),
+            _canon(simulate_cell(spec, dict_a, arena=arena)[0]),
+        ]
+        assert session == [fresh_a, fresh_b, fresh_a]
+        assert arena.cells == 3
+
+    def test_same_machine_session_reuses_memos(self):
+        dict_a, _ = self._machines()
+        arena = KernelArena()
+        first = _canon(simulate_cell(_spec(seed=1), dict_a, arena=arena)[0])
+        memo_after_first = dict(arena.power_memo)
+        assert memo_after_first  # warm
+        second = _canon(simulate_cell(_spec(seed=1), dict_a, arena=arena)[0])
+        assert first == second
+        assert arena.fingerprint == _machine_fingerprint(dict_a)
+        # Same fingerprint: the memo survived (possibly grew, never reset).
+        for key, value in memo_after_first.items():
+            assert arena.power_memo[key] == value
+
+    def test_machine_change_clears_fingerprint_memos(self):
+        dict_a, dict_b = self._machines()
+        arena = KernelArena()
+        simulate_cell(_spec(seed=1), dict_a, arena=arena)
+        assert arena.machine_cache  # cached parsed machine
+        simulate_cell(_spec(seed=1), dict_b, arena=arena)
+        assert arena.fingerprint == _machine_fingerprint(dict_b)
+        assert _machine_fingerprint(dict_a) not in arena.machine_cache
+
+    def test_default_machine_session_uses_sentinel_fingerprint(self):
+        arena = KernelArena()
+        simulate_cell(_spec(seed=1), None, arena=arena)
+        assert arena.fingerprint == "default-machine"
+        assert "default-machine" in arena.machine_cache
+
+
+# --------------------------------------------------------- chunk failures
+def _fail_seed_2(spec, machine_dict=None):
+    if spec.seed == 2:
+        raise ValueError("boom from seed 2")
+    return simulate_cell(spec, machine_dict)
+
+
+def _fast_retry(**kw):
+    defaults = dict(max_attempts=2, backoff_base_s=0.01, backoff_cap_s=0.05)
+    defaults.update(kw)
+    return RetryPolicy(**defaults)
+
+
+class TestChunkFailurePaths:
+    def test_failing_cell_in_chunk_raises_its_own_error(self):
+        specs = [_spec(workload="swaptions", policy="fifo", seed=s) for s in (1, 2, 3)]
+        ex = SweepExecutor(
+            jobs=2, batch_cells=3, retry=_fast_retry(), cell_fn=_fail_seed_2
+        )
+        with pytest.raises(ValueError, match="boom from seed 2"):
+            ex.run_cells(specs)
+
+    def test_innocent_chunk_mates_complete_despite_failure(self):
+        specs = [_spec(workload="swaptions", policy="fifo", seed=s) for s in (1, 3)]
+        bad = _spec(workload="swaptions", policy="fifo", seed=2)
+        ex = SweepExecutor(
+            jobs=2, batch_cells=3, retry=_fast_retry(), cell_fn=_fail_seed_2
+        )
+        with pytest.raises(ValueError, match="boom from seed 2"):
+            ex.run_cells(specs + [bad])
+        # The survivors simulate cleanly on a fresh executor run.
+        ex2 = SweepExecutor(jobs=2, batch_cells=2, cell_fn=_fail_seed_2)
+        results, _ = ex2.run_cells(specs)
+        assert set(results) == set(specs)
+
+    def test_chunk_error_message_matches_single_cell_error(self):
+        bad = _spec(workload="swaptions", policy="fifo", seed=2)
+        single_err = chunk_err = None
+        try:
+            SweepExecutor(
+                jobs=2, batch_cells=1, retry=_fast_retry(), cell_fn=_fail_seed_2
+            ).run_cells([bad])
+        except ValueError as exc:
+            single_err = str(exc)
+        try:
+            SweepExecutor(
+                jobs=2, batch_cells=3, retry=_fast_retry(), cell_fn=_fail_seed_2
+            ).run_cells(
+                [_spec(workload="swaptions", policy="fifo", seed=1), bad]
+            )
+        except ValueError as exc:
+            chunk_err = str(exc)
+        assert single_err is not None and chunk_err is not None
+        assert single_err == chunk_err
+
+    def test_batch_cells_validated(self):
+        with pytest.raises(ValueError, match="batch_cells"):
+            SweepExecutor(batch_cells=0)
+
+    def test_injected_cell_fn_chunks_skip_the_arena(self):
+        """A non-default cell_fn keeps its two-arg signature in chunks."""
+        specs = [_spec(workload="swaptions", policy="fifo", seed=s) for s in (1, 3)]
+        out = simulate_cell_batch(tuple(specs), None, _fail_seed_2)
+        assert len(out) == 2

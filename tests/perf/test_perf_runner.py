@@ -94,3 +94,125 @@ def test_default_threshold_is_thirty_percent():
 
 def test_calibration_returns_positive_rate():
     assert calibrate(reps=1, n=10_000) > 0
+
+
+class TestRunPerf:
+    """End-to-end driver behavior with stubbed scenarios (fast)."""
+
+    def _patch(self, monkeypatch, tmp_path, ops=1000, wall=0.01):
+        import repro.perf.runner as runner
+
+        scen = (fake_scenario(ops=ops, wall=wall),)
+        monkeypatch.setattr(runner, "ENGINE_SCENARIOS", scen)
+        monkeypatch.setattr(runner, "SWEEP_SCENARIOS", scen)
+        monkeypatch.setattr(runner, "calibrate", lambda reps: 1e6)
+        monkeypatch.setattr(runner, "_git_sha", lambda cwd=None: "abc1234")
+        return runner
+
+    def test_baselines_untouched_without_update(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path)
+        report, code = runner.run_perf(out_dir=str(tmp_path), smoke=True)
+        assert code == 0
+        assert not (tmp_path / runner.BENCH_ENGINE).exists()
+        assert not (tmp_path / runner.BENCH_SWEEP).exists()
+        assert "--update" in report
+
+    def test_update_writes_baselines(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path)
+        _, code = runner.run_perf(out_dir=str(tmp_path), smoke=True, update=True)
+        assert code == 0
+        doc = json.loads((tmp_path / runner.BENCH_ENGINE).read_text())
+        assert doc["scenarios"]["fake"]["normalized"] == 0.1
+        assert (tmp_path / runner.BENCH_SWEEP).exists()
+
+    def test_history_appended_every_run(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path)
+        runner.run_perf(out_dir=str(tmp_path), smoke=True)
+        runner.run_perf(out_dir=str(tmp_path), smoke=False)
+        lines = (tmp_path / runner.BENCH_HISTORY).read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["sha"] == "abc1234"
+        assert first["mode"] == "smoke" and second["mode"] == "full"
+        assert first["normalized"] == {"fake": 0.1}
+        assert first["calibration_ops_per_sec"] == 1e6
+        assert "T" in first["date"] and first["date"].endswith("Z")
+
+    def test_check_passes_against_own_update(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path)
+        runner.run_perf(out_dir=str(tmp_path), smoke=True, update=True)
+        report, code = runner.run_perf(out_dir=str(tmp_path), smoke=True, check=True)
+        assert code == 0
+        assert "regression check passed" in report
+        assert "1.00x baseline host speed" in report
+        assert "WARNING" not in report
+
+    def test_check_does_not_move_the_baseline(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path)
+        runner.run_perf(out_dir=str(tmp_path), smoke=True, update=True)
+        before = (tmp_path / runner.BENCH_ENGINE).read_text()
+        runner = self._patch(monkeypatch, tmp_path, ops=5000)  # faster code
+        runner.run_perf(out_dir=str(tmp_path), smoke=True, check=True)
+        assert (tmp_path / runner.BENCH_ENGINE).read_text() == before
+
+    def test_regression_fails_check(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path, ops=1000)
+        runner.run_perf(out_dir=str(tmp_path), smoke=True, update=True)
+        runner = self._patch(monkeypatch, tmp_path, ops=100)  # 10x slower
+        report, code = runner.run_perf(out_dir=str(tmp_path), smoke=True, check=True)
+        assert code == 1
+        assert "REGRESSION" in report
+
+    def test_only_filters_scenarios(self, monkeypatch, tmp_path):
+        import repro.perf.runner as runner
+
+        scen = (fake_scenario(name="keep"), fake_scenario(name="drop"))
+        monkeypatch.setattr(runner, "ENGINE_SCENARIOS", scen)
+        monkeypatch.setattr(runner, "SWEEP_SCENARIOS", ())
+        monkeypatch.setattr(runner, "calibrate", lambda reps: 1e6)
+        monkeypatch.setattr(runner, "_git_sha", lambda cwd=None: "abc1234")
+        report, code = runner.run_perf(
+            out_dir=str(tmp_path), smoke=True, only=("keep",)
+        )
+        assert code == 0
+        assert "keep" in report and "drop" not in report
+        record = json.loads(
+            (tmp_path / runner.BENCH_HISTORY).read_text().splitlines()[0]
+        )
+        assert set(record["normalized"]) == {"keep"}
+
+    def test_only_rejects_update_and_unknown_names(self, monkeypatch, tmp_path):
+        import pytest
+
+        runner = self._patch(monkeypatch, tmp_path)
+        with pytest.raises(ValueError, match="partial baselines"):
+            runner.run_perf(out_dir=str(tmp_path), update=True, only=("fake",))
+        with pytest.raises(ValueError, match="unknown scenario"):
+            runner.run_perf(out_dir=str(tmp_path), only=("nope",))
+
+    def test_calibration_drift_warns_but_never_fails(self, monkeypatch, tmp_path):
+        import repro.perf.runner as runner_mod
+
+        runner = self._patch(monkeypatch, tmp_path)
+        runner.run_perf(out_dir=str(tmp_path), smoke=True, update=True)
+        # A 4x faster host: scenario throughput and calibration scale
+        # together, so normalized scores match and the comparison passes —
+        # but the drift warning must fire.
+        runner = self._patch(monkeypatch, tmp_path, ops=4000)
+        monkeypatch.setattr(runner_mod, "calibrate", lambda reps: 4e6)
+        report, code = runner.run_perf(out_dir=str(tmp_path), smoke=True, check=True)
+        assert code == 0
+        assert "4.00x baseline host speed" in report
+        assert "WARNING" in report
+
+
+def test_history_record_shape():
+    from repro.perf.runner import SCHEMA_VERSION as sv
+    from repro.perf.runner import _history_record
+
+    doc = make_doc({"a": 0.5})
+    record = _history_record("full", 2e6, (doc,))
+    assert record["schema_version"] == sv
+    assert record["normalized"] == {"a": 0.5}
+    assert record["mode"] == "full"
+    assert json.loads(json.dumps(record)) == record

@@ -1,0 +1,331 @@
+"""Flat-array kernel layer: backend equivalence, logs, arena scoping.
+
+The contract pinned here is *bitwise* equivalence: for every observable
+(bottom levels, edge counts, energy floats) the native C kernels, the
+pure-Python kernels, and the historical object-walking reference must be
+indistinguishable.  ``REPRO_ARRAY_KERNELS`` only ever changes speed.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.runtime.task import TaskType
+from repro.runtime.tdg import TaskGraph
+from repro.sim import energy as energy_mod
+from repro.sim.arrays import (
+    BottomLevelState,
+    KernelArena,
+    TransitionLog,
+    kernels_enabled,
+    native_enabled,
+)
+from repro.sim.config import default_machine
+from repro.sim.energy import EnergyAccountant
+from repro.sim.engine import Simulator
+from repro.sim.power import CoreState, PowerModel
+
+TT = TaskType(name="t", criticality=0, activity=0.5)
+
+
+# ------------------------------------------------------------- env toggle
+class TestToggle:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARRAY_KERNELS", raising=False)
+        assert kernels_enabled() is True
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", " OFF "])
+    def test_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_ARRAY_KERNELS", value)
+        assert kernels_enabled() is False
+        assert native_enabled() is False
+
+    @pytest.mark.parametrize("value", ["py", "python"])
+    def test_python_pin_keeps_kernels_but_not_native(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_ARRAY_KERNELS", value)
+        assert kernels_enabled() is True
+        assert native_enabled() is False
+
+    def test_explicit_override_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ARRAY_KERNELS", "0")
+        assert kernels_enabled(True) is True
+        monkeypatch.delenv("REPRO_ARRAY_KERNELS")
+        assert kernels_enabled(False) is False
+
+
+# -------------------------------------------------- bottom-level kernels
+def _drive(graph: TaskGraph, rng: random.Random, n_tasks: int):
+    """Submit a random DAG, finishing some tasks along the way.
+
+    Returns the observables the backends must agree on.
+    """
+    edge_log = []
+    finished = 0
+    for i in range(n_tasks):
+        max_deps = min(i, 4)
+        n_deps = rng.randint(0, max_deps)
+        deps = tuple(rng.sample(range(i), n_deps)) if n_deps else ()
+        _, edges = graph.submit(TT, cpu_cycles=100.0, mem_ns=10.0, deps=deps)
+        edge_log.append(edges)
+        # Occasionally retire a ready task so the waiting-max shrinks.
+        if rng.random() < 0.3:
+            ready = [t for t in graph.tasks if t.state.value == "ready"]
+            if ready:
+                victim = rng.choice(ready)
+                graph.mark_running(victim, core_id=0, now_ns=float(i))
+                graph.mark_finished(victim, now_ns=float(i) + 1.0)
+                finished += 1
+    return {
+        "bls": [t.bottom_level for t in graph.tasks],
+        "edges": edge_log,
+        "edges_total": graph.bl_edges_visited_total,
+        "max_bl": graph.max_bottom_level,
+        "max_bl_waiting": graph.max_bottom_level_waiting,
+        "pending": [t.pending_preds for t in graph.tasks],
+        "finished": finished,
+    }
+
+
+@pytest.mark.parametrize("budget", [None, 0, 1, 7, 64])
+def test_kernel_backends_match_reference(budget):
+    """Native (when available) and Python kernels == object-walk reference."""
+    for seed in range(20):
+        rng = random.Random(seed)
+        ref = _drive(
+            TaskGraph(bl_edge_budget=budget, array_kernels=False),
+            random.Random(seed),
+            60,
+        )
+        kern = _drive(
+            TaskGraph(bl_edge_budget=budget, array_kernels=True),
+            rng,
+            60,
+        )
+        assert kern == ref, f"seed={seed} budget={budget}"
+
+
+def test_python_kernel_matches_native(monkeypatch):
+    if not native_enabled():
+        pytest.skip("no compiled kernel available")
+    native = _drive(TaskGraph(array_kernels=True), random.Random(7), 80)
+    monkeypatch.setenv("REPRO_ARRAY_KERNELS", "py")
+    py = _drive(TaskGraph(array_kernels=True), random.Random(7), 80)
+    assert py == native
+
+
+def test_recompute_cross_checks_incremental_bls():
+    graph = TaskGraph(array_kernels=True)
+    rng = random.Random(3)
+    for i in range(100):
+        n_deps = rng.randint(0, min(i, 3))
+        deps = tuple(rng.sample(range(i), n_deps)) if n_deps else ()
+        graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0, deps=deps)
+    state = graph._k
+    assert state is not None
+    exact = state.recompute()
+    incremental = state.bottom_levels()
+    # Unbudgeted incremental maintenance must equal the batch fixpoint.
+    assert (exact == incremental).all()
+
+
+def test_bad_dep_raises_reference_error_without_mutation():
+    graph = TaskGraph(array_kernels=True)
+    graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0)
+    with pytest.raises(ValueError, match="depends on unknown task 5"):
+        graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0, deps=(0, 5))
+    # Nothing was committed: the next submit gets id 1 and a clean graph.
+    task, _ = graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0, deps=(0,))
+    assert task.task_id == 1
+    assert graph.task_count == 2
+
+
+def test_huge_dep_id_raises_reference_error():
+    graph = TaskGraph(array_kernels=True)
+    graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0)
+    with pytest.raises(ValueError, match="unknown task"):
+        graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0, deps=(2**63,))
+
+
+def test_buffer_growth_beyond_initial_capacity():
+    state = BottomLevelState()
+    tasks = []
+
+    class _T:
+        __slots__ = ("bottom_level",)
+
+        def __init__(self):
+            self.bottom_level = 0
+
+    preds = []
+    for i in range(5000):  # well past any initial capacity
+        deps = (i - 1,) if i else ()
+        tasks.append(_T())
+        state.submit(deps, preds, tasks, budget=None)
+        preds.append(deps)
+    assert state.max_bl == 4999
+    assert tasks[0].bottom_level == 4999
+
+
+# ----------------------------------------------------------- energy replay
+def _churn_energy(acct: EnergyAccountant, sim: Simulator, states, cores=8, n=3000):
+    for i in range(n):
+        sim._now += 37.5
+        acct.set_state(i % cores, states[(i * 7) % len(states)])
+    acct.finalize()
+    return {
+        "total": acct.total_energy_j,
+        "cores": [acct.core_energy_j(c) for c in range(cores)],
+        "buckets": acct.energy_breakdown_j(),
+        "times": acct.time_breakdown_ns(),
+    }
+
+
+def _states(machine):
+    return (
+        CoreState(level=machine.fast, cstate="C0", activity=1.0, busy=True),
+        CoreState(level=machine.slow, cstate="C0", activity=0.7, busy=True),
+        CoreState(level=machine.slow, cstate="C0", activity=0.2, busy=False),
+        CoreState(level=machine.slow, cstate="C1", activity=0.0, busy=False),
+        CoreState(level=machine.fast, cstate="C3", activity=0.0, busy=False),
+    )
+
+
+class TestEnergyReplay:
+    def test_batched_equals_eager_bitwise(self):
+        machine = default_machine()
+        model = PowerModel(machine.power)
+        runs = {}
+        for batched in (True, False):
+            sim = Simulator()
+            acct = EnergyAccountant(sim, model, 8, batched=batched)
+            runs[batched] = _churn_energy(acct, sim, _states(machine))
+        assert runs[True] == runs[False]
+
+    def test_python_replay_equals_native(self, monkeypatch):
+        if not native_enabled():
+            pytest.skip("no compiled kernel available")
+        machine = default_machine()
+        model = PowerModel(machine.power)
+        sim = Simulator()
+        native = _churn_energy(
+            EnergyAccountant(sim, model, 8, batched=True), sim, _states(machine)
+        )
+        monkeypatch.setenv("REPRO_ARRAY_KERNELS", "py")
+        sim = Simulator()
+        py = _churn_energy(
+            EnergyAccountant(sim, model, 8, batched=True), sim, _states(machine)
+        )
+        assert py == native
+
+    def test_mid_run_flush_is_bitwise_neutral(self, monkeypatch):
+        machine = default_machine()
+        model = PowerModel(machine.power)
+        sim = Simulator()
+        unflushed = _churn_energy(
+            EnergyAccountant(sim, model, 8, batched=True), sim, _states(machine)
+        )
+        # A tiny threshold forces many mid-run replay sweeps.
+        monkeypatch.setattr(energy_mod, "_FLUSH_THRESHOLD", 64)
+        sim = Simulator()
+        flushed = _churn_energy(
+            EnergyAccountant(sim, model, 8, batched=True), sim, _states(machine)
+        )
+        assert flushed == unflushed
+
+
+# ----------------------------------------------------------- kernel arena
+class TestKernelArena:
+    def test_reset_always_clears_buffers(self):
+        arena = KernelArena()
+        arena.transitions.t.append(1.0)
+        arena.transitions.core.append(0)
+        arena.transitions.power.append(2.0)
+        arena.transitions.bidx.append(0)
+        graph = TaskGraph(array_kernels=True, arena=arena)
+        graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0)
+        arena.reset("fp-a")
+        assert len(arena.transitions) == 0
+        assert len(arena.bl.bottom_levels()) == 0
+
+    def test_memos_survive_same_fingerprint(self):
+        arena = KernelArena()
+        arena.reset("fp-a")
+        arena.power_memo["state"] = (1.0, 0)
+        arena.machine_cache["fp-a"] = "machine"
+        arena.reset("fp-a")
+        assert arena.power_memo == {"state": (1.0, 0)}
+        assert arena.machine_cache == {"fp-a": "machine"}
+
+    def test_memos_cleared_on_fingerprint_change(self):
+        arena = KernelArena()
+        arena.reset("fp-a")
+        arena.power_memo["state"] = (1.0, 0)
+        arena.machine_cache["fp-a"] = "machine"
+        arena.reset("fp-b")
+        assert arena.power_memo == {}
+        assert arena.machine_cache == {}
+        assert arena.fingerprint == "fp-b"
+
+    def test_cells_counter(self):
+        arena = KernelArena()
+        for _ in range(3):
+            arena.reset("fp")
+        assert arena.cells == 3
+
+    def test_shared_memo_changes_no_float(self):
+        """An arena-donated power memo must not change any energy float."""
+        machine = default_machine()
+        model = PowerModel(machine.power)
+        states = _states(machine)
+        sim = Simulator()
+        plain = _churn_energy(EnergyAccountant(sim, model, 8), sim, states)
+        memo = {}
+        for _ in range(2):  # second pass runs against a warm memo
+            sim = Simulator()
+            shared = _churn_energy(
+                EnergyAccountant(sim, model, 8, shared_power_memo=memo),
+                sim,
+                states,
+            )
+            assert shared == plain
+        assert memo  # the memo actually took entries
+
+    def test_graph_uses_arena_buffers(self):
+        arena = KernelArena()
+        arena.reset("fp")
+        graph = TaskGraph(array_kernels=True, arena=arena)
+        assert graph._k is arena.bl
+        graph.submit(TT, cpu_cycles=1.0, mem_ns=1.0)
+        assert len(arena.bl.bottom_levels()) == 1
+
+
+def test_transition_log_clear_resets_all_columns():
+    log = TransitionLog()
+    log.t.append(1.0)
+    log.core.append(2)
+    log.power.append(3.0)
+    log.bidx.append(4)
+    assert len(log) == 1
+    log.clear()
+    assert len(log) == 0
+    assert len(log.times()) == 0
+
+
+def test_machine_variant_changes_energy_but_both_backends_agree():
+    """Different machine => different floats; backends still agree."""
+    base = default_machine()
+    hot = dataclasses.replace(
+        base, power=dataclasses.replace(base.power, uncore_w=20.0)
+    )
+    per_machine = {}
+    for name, machine in (("base", base), ("hot", hot)):
+        model = PowerModel(machine.power)
+        runs = {}
+        for batched in (True, False):
+            sim = Simulator()
+            acct = EnergyAccountant(sim, model, 4, batched=batched)
+            runs[batched] = _churn_energy(acct, sim, _states(machine), cores=4)
+        assert runs[True] == runs[False]
+        per_machine[name] = runs[True]
+    assert per_machine["base"]["total"] != per_machine["hot"]["total"]
