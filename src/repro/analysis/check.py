@@ -1,0 +1,261 @@
+"""Unified static-analysis driver (``python -m repro check``).
+
+One entry point for every static gate the repo has grown: the AST lint
+rule families (determinism ``DET1xx``, lock discipline ``CONC2xx``,
+async-blocking ``CONC3xx``, kernel parity ``PAR4xx``) plus the static
+TDG race/deadlock analysis over the built-in workload programs.  Output
+formats: human text, machine JSON, and SARIF 2.1.0 for code-scanning
+upload.  ``--self-test`` runs the seeded mutation corpus that regression
+-tests the analyzers themselves (see :mod:`repro.analysis.selftest`).
+
+``repro check`` supersedes running ``repro lint --check`` and
+``repro analyze-tdg`` as separate CI steps; both remain available for
+focused local runs.
+
+Exit codes: 0 clean, 1 findings (or self-test failures), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+from .. import __version__
+from .lint.runner import (
+    DEFAULT_BASELINE,
+    LintReport,
+    lint_paths,
+    prune_baseline,
+)
+from .lint.rules import RULE_REGISTRY
+from .sarif import EXTRA_RULES, build_sarif, render_sarif
+from .tdgcheck import TDGReport, analyze_workload
+
+__all__ = ["build_parser", "main", "run_check"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "unified static analysis: lint rule families (DET/CONC/PAR) "
+            "plus static TDG race/deadlock checks; "
+            "rule catalog in docs/static-analysis.md"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="CODE",
+        default=None,
+        help="restrict lint rules to these codes (e.g. CONC201 PAR403)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (sarif = SARIF 2.1.0 for code scanning)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout "
+        "(text summary still goes to stdout)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        metavar="FILE",
+        help=f"lint baseline file (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the lint baseline (report every finding)",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop stale lint-baseline entries before reporting",
+    )
+    parser.add_argument(
+        "--skip-tdg",
+        action="store_true",
+        help="skip the static TDG race/deadlock pass (lint only)",
+    )
+    parser.add_argument(
+        "--tdg-workload",
+        default="all",
+        help="workload for the TDG pass: a name or 'all' (default: all)",
+    )
+    parser.add_argument(
+        "--tdg-scales",
+        nargs="+",
+        type=float,
+        default=[0.1, 0.3],
+        metavar="S",
+        help="program scales for the TDG pass (default: 0.1 0.3)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the seeded mutation corpus against the analyzers "
+        "themselves and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = [
+        f"{code}  {cls.name}: {cls.description}"
+        for code, cls in sorted(RULE_REGISTRY.items())
+    ]
+    lines.extend(
+        f"{code}  {name}: {description}" for code, name, description in EXTRA_RULES
+    )
+    return "\n".join(lines)
+
+
+def _tdg_reports(
+    workload: str, scales: Sequence[float], seed: int
+) -> tuple[list[TDGReport], Optional[str]]:
+    from ..workloads import BENCHMARKS
+
+    if workload == "all":
+        workloads = sorted(BENCHMARKS)
+    elif workload in BENCHMARKS:
+        workloads = [workload]
+    else:
+        return [], (
+            f"unknown workload {workload!r}; expected 'all' or one of "
+            f"{sorted(BENCHMARKS)}"
+        )
+    return [
+        analyze_workload(w, scale=s, seed=seed)
+        for w in workloads
+        for s in scales
+    ], None
+
+
+def run_check(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+    tdg_workload: Optional[str] = "all",
+    tdg_scales: Sequence[float] = (0.1, 0.3),
+    seed: int = 1,
+) -> tuple[LintReport, list[TDGReport]]:
+    """Run every analysis pass; ``tdg_workload=None`` skips the TDG pass."""
+    report = lint_paths(paths, select=select, baseline=baseline)
+    tdg: list[TDGReport] = []
+    if tdg_workload is not None:
+        tdg, error = _tdg_reports(tdg_workload, tdg_scales, seed)
+        if error is not None:
+            raise ValueError(error)
+    return report, tdg
+
+
+def _render_text(report: LintReport, tdg: list[TDGReport]) -> str:
+    sections = [report.render()]
+    sections.extend(r.render() for r in tdg if not r.ok)
+    clean_tdg = sum(1 for r in tdg if r.ok)
+    races = sum(len(r.races) for r in tdg)
+    cycles = sum(len(r.cycles) for r in tdg)
+    if tdg:
+        sections.append(
+            f"tdg: analyzed {len(tdg)} program(s), {clean_tdg} clean, "
+            f"{races} race(s), {cycles} cycle(s)"
+        )
+    ok = report.ok and all(r.ok for r in tdg)
+    sections.append(f"repro check: {'OK' if ok else 'FAIL'}")
+    return "\n".join(sections)
+
+
+def _render_json(report: LintReport, tdg: list[TDGReport]) -> str:
+    payload: dict[str, Any] = {
+        "lint": json.loads(report.to_json()),
+        "tdg": [r.to_dict() for r in tdg],
+        "ok": report.ok and all(r.ok for r in tdg),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.self_test:
+        from .selftest import run_self_test
+
+        failures = run_self_test()
+        for failure in failures:
+            print(f"self-test FAIL: {failure}")
+        print(
+            "repro check --self-test: "
+            + ("OK" if not failures else f"{len(failures)} failure(s)")
+        )
+        return 0 if not failures else 1
+
+    baseline = None if args.no_baseline else args.baseline
+    try:
+        report, tdg = run_check(
+            args.paths,
+            select=args.select,
+            baseline=baseline,
+            tdg_workload=None if args.skip_tdg else args.tdg_workload,
+            tdg_scales=args.tdg_scales,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.prune_baseline and baseline is not None:
+        dropped = prune_baseline(baseline, report.stale_baseline)
+        print(f"pruned {dropped} stale baseline entr(ies) from {baseline}")
+        report.stale_baseline = []
+
+    if args.format == "sarif":
+        rendered = render_sarif(
+            build_sarif(
+                report.findings,
+                tdg_reports=tdg,
+                parse_errors=report.parse_errors,
+                tool_version=__version__,
+            )
+        )
+    elif args.format == "json":
+        rendered = _render_json(report, tdg) + "\n"
+    else:
+        rendered = _render_text(report, tdg) + "\n"
+
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(rendered)
+        # Always leave a human-readable verdict on stdout.
+        print(_render_text(report, tdg))
+        print(f"report written to {args.output}")
+    else:
+        sys.stdout.write(rendered)
+    ok = report.ok and all(r.ok for r in tdg)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -9,6 +9,11 @@ wall-clock reads and global RNG use inside the simulated world, float
 accumulation in hash order, and ``__slots__`` violations on hot-path
 classes.
 
+Three rule families share the framework: determinism (``DET1xx``),
+concurrency safety for the sweep service (``CONC2xx`` lock discipline and
+``CONC3xx`` async-blocking, see :mod:`.rules_concurrency`), and the
+C/Python kernel-parity contract (``PAR4xx``, see :mod:`.rules_parity`).
+
 See ``docs/static-analysis.md`` for the rule catalog, suppression syntax
 and CI wiring.
 """
@@ -21,7 +26,9 @@ from .runner import (
     lint_paths,
     lint_source,
     load_baseline,
+    load_baseline_entries,
     main,
+    prune_baseline,
     write_baseline,
 )
 
@@ -36,6 +43,8 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "load_baseline",
+    "load_baseline_entries",
+    "prune_baseline",
     "write_baseline",
     "main",
     "DEFAULT_BASELINE",

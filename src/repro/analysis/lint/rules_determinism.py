@@ -1,4 +1,4 @@
-"""The determinism rule set (``DET101``–``DET106``).
+"""The determinism rule set (``DET101``–``DET107``).
 
 Every rule here guards the same property: *two runs of the simulator with
 the same seed must make identical decisions*.  Python makes that easy to
@@ -427,3 +427,73 @@ class SlotsViolationRule(Rule):
             ):
                 return target
         return None
+
+
+#: Fully-qualified functions returning directory entries in OS order.
+_FS_ITERATION_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Method names returning directory entries in OS order (Path API).
+_FS_ITERATION_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+@register
+class UnsortedFsIterationRule(Rule):
+    """DET107: filesystem iteration order is not reproducible."""
+
+    code = "DET107"
+    name = "unsorted-fs-iteration"
+    description = (
+        "os.listdir/os.scandir/glob.glob/Path.iterdir results arrive in "
+        "filesystem order, which varies across hosts and over time; wrap "
+        "in sorted(...) before the order can leak into cache/journal "
+        "replay or any other decision"
+    )
+    scopes = ("sim", "harness", "service")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._fs_iteration_name(ctx, node)
+            if name is None:
+                continue
+            if self._consumed_sorted(ctx, node):
+                continue
+            yield ctx.finding(
+                node,
+                self.code,
+                f"{name}() yields entries in filesystem order; wrap the "
+                "call in sorted(...)",
+            )
+
+    @staticmethod
+    def _fs_iteration_name(ctx: FileContext, node: ast.Call) -> Optional[str]:
+        resolved = ctx.resolve_call(node.func)
+        if resolved in _FS_ITERATION_CALLS:
+            return resolved
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _FS_ITERATION_METHODS
+            and not (
+                # `glob.glob(...)` resolves above; skip string-ish bases
+                # like `"...".glob` that cannot exist anyway.
+                isinstance(func.value, ast.Constant)
+            )
+        ):
+            return f"<path>.{func.attr}"
+        return None
+
+    @staticmethod
+    def _consumed_sorted(ctx: FileContext, node: ast.Call) -> bool:
+        """Is the call's *immediate* consumer a sorted(...) wrapper?"""
+        parent = ctx.parent_of(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+            and parent.args
+            and parent.args[0] is node
+        )

@@ -24,14 +24,20 @@ from typing import Optional, Sequence
 from .findings import Finding
 from .rules import FileContext, Rule, all_rules
 from . import rules_determinism as _rules_determinism  # registers the DET rules
+from . import rules_concurrency as _rules_concurrency  # registers CONC2xx/3xx
+from . import rules_parity as _rules_parity  # registers PAR4xx
 
-assert _rules_determinism  # imported for its registration side effect
+assert _rules_determinism  # imported for their registration side effects
+assert _rules_concurrency
+assert _rules_parity
 
 __all__ = [
     "LintReport",
     "lint_source",
     "lint_paths",
     "load_baseline",
+    "load_baseline_entries",
+    "prune_baseline",
     "write_baseline",
     "main",
     "DEFAULT_BASELINE",
@@ -52,6 +58,10 @@ class LintReport:
     baselined: int = 0
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    #: baseline entries whose finding no longer exists — (path, code, line)
+    #: keys for files that *were* checked this run with the entry's rule
+    #: active (entries for unchecked files/deselected rules are left alone).
+    stale_baseline: list[tuple[str, str, int]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -60,10 +70,16 @@ class LintReport:
     def render(self) -> str:
         lines = [f.render() for f in self.findings]
         lines.extend(f"parse error: {err}" for err in self.parse_errors)
+        lines.extend(
+            f"stale baseline entry (finding no longer exists): "
+            f"{path}:{line} {code}"
+            for path, code, line in self.stale_baseline
+        )
         lines.append(
             f"checked {self.files_checked} file(s): "
             f"{len(self.findings)} finding(s), "
-            f"{self.suppressed} suppressed, {self.baselined} baselined"
+            f"{self.suppressed} suppressed, {self.baselined} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entr(ies)"
         )
         return "\n".join(lines)
 
@@ -75,6 +91,10 @@ class LintReport:
                 "baselined": self.baselined,
                 "files_checked": self.files_checked,
                 "parse_errors": self.parse_errors,
+                "stale_baseline": [
+                    {"path": p, "code": c, "line": line}
+                    for p, c, line in self.stale_baseline
+                ],
                 "ok": self.ok,
             },
             indent=2,
@@ -140,13 +160,20 @@ def _iter_py_files(paths: Sequence[str]) -> list[pathlib.Path]:
     return out
 
 
-def load_baseline(path: str) -> set[tuple[str, str, int]]:
-    """Load baseline keys; a missing file is an empty baseline."""
+def load_baseline_entries(path: str) -> list[dict]:
+    """Raw baseline entries; a missing file is an empty baseline."""
     p = pathlib.Path(path)
     if not p.exists():
-        return set()
+        return []
     entries = json.loads(p.read_text())
-    return {(e["path"], e["code"], e["line"]) for e in entries}
+    return list(entries)
+
+
+def load_baseline(path: str) -> set[tuple[str, str, int]]:
+    """Load baseline keys; a missing file is an empty baseline."""
+    return {
+        (e["path"], e["code"], e["line"]) for e in load_baseline_entries(path)
+    }
 
 
 def write_baseline(path: str, findings: Sequence[Finding]) -> None:
@@ -165,6 +192,9 @@ def lint_paths(
     """Lint files/directories; returns the aggregated report."""
     rules = all_rules(select)
     baseline_keys = load_baseline(baseline) if baseline else set()
+    active_codes = {rule.code for rule in rules}
+    matched_keys: set[tuple[str, str, int]] = set()
+    checked_paths: set[str] = set()
     report = LintReport()
     for file in _iter_py_files(paths):
         path = file.as_posix()
@@ -175,12 +205,23 @@ def lint_paths(
             report.parse_errors.append(f"{path}: {exc}")
             continue
         report.files_checked += 1
+        checked_paths.add(path)
         report.suppressed += suppressed
         for f in raw:
             if f.baseline_key in baseline_keys:
                 report.baselined += 1
+                matched_keys.add(f.baseline_key)
             else:
                 report.findings.append(f)
+    # A baseline entry is stale when this run *would* have matched it —
+    # its file was checked with its rule active — but no finding did
+    # (fixed code, or the line now carries a noqa).  Entries outside this
+    # run's path/rule selection are not judged.
+    report.stale_baseline = sorted(
+        key
+        for key in baseline_keys - matched_keys
+        if key[0] in checked_paths and key[1] in active_codes
+    )
     report.findings.sort()
     return report
 
@@ -227,6 +268,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the baseline from the current findings and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop stale baseline entries (whose finding no longer "
+        "exists) from the baseline file, then report as usual",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="CI mode: identical to the default behaviour, spelled out "
@@ -235,15 +282,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def prune_baseline(path: str, stale: Sequence[tuple[str, str, int]]) -> int:
+    """Remove ``stale`` keys from the baseline file; returns entries dropped."""
+    stale_keys = set(stale)
+    entries = load_baseline_entries(path)
+    kept = [
+        e for e in entries if (e["path"], e["code"], e["line"]) not in stale_keys
+    ]
+    dropped = len(entries) - len(kept)
+    if dropped:
+        pathlib.Path(path).write_text(json.dumps(kept, indent=2) + "\n")
+    return dropped
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.write_baseline:
+        # Regenerate from the *unfiltered* findings: linting through the
+        # old baseline first would silently drop every already-baselined
+        # finding from the new file.
+        report = lint_paths(args.paths, select=args.select, baseline=None)
+        write_baseline(args.baseline, report.findings)
+        print(f"wrote {len(report.findings)} baseline entries to {args.baseline}")
+        return 0
     baseline = None if args.no_baseline else args.baseline
     report = lint_paths(args.paths, select=args.select, baseline=baseline)
-    if args.write_baseline:
-        target = args.baseline
-        write_baseline(target, report.findings)
-        print(f"wrote {len(report.findings)} baseline entries to {target}")
-        return 0
+    if args.prune_baseline and baseline is not None:
+        dropped = prune_baseline(baseline, report.stale_baseline)
+        print(f"pruned {dropped} stale baseline entr(ies) from {baseline}")
+        report.stale_baseline = []
     print(report.to_json() if args.format == "json" else report.render())
     return 0 if report.ok else 1
 

@@ -1,0 +1,292 @@
+"""SARIF 2.1.0 emitter for the unified static-analysis driver.
+
+One ``run`` per invocation of ``repro check``: the tool driver lists the
+full rule catalog (every registered lint rule plus the TDG pseudo-rules),
+and every result carries ``ruleId``/``ruleIndex`` into that catalog.
+Lint findings get a physical location; TDG findings describe whole task
+programs, which have no source location — SARIF makes ``locations``
+optional for exactly this case.
+
+The structure follows the OASIS SARIF 2.1.0 specification; CI uploads
+the file as a code-scanning artifact.  Kept dependency-free on purpose
+(no jsonschema import here): :func:`validate_sarif` is a structural
+checker used by the tests and ``--self-test``, covering the properties
+code-scanning ingestion actually requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Sequence
+
+from .lint.findings import Finding
+from .lint.rules import RULE_REGISTRY
+from .tdgcheck import TDGReport
+
+__all__ = ["build_sarif", "render_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Pseudo-rules for the non-lint passes that report through the driver.
+EXTRA_RULES: tuple[tuple[str, str, str], ...] = (
+    (
+        "TDG001",
+        "tdg-race",
+        "conflicting data accesses with no dependence path ordering them",
+    ),
+    (
+        "TDG002",
+        "tdg-deadlock",
+        "dependence cycle: the runtime would deadlock on this program",
+    ),
+    (
+        "TDG003",
+        "tdg-structure",
+        "malformed task graph (dangling or self dependence, bad barrier)",
+    ),
+    (
+        "PARSE",
+        "parse-error",
+        "source file could not be parsed or decoded",
+    ),
+)
+
+
+def _rule_catalog() -> list[dict[str, Any]]:
+    rules = [
+        {
+            "id": code,
+            "name": cls.name,
+            "shortDescription": {"text": cls.description},
+        }
+        for code, cls in sorted(RULE_REGISTRY.items())
+    ]
+    rules.extend(
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": description},
+        }
+        for code, name, description in EXTRA_RULES
+    )
+    return rules
+
+
+def _result(
+    rule_index: dict[str, int],
+    code: str,
+    message: str,
+    level: str = "error",
+    path: Optional[str] = None,
+    line: Optional[int] = None,
+    col: Optional[int] = None,
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": code,
+        "ruleIndex": rule_index[code],
+        "level": level,
+        "message": {"text": message},
+    }
+    if path is not None:
+        region: dict[str, Any] = {}
+        if line is not None:
+            region["startLine"] = line
+        if col is not None:
+            region["startColumn"] = col
+        location: dict[str, Any] = {
+            "physicalLocation": {"artifactLocation": {"uri": path}}
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        result["locations"] = [location]
+    return result
+
+
+def build_sarif(
+    findings: Sequence[Finding],
+    tdg_reports: Sequence[TDGReport] = (),
+    parse_errors: Sequence[str] = (),
+    tool_version: str = "0",
+) -> dict[str, Any]:
+    """Assemble the SARIF log object for one ``repro check`` run."""
+    rules = _rule_catalog()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results: list[dict[str, Any]] = []
+    for f in findings:
+        results.append(
+            _result(
+                rule_index, f.code, f.message, path=f.path, line=f.line, col=f.col
+            )
+        )
+    for err in parse_errors:
+        results.append(_result(rule_index, "PARSE", err))
+    for report in tdg_reports:
+        for race in report.races:
+            results.append(
+                _result(
+                    rule_index,
+                    "TDG001",
+                    f"{report.name}: {race.render()}",
+                )
+            )
+        for cycle in report.cycles:
+            chain = " -> ".join(map(str, cycle + [cycle[0]]))
+            results.append(
+                _result(
+                    rule_index,
+                    "TDG002",
+                    f"{report.name}: deadlock cycle {chain}",
+                )
+            )
+        for err in report.errors:
+            results.append(_result(rule_index, "TDG003", f"{report.name}: {err}"))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/static-analysis"
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(log: dict[str, Any]) -> str:
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+def validate_sarif(log: Any) -> list[str]:
+    """Structural SARIF 2.1.0 validation; returns problems (empty = valid).
+
+    Checks the constraints the 2.1.0 schema imposes on what we emit:
+    top-level version/runs, tool.driver.name, rule objects with unique
+    string ids, results whose ruleId/ruleIndex resolve into the catalog,
+    message.text strings, and well-formed physical locations.
+    """
+    problems: list[str] = []
+
+    def need(cond: bool, msg: str) -> bool:
+        if not cond:
+            problems.append(msg)
+        return cond
+
+    if not need(isinstance(log, dict), "log is not an object"):
+        return problems
+    need(log.get("version") == SARIF_VERSION, "version is not '2.1.0'")
+    runs = log.get("runs")
+    if not need(isinstance(runs, list) and runs, "runs must be a non-empty list"):
+        return problems
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not need(isinstance(run, dict), f"{where} is not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if not need(isinstance(driver, dict), f"{where}.tool.driver missing"):
+            continue
+        need(
+            isinstance(driver.get("name"), str) and driver["name"],
+            f"{where}.tool.driver.name must be a non-empty string",
+        )
+        rules = driver.get("rules", [])
+        ids: list[str] = []
+        if need(isinstance(rules, list), f"{where}.tool.driver.rules not a list"):
+            for i, rule in enumerate(rules):
+                rwhere = f"{where}.tool.driver.rules[{i}]"
+                if not need(isinstance(rule, dict), f"{rwhere} not an object"):
+                    continue
+                rid = rule.get("id")
+                if need(
+                    isinstance(rid, str) and bool(rid),
+                    f"{rwhere}.id must be a non-empty string",
+                ):
+                    ids.append(rid)
+                short = rule.get("shortDescription")
+                if short is not None:
+                    need(
+                        isinstance(short, dict)
+                        and isinstance(short.get("text"), str),
+                        f"{rwhere}.shortDescription.text must be a string",
+                    )
+        need(len(ids) == len(set(ids)), f"{where} rule ids are not unique")
+        results = run.get("results", [])
+        if not need(isinstance(results, list), f"{where}.results not a list"):
+            continue
+        for i, result in enumerate(results):
+            fwhere = f"{where}.results[{i}]"
+            if not need(isinstance(result, dict), f"{fwhere} not an object"):
+                continue
+            message = result.get("message")
+            need(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str),
+                f"{fwhere}.message.text must be a string",
+            )
+            level = result.get("level")
+            if level is not None:
+                need(
+                    level in ("none", "note", "warning", "error"),
+                    f"{fwhere}.level invalid: {level!r}",
+                )
+            rule_id = result.get("ruleId")
+            if rule_id is not None:
+                need(
+                    rule_id in ids,
+                    f"{fwhere}.ruleId {rule_id!r} not in the rule catalog",
+                )
+            rule_idx = result.get("ruleIndex")
+            if rule_idx is not None:
+                ok_idx = (
+                    isinstance(rule_idx, int) and 0 <= rule_idx < len(ids)
+                )
+                need(ok_idx, f"{fwhere}.ruleIndex out of range")
+                if ok_idx and rule_id is not None:
+                    need(
+                        ids[rule_idx] == rule_id,
+                        f"{fwhere}.ruleIndex does not match ruleId",
+                    )
+            for j, loc in enumerate(result.get("locations", []) or []):
+                lwhere = f"{fwhere}.locations[{j}]"
+                if not need(isinstance(loc, dict), f"{lwhere} not an object"):
+                    continue
+                phys = loc.get("physicalLocation")
+                if phys is None:
+                    continue
+                if not need(
+                    isinstance(phys, dict), f"{lwhere}.physicalLocation invalid"
+                ):
+                    continue
+                art = phys.get("artifactLocation")
+                if art is not None:
+                    need(
+                        isinstance(art, dict)
+                        and isinstance(art.get("uri"), str),
+                        f"{lwhere}.artifactLocation.uri must be a string",
+                    )
+                region = phys.get("region")
+                if region is not None and need(
+                    isinstance(region, dict), f"{lwhere}.region invalid"
+                ):
+                    for key in ("startLine", "startColumn"):
+                        value = region.get(key)
+                        if value is not None:
+                            need(
+                                isinstance(value, int) and value >= 1,
+                                f"{lwhere}.region.{key} must be an int >= 1",
+                            )
+    return problems

@@ -1,0 +1,323 @@
+"""Seeded mutation corpus for ``repro check --self-test``.
+
+Static analyzers rot silently: a refactor of the AST walk can stop a
+rule from ever firing and no test notices, because the tree being linted
+is (correctly) clean.  This module regression-tests the analyzers
+themselves: for every rule family it keeps a *clean* fixture that must
+produce zero findings and a *mutated* twin — a seeded bug of exactly the
+kind the rule exists to catch — that must fire.
+
+Two corpus kinds:
+
+* **Source cases** — self-contained fixture sources (a ``SweepService``
+  miniature with a lock acquire deleted, a ``glob`` left unsorted, …)
+  run through :func:`repro.analysis.lint.lint_source`.
+* **Parity cases** — string mutations applied to the *real*
+  ``_ckernels.py``/``arrays.py`` sources (a constant drifted, a symbol
+  renamed, a typecode widened) and run through
+  :func:`repro.analysis.lint.rules_parity.analyze_parity`.  Applying the
+  mutation to the live tree keeps the corpus honest: if the anchor text
+  disappears in a refactor, the self-test fails loudly instead of
+  testing a stale copy.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from .lint.runner import lint_source
+from .lint.rules_parity import analyze_parity, load_sibling_sources
+
+__all__ = ["MutationCase", "ParityCase", "SOURCE_CASES", "PARITY_CASES",
+           "run_self_test", "kernel_module_path"]
+
+
+@dataclass(frozen=True)
+class MutationCase:
+    """A clean/mutated fixture pair for one lint rule."""
+
+    name: str
+    code: str
+    path: str
+    clean: str
+    mutated: str
+
+
+@dataclass(frozen=True)
+class ParityCase:
+    """A string mutation of the real kernel tree for one PAR rule.
+
+    ``target`` is ``"kernel"`` (mutate ``_ckernels.py``) or a sibling
+    basename such as ``"arrays.py"``.
+    """
+
+    name: str
+    code: str
+    target: str
+    old: str
+    new: str
+
+
+_SERVICE_FIXTURE = '''\
+import threading
+
+
+class MiniSweepService:
+    """Fixture miniature of the sweep service.
+
+    @guarded_by("_cond"): _tasks, _job_seq
+    @guarded_by("_log_lock"): _log
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._log_lock = threading.Lock()
+        self._tasks = {}
+        self._job_seq = 1
+        self._log = None
+
+    def submit(self, spec):
+        with self._cond:
+            job_id = self._job_seq
+            self._job_seq += 1
+            self._tasks[spec] = job_id
+        with self._log_lock:
+            self._log = spec
+        return job_id
+
+    def _take_batch_locked(self):
+        return sorted(self._tasks)
+'''
+
+_DOUBLE_ACQUIRE_FIXTURE = '''\
+import threading
+
+
+class Worker:
+    def __init__(self):
+        self._cond = threading.Condition()
+
+    def notify(self):
+        with self._cond:
+            self._cond.notify_all()
+
+    def submit(self, item):
+        self.item = item
+        self.notify()
+'''
+
+_LOCK_ORDER_FIXTURE = '''\
+import threading
+
+
+class TwoLocks:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                pass
+'''
+
+_ASYNC_FIXTURE = '''\
+import asyncio
+import os
+
+
+class Front:
+    async def handle(self, service, payload):
+        receipt = await asyncio.to_thread(service.submit, payload)
+        return receipt
+'''
+
+_GLOB_FIXTURE = '''\
+import glob
+
+
+def journal_segments(root):
+    return sorted(glob.glob(root + "/*.jsonl"))
+'''
+
+_SET_ITER_FIXTURE = '''\
+def drain(ready):
+    ordered = sorted(ready)
+    for task in ordered:
+        yield task
+'''
+
+
+SOURCE_CASES: tuple[MutationCase, ...] = (
+    MutationCase(
+        name="lock acquire deleted from SweepService.submit",
+        code="CONC201",
+        path="src/repro/service/fixture_service.py",
+        clean=_SERVICE_FIXTURE,
+        mutated=_SERVICE_FIXTURE.replace(
+            "    def submit(self, spec):\n        with self._cond:\n",
+            "    def submit(self, spec):\n        if True:\n",
+        ),
+    ),
+    MutationCase(
+        name="notify_all inlined under an already-held Condition",
+        code="CONC202",
+        path="src/repro/service/fixture_worker.py",
+        clean=_DOUBLE_ACQUIRE_FIXTURE,
+        mutated=_DOUBLE_ACQUIRE_FIXTURE.replace(
+            "    def submit(self, item):\n        self.item = item\n"
+            "        self.notify()\n",
+            "    def submit(self, item):\n        with self._cond:\n"
+            "            self.item = item\n            self.notify()\n",
+        ),
+    ),
+    MutationCase(
+        name="lock pair inverted on one path",
+        code="CONC203",
+        path="src/repro/service/fixture_order.py",
+        clean=_LOCK_ORDER_FIXTURE,
+        mutated=_LOCK_ORDER_FIXTURE.replace(
+            "    def also_forward(self):\n        with self._a:\n"
+            "            with self._b:\n",
+            "    def also_forward(self):\n        with self._b:\n"
+            "            with self._a:\n",
+        ),
+    ),
+    MutationCase(
+        name="to_thread submit turned into a direct blocking call",
+        code="CONC301",
+        path="src/repro/service/fixture_front.py",
+        clean=_ASYNC_FIXTURE,
+        mutated=_ASYNC_FIXTURE.replace(
+            "        receipt = await asyncio.to_thread(service.submit, payload)\n",
+            "        os.fsync(service.journal_fd)\n"
+            "        receipt = service.submit(payload)\n",
+        ),
+    ),
+    MutationCase(
+        name="sorted() dropped from a glob over journal segments",
+        code="DET107",
+        path="src/repro/harness/fixture_segments.py",
+        clean=_GLOB_FIXTURE,
+        mutated=_GLOB_FIXTURE.replace(
+            'sorted(glob.glob(root + "/*.jsonl"))',
+            'glob.glob(root + "/*.jsonl")',
+        ),
+    ),
+    MutationCase(
+        name="set iterated in scheduling order without sorting",
+        code="DET101",
+        path="src/repro/sim/fixture_drain.py",
+        clean=_SET_ITER_FIXTURE,
+        mutated=_SET_ITER_FIXTURE.replace(
+            "    ordered = sorted(ready)\n    for task in ordered:\n",
+            "    for task in set(ready):\n",
+        ),
+    ),
+)
+
+
+PARITY_CASES: tuple[ParityCase, ...] = (
+    ParityCase(
+        name="SEC drifted in the embedded C source",
+        code="PAR403",
+        target="kernel",
+        old="const double SEC = 1e9;",
+        new="const double SEC = 1e6;",
+    ),
+    ParityCase(
+        name="energy_replay renamed in the cffi _CDEF only",
+        code="PAR401",
+        target="kernel",
+        old="int64_t energy_replay(int64_t t,",
+        new="int64_t energy_replay_v2(int64_t t,",
+    ),
+    ParityCase(
+        name="fin buffer widened to 8-byte elements on the Python side",
+        code="PAR402",
+        target="arrays.py",
+        old='self.fin = array("b", bytes(cap))',
+        new='self.fin = array("q", bytes(8 * cap))',
+    ),
+)
+
+
+def kernel_module_path() -> str:
+    """Absolute path of the real ``_ckernels.py`` in this installation."""
+    from ..sim import _ckernels
+
+    return os.path.abspath(_ckernels.__file__)
+
+
+def _check_source_case(case: MutationCase) -> Optional[str]:
+    if case.clean == case.mutated:
+        return f"{case.name}: mutation anchor missing (corpus rot)"
+    clean_findings = lint_source(case.clean, path=case.path)
+    if clean_findings:
+        rendered = "; ".join(f.render() for f in clean_findings)
+        return f"{case.name}: clean fixture is not clean ({rendered})"
+    fired = {f.code for f in lint_source(case.mutated, path=case.path)}
+    if case.code not in fired:
+        return (
+            f"{case.name}: seeded mutation did not trigger {case.code} "
+            f"(fired: {sorted(fired) or 'nothing'})"
+        )
+    return None
+
+
+def _check_parity_case(
+    case: ParityCase, kernel: str, siblings: dict[str, str]
+) -> Optional[str]:
+    target = kernel if case.target == "kernel" else siblings.get(case.target, "")
+    if case.old not in target:
+        return (
+            f"{case.name}: anchor text not found in {case.target} "
+            "(corpus rot — update the mutation to match the live tree)"
+        )
+    mutated_kernel, mutated_siblings = kernel, siblings
+    if case.target == "kernel":
+        mutated_kernel = kernel.replace(case.old, case.new)
+    else:
+        mutated_siblings = dict(siblings)
+        mutated_siblings[case.target] = target.replace(case.old, case.new)
+    fired = {i.code for i in analyze_parity(mutated_kernel, mutated_siblings)}
+    if case.code not in fired:
+        return (
+            f"{case.name}: seeded drift did not trigger {case.code} "
+            f"(fired: {sorted(fired) or 'nothing'})"
+        )
+    return None
+
+
+def run_self_test() -> list[str]:
+    """Run the whole corpus; returns failure descriptions (empty = pass)."""
+    failures = [
+        failure
+        for case in SOURCE_CASES
+        if (failure := _check_source_case(case)) is not None
+    ]
+    kernel_path = kernel_module_path()
+    try:
+        with open(kernel_path, "r", encoding="utf-8") as f:
+            kernel = f.read()
+    except OSError as exc:
+        failures.append(f"cannot read kernel module {kernel_path}: {exc}")
+        return failures
+    siblings = load_sibling_sources(kernel_path)
+    clean = analyze_parity(kernel, siblings)
+    if clean:
+        rendered = "; ".join(f"{i.code} {i.message}" for i in clean)
+        failures.append(f"parity: live tree is not clean ({rendered})")
+    failures.extend(
+        failure
+        for case in PARITY_CASES
+        if (failure := _check_parity_case(case, kernel, siblings)) is not None
+    )
+    return failures

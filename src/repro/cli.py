@@ -18,6 +18,7 @@ writing code:
 ``perf``       simulator performance benchmarks; appends a run record to
                ``BENCH_history.jsonl``, ``--check`` gates on regressions
                vs the committed baselines, ``--update`` rewrites them
+``check``      unified static analysis (lint + TDG) with SARIF output
 ``lint``       AST determinism linter over the source tree
 ``analyze-tdg``  static race/deadlock analysis of workload task graphs
 ``serve``      persistent sweep daemon (HTTP/JSON job queue over the
@@ -282,6 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
     # Delegated subcommands: main() hands the remaining argv to the
     # analysis drivers before this parser ever runs, so these entries only
     # exist for `repro --help` discoverability.
+    sub.add_parser("check",
+                   help="unified static analysis: lint rule families + TDG "
+                   "checks, text/json/sarif output (repro check --help)",
+                   add_help=False)
     sub.add_parser("lint", help="AST determinism linter (repro lint --help)",
                    add_help=False)
     sub.add_parser("analyze-tdg",
@@ -538,6 +543,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     # The analysis drivers own their argument parsing; hand over before the
     # main parser sees (and rejects) their flags.
+    if raw and raw[0] == "check":
+        from .analysis.check import main as check_main
+
+        return check_main(raw[1:])
     if raw and raw[0] == "lint":
         from .analysis.lint.runner import main as lint_main
 

@@ -115,7 +115,21 @@ class _Job:
 
 
 class SweepService:
-    """Thread-safe core of the sweep daemon (usable without HTTP)."""
+    """Thread-safe core of the sweep daemon (usable without HTTP).
+
+    Three kinds of threads share this object: ``asyncio.to_thread``
+    handler threads (submit/status/fetch), the dedicated sweep-worker
+    thread, and executor callbacks (``_on_cell_complete``).  The lock
+    discipline below is machine-checked by ``repro check`` (CONC2xx):
+
+    @guarded_by("_cond"): _tasks, _jobs, _job_seq, scheduler
+    @guarded_by("_log_lock"): _jobs_log
+
+    ``_log_lock`` serializes the fsynced ``jobs.jsonl`` appends without
+    stalling the service under ``_cond`` for the disk; it is never held
+    together with ``_cond`` (submit releases ``_cond`` before logging),
+    so no lock ordering exists between them.
+    """
 
     def __init__(
         self,
@@ -153,6 +167,7 @@ class SweepService:
         self._jobs: dict[str, _Job] = {}
         self._job_seq = 1
         self._jobs_log_path = os.path.join(state_dir, "jobs.jsonl")
+        self._log_lock = threading.Lock()
         self._jobs_log: Optional[Any] = None
         self._started_monotonic = time.monotonic()
         self._stop = threading.Event()
@@ -178,12 +193,13 @@ class SweepService:
             self._worker.join(timeout=30.0)
             self._worker = None
         self.journal.close()
-        if self._jobs_log is not None:
-            try:
-                self._jobs_log.close()
-            except OSError:
-                pass
-            self._jobs_log = None
+        with self._log_lock:
+            if self._jobs_log is not None:
+                try:
+                    self._jobs_log.close()
+                except OSError:
+                    pass
+                self._jobs_log = None
 
     # ------------------------------------------------------------ durability
     def _log_job(self, job_id: str, client: str, specs: list[CellSpec]) -> None:
@@ -198,21 +214,29 @@ class SweepService:
             },
             sort_keys=True,
         )
-        try:
-            if self._jobs_log is None:
-                self._jobs_log = open(self._jobs_log_path, "a", encoding="utf-8")
-                if self._jobs_log.tell() > 0:
-                    # Torn tail from a killed writer: start on a fresh line.
-                    with open(self._jobs_log_path, "rb") as fh:
-                        fh.seek(-1, os.SEEK_END)
-                        if fh.read(1) != b"\n":
-                            self._jobs_log.write("\n")
-            self._jobs_log.write(line + "\n")
-            self._jobs_log.flush()
-            os.fsync(self._jobs_log.fileno())
-        except OSError:
-            # An unwritable log degrades restart recovery, nothing else.
-            pass
+        # Concurrent submits run on asyncio.to_thread workers; without
+        # this lock the lazy open races and interleaved write/fsync pairs
+        # can tear lines in the very log whose job is crash recovery.
+        with self._log_lock:
+            try:
+                if self._jobs_log is None:
+                    self._jobs_log = open(
+                        self._jobs_log_path, "a", encoding="utf-8"
+                    )
+                    if self._jobs_log.tell() > 0:
+                        # Torn tail from a killed writer: start on a
+                        # fresh line.
+                        with open(self._jobs_log_path, "rb") as fh:
+                            fh.seek(-1, os.SEEK_END)
+                            if fh.read(1) != b"\n":
+                                self._jobs_log.write("\n")
+                self._jobs_log.write(line + "\n")
+                self._jobs_log.flush()
+                os.fsync(self._jobs_log.fileno())
+            except OSError:
+                # An unwritable log degrades restart recovery, nothing
+                # else.
+                pass
 
     def _recover(self) -> int:
         """Replay ``jobs.jsonl``: re-register every job of previous daemon
@@ -242,7 +266,8 @@ class SweepService:
             self._register(job_id, client, specs)
             seq = _job_seq_of(job_id)
             if seq is not None:
-                self._job_seq = max(self._job_seq, seq + 1)
+                with self._cond:
+                    self._job_seq = max(self._job_seq, seq + 1)
         return len(entries)
 
     # ------------------------------------------------------------ submission

@@ -23,14 +23,22 @@ def codes(source: str, path: str = "src/repro/sim/x.py") -> list[str]:
 
 
 # ---------------------------------------------------------------- registry
-def test_all_six_rules_registered():
+def test_all_rule_families_registered():
     assert sorted(RULE_REGISTRY) == [
+        "CONC201",
+        "CONC202",
+        "CONC203",
+        "CONC301",
         "DET101",
         "DET102",
         "DET103",
         "DET104",
         "DET105",
         "DET106",
+        "DET107",
+        "PAR401",
+        "PAR402",
+        "PAR403",
     ]
 
 
@@ -144,6 +152,32 @@ def test_det106_honours_base_class_slots_in_file():
     assert codes(src) == []
 
 
+# ------------------------------------------------------------------ DET107
+def test_det107_flags_unsorted_listdir():
+    src = "import os\nnames = os.listdir(root)\n"
+    assert codes(src) == ["DET107"]
+
+
+def test_det107_flags_unsorted_glob_and_rglob_methods():
+    src = "files = path.glob('*.json')\nmore = path.rglob('*.py')\n"
+    assert codes(src) == ["DET107", "DET107"]
+
+
+def test_det107_negative_sorted_wrapping_is_clean():
+    src = (
+        "import glob\nimport os\n"
+        "a = sorted(os.listdir(root))\n"
+        "b = sorted(glob.glob(pat))\n"
+        "c = sorted(path.iterdir())\n"
+    )
+    assert codes(src) == []
+
+
+def test_det107_scope_excludes_analysis():
+    src = "import os\nnames = os.listdir(root)\n"
+    assert codes(src, "src/repro/analysis/walker.py") == []
+
+
 # ------------------------------------------------------------- suppression
 def test_noqa_with_code_suppresses_only_that_code():
     src = "for x in {1, 2}:  # repro: noqa[DET101]\n    pass\n"
@@ -213,6 +247,94 @@ def test_write_baseline_round_trip(tmp_path):
     write_baseline(str(target), report.findings)
     keys = load_baseline(str(target))
     assert keys == {f.baseline_key for f in report.findings}
+
+
+def test_write_baseline_is_not_filtered_by_old_baseline(tmp_path):
+    """Regression: regenerating through the active baseline used to drop
+    every already-baselined finding from the new file."""
+    pkg = seed_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--write-baseline"]) == 0
+    first = load_baseline(str(baseline))
+    assert len(first) == 2
+    # Second regeneration with the old baseline in place must keep them.
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert load_baseline(str(baseline)) == first
+
+
+# --------------------------------------------------------- stale baseline
+def test_stale_baseline_entries_are_reported(tmp_path, capsys):
+    pkg = seed_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--write-baseline"]) == 0
+    # Fix one of the two baselined findings: the set-iteration loop.
+    (pkg / "bad.py").write_text("import time\nnow = time.time()\n")
+    report = lint_paths([str(pkg)], baseline=str(baseline))
+    assert report.ok  # staleness warns, it does not fail the gate
+    assert len(report.stale_baseline) == 1
+    (_, stale_code, _) = report.stale_baseline[0]
+    assert stale_code == "DET101"
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--check"]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_stale_baseline_ignores_unchecked_paths_and_deselected_rules(tmp_path):
+    pkg = seed_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--write-baseline"]) == 0
+    (pkg / "bad.py").write_text("import time\nnow = time.time()\n")
+    # DET101 not selected: its baseline entry must not be judged stale.
+    report = lint_paths([str(pkg)], select=["DET103"], baseline=str(baseline))
+    assert report.stale_baseline == []
+    # File not in the linted path set: same.
+    other = tmp_path / "elsewhere"
+    other.mkdir()
+    (other / "x.py").write_text("pass\n")
+    report = lint_paths([str(other)], baseline=str(baseline))
+    assert report.stale_baseline == []
+
+
+def test_prune_baseline_drops_only_stale_entries(tmp_path, capsys):
+    pkg = seed_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--write-baseline"]) == 0
+    (pkg / "bad.py").write_text("import time\nnow = time.time()\n")
+    assert (
+        lint_main([str(pkg), "--baseline", str(baseline), "--prune-baseline"])
+        == 0
+    )
+    assert "pruned 1 stale baseline entr(ies)" in capsys.readouterr().out
+    remaining = load_baseline(str(baseline))
+    assert len(remaining) == 1
+    assert next(iter(remaining))[1] == "DET103"
+    # The pruned baseline still grandfathers the surviving finding.
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--check"]) == 0
+
+
+# ------------------------------------------- noqa + baseline interaction
+def test_noqa_finding_is_not_consumed_from_baseline(tmp_path):
+    """A noqa'd finding must be suppressed, not matched against the
+    baseline — otherwise adding a noqa would silently free its baseline
+    entry to hide a *different* new finding, and counts would wobble
+    across a multi-file package."""
+    pkg = tmp_path / "sim"
+    pkg.mkdir()
+    (pkg / "a.py").write_text("for x in {1, 2}:\n    pass\n")
+    (pkg / "b.py").write_text("for y in {3, 4}:\n    pass\n")
+    baseline = tmp_path / "baseline.json"
+    assert lint_main([str(pkg), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert len(load_baseline(str(baseline))) == 2
+
+    # Add a noqa to a.py's finding, keeping line numbers identical.
+    (pkg / "a.py").write_text(
+        "for x in {1, 2}:  # repro: noqa[DET101]\n    pass\n"
+    )
+    report = lint_paths([str(pkg)], baseline=str(baseline))
+    assert report.ok
+    assert report.suppressed == 1  # noqa took it, not the baseline
+    assert report.baselined == 1  # only b.py's finding consumed its entry
+    # a.py's baseline entry is now redundant — reported stale.
+    assert [code for (_, code, _) in report.stale_baseline] == ["DET101"]
 
 
 def test_parse_error_is_reported_not_raised(tmp_path):

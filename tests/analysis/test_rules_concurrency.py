@@ -1,0 +1,293 @@
+"""Concurrency-rule tests: @guarded_by discipline (CONC201), double
+acquisition (CONC202), lock-order inversion (CONC203) and event-loop
+blocking (CONC301), plus the sidecar-guards escape hatch and scoping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.lint import lint_source
+from repro.analysis.lint.rules_concurrency import SIDECAR_GUARDS
+
+SERVICE_PATH = "src/repro/service/x.py"
+
+
+def codes(source: str, path: str = SERVICE_PATH) -> list[str]:
+    return [f.code for f in lint_source(source, path)]
+
+
+# ------------------------------------------------------------------ CONC201
+GUARDED_CLASS = '''\
+import threading
+
+
+class Svc:
+    """@guarded_by("_cond"): _tasks, _seq"""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._tasks = {}
+        self._seq = 0
+
+    def submit(self, spec):
+        with self._cond:
+            self._seq += 1
+            self._tasks[spec] = self._seq
+
+    def _take_locked(self):
+        return sorted(self._tasks)
+'''
+
+
+def test_conc201_clean_when_accesses_are_under_the_lock():
+    assert codes(GUARDED_CLASS) == []
+
+
+def test_conc201_flags_guarded_attr_outside_lock():
+    bad = GUARDED_CLASS.replace(
+        "    def submit(self, spec):\n        with self._cond:\n"
+        "            self._seq += 1\n",
+        "    def submit(self, spec):\n"
+        "        self._seq += 1\n"
+        "        with self._cond:\n",
+    )
+    findings = lint_source(bad, SERVICE_PATH)
+    assert [f.code for f in findings] == ["CONC201"]
+    assert "_seq" in findings[0].message
+    assert "_cond" in findings[0].message
+
+
+def test_conc201_init_and_locked_suffix_are_exempt():
+    # __init__ seeds the attributes unlocked and _take_locked reads them
+    # unlocked — both are accepted conventions in the clean fixture above.
+    assert codes(GUARDED_CLASS) == []
+
+
+def test_conc201_wrong_lock_does_not_count():
+    src = '''\
+import threading
+
+
+class Svc:
+    """@guarded_by("_cond"): _tasks"""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._other = threading.Lock()
+        self._tasks = {}
+
+    def peek(self):
+        with self._other:
+            return len(self._tasks)
+'''
+    assert codes(src) == ["CONC201"]
+
+
+def test_conc201_sidecar_guards_cover_unannotated_classes():
+    src = (
+        "import threading\n"
+        "class Vendored:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._jobs = []\n"
+        "    def pop(self):\n"
+        "        return self._jobs.pop()\n"
+    )
+    assert codes(src) == []  # no declaration, nothing to enforce
+    SIDECAR_GUARDS["Vendored"] = {"_jobs": "_lock"}
+    try:
+        assert codes(src) == ["CONC201"]
+    finally:
+        del SIDECAR_GUARDS["Vendored"]
+
+
+def test_conc201_scope_excludes_sim():
+    bad = GUARDED_CLASS.replace(
+        "        with self._cond:\n            self._seq += 1\n",
+        "        if True:\n            self._seq += 1\n",
+    )
+    assert "CONC201" in codes(bad)
+    assert codes(bad, "src/repro/sim/x.py") == []
+
+
+# ------------------------------------------------------------------ CONC202
+def test_conc202_flags_lexical_reacquisition():
+    src = (
+        "import threading\n"
+        "class W:\n"
+        "    def __init__(self):\n"
+        "        self._cond = threading.Condition()\n"
+        "    def run(self):\n"
+        "        with self._cond:\n"
+        "            with self._cond:\n"
+        "                pass\n"
+    )
+    assert codes(src) == ["CONC202"]
+
+
+def test_conc202_flags_call_into_method_that_reacquires():
+    src = (
+        "import threading\n"
+        "class W:\n"
+        "    def __init__(self):\n"
+        "        self._cond = threading.Condition()\n"
+        "    def notify(self):\n"
+        "        with self._cond:\n"
+        "            self._cond.notify_all()\n"
+        "    def submit(self):\n"
+        "        with self._cond:\n"
+        "            self.notify()\n"
+    )
+    findings = lint_source(src, SERVICE_PATH)
+    assert [f.code for f in findings] == ["CONC202"]
+    assert "notify" in findings[0].message
+
+
+def test_conc202_negative_sequential_acquisition_is_clean():
+    src = (
+        "import threading\n"
+        "class W:\n"
+        "    def __init__(self):\n"
+        "        self._cond = threading.Condition()\n"
+        "    def notify(self):\n"
+        "        with self._cond:\n"
+        "            self._cond.notify_all()\n"
+        "    def submit(self):\n"
+        "        with self._cond:\n"
+        "            pass\n"
+        "        self.notify()\n"
+    )
+    assert codes(src) == []
+
+
+# ------------------------------------------------------------------ CONC203
+TWO_LOCKS = (
+    "import threading\n"
+    "class T:\n"
+    "    def __init__(self):\n"
+    "        self._a = threading.Lock()\n"
+    "        self._b = threading.Lock()\n"
+    "    def forward(self):\n"
+    "        with self._a:\n"
+    "            with self._b:\n"
+    "                pass\n"
+    "    def other(self):\n"
+    "        with self._a:\n"
+    "            with self._b:\n"
+    "                pass\n"
+)
+
+
+def test_conc203_consistent_order_is_clean():
+    assert codes(TWO_LOCKS) == []
+
+
+def test_conc203_flags_inverted_pair_once():
+    bad = TWO_LOCKS.replace(
+        "    def other(self):\n        with self._a:\n"
+        "            with self._b:\n",
+        "    def other(self):\n        with self._b:\n"
+        "            with self._a:\n",
+    )
+    findings = lint_source(bad, SERVICE_PATH)
+    assert [f.code for f in findings] == ["CONC203"]
+    assert "_a" in findings[0].message and "_b" in findings[0].message
+
+
+def test_conc203_sees_order_through_method_calls():
+    src = (
+        "import threading\n"
+        "class T:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._b = threading.Lock()\n"
+        "    def inner_b(self):\n"
+        "        with self._b:\n"
+        "            pass\n"
+        "    def path_one(self):\n"
+        "        with self._a:\n"
+        "            self.inner_b()\n"
+        "    def path_two(self):\n"
+        "        with self._b:\n"
+        "            with self._a:\n"
+        "                pass\n"
+    )
+    assert "CONC203" in codes(src)
+
+
+# ------------------------------------------------------------------ CONC301
+@pytest.mark.parametrize(
+    "call",
+    [
+        "os.fsync(fd)",
+        "time.sleep(0.1)",
+        "subprocess.run(cmd)",
+        "open(path)",
+    ],
+)
+def test_conc301_flags_blocking_calls_in_async_def(call):
+    src = (
+        "import os\nimport subprocess\nimport time\n"
+        "async def handle(fd, cmd, path):\n"
+        f"    {call}\n"
+    )
+    assert codes(src) == ["CONC301"]
+
+
+def test_conc301_to_thread_routing_is_clean():
+    src = (
+        "import asyncio\nimport os\n"
+        "async def handle(fd, service, payload):\n"
+        "    await asyncio.to_thread(os.fsync, fd)\n"
+        "    return await asyncio.to_thread(service.submit, payload)\n"
+    )
+    assert codes(src) == []
+
+
+def test_conc301_run_in_executor_is_clean():
+    src = (
+        "async def handle(loop, pool, fd):\n"
+        "    import os\n"
+        "    await loop.run_in_executor(pool, os.fsync, fd)\n"
+    )
+    assert codes(src) == []
+
+
+def test_conc301_nested_sync_def_offloaded_by_name_is_clean():
+    src = (
+        "import asyncio\nimport os\n"
+        "async def handle(fd):\n"
+        "    def flush():\n"
+        "        os.fsync(fd)\n"
+        "    await asyncio.to_thread(flush)\n"
+    )
+    assert codes(src) == []
+
+
+def test_conc301_nested_sync_def_called_inline_is_flagged():
+    src = (
+        "import os\n"
+        "async def handle(fd):\n"
+        "    def flush():\n"
+        "        os.fsync(fd)\n"
+        "    flush()\n"
+    )
+    assert codes(src) == ["CONC301"]
+
+
+def test_conc301_acquire_awaited_vs_not():
+    awaited = (
+        "async def handle(lock):\n"
+        "    await lock.acquire()\n"
+    )
+    assert codes(awaited) == []
+    blocking = (
+        "async def handle(lock):\n"
+        "    lock.acquire()\n"
+    )
+    assert codes(blocking) == ["CONC301"]
+
+
+def test_conc301_sync_def_is_not_scanned():
+    src = "import time\ndef slow():\n    time.sleep(1)\n"
+    assert codes(src) == []

@@ -1,0 +1,130 @@
+"""Kernel-parity tests: the live C/Python contract must check clean, and
+each seeded drift — a constant changed on one side, a symbol renamed, a
+buffer typecode widened — must produce the matching PAR4xx issue with a
+usable ``_ckernels.py`` line anchor."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.lint import all_rules, lint_source
+from repro.analysis.lint.rules_parity import (
+    analyze_parity,
+    load_sibling_sources,
+)
+from repro.analysis.selftest import kernel_module_path
+
+KERNEL_PATH = kernel_module_path()
+
+
+@pytest.fixture(scope="module")
+def kernel() -> str:
+    return pathlib.Path(KERNEL_PATH).read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def siblings() -> dict:
+    return load_sibling_sources(KERNEL_PATH)
+
+
+def issue_codes(kernel: str, siblings: dict) -> list[str]:
+    return [i.code for i in analyze_parity(kernel, siblings)]
+
+
+# ------------------------------------------------------------- live tree
+def test_live_tree_is_parity_clean(kernel, siblings):
+    issues = analyze_parity(kernel, siblings)
+    assert issues == [], [f"{i.code}:{i.line} {i.message}" for i in issues]
+
+
+def test_siblings_were_actually_loaded(siblings):
+    assert {"arrays.py", "energy.py", "engine.py"} <= set(siblings)
+
+
+# ----------------------------------------------- PAR403: constant drift
+def test_par403_flags_constant_drift(kernel, siblings):
+    """ISSUE acceptance: the deliberate SEC drift fixture must fire."""
+    anchor = "const double SEC = 1e9;"
+    assert anchor in kernel  # corpus-rot guard
+    drifted = kernel.replace(anchor, "const double SEC = 1e6;")
+    issues = analyze_parity(drifted, siblings)
+    par403 = [i for i in issues if i.code == "PAR403"]
+    assert len(par403) == 1
+    assert "SEC" in par403[0].message
+    # The line anchor must point at the drifted C line in _ckernels.py.
+    line_text = drifted.splitlines()[par403[0].line - 1]
+    assert "SEC = 1e6" in line_text
+
+
+# ------------------------------------------------ PAR401: symbol parity
+def test_par401_flags_symbol_rename_in_cdef(kernel, siblings):
+    anchor = "int64_t energy_replay(int64_t t,"  # unique to _CDEF
+    assert anchor in kernel
+    renamed = kernel.replace(anchor, "int64_t energy_replay_v2(int64_t t,")
+    fired = issue_codes(renamed, siblings)
+    assert "PAR401" in fired
+
+
+def test_par401_flags_cdef_only_symbol(kernel, siblings):
+    # Add a phantom declaration to _CDEF: declared but never defined in C.
+    anchor = "int64_t energy_replay(int64_t t,"  # unique to _CDEF
+    assert kernel.count(anchor) == 1
+    mutated = kernel.replace(
+        anchor, "int64_t phantom_kernel(int64_t x);\n" + anchor
+    )
+    issues = analyze_parity(mutated, siblings)
+    assert any(
+        i.code == "PAR401" and "phantom_kernel" in i.message for i in issues
+    )
+
+
+# --------------------------------------------- PAR402: signature parity
+def test_par402_flags_width_drift_in_arrays(kernel, siblings):
+    anchor = 'self.fin = array("b", bytes(cap))'
+    assert anchor in siblings["arrays.py"]
+    mutated = dict(siblings)
+    mutated["arrays.py"] = siblings["arrays.py"].replace(
+        anchor, 'self.fin = array("q", bytes(8 * cap))'
+    )
+    issues = analyze_parity(kernel, mutated)
+    par402 = [i for i in issues if i.code == "PAR402"]
+    assert par402
+    assert any("fin" in i.message for i in par402)
+
+
+def test_par402_flags_cdef_arity_drift(kernel, siblings):
+    # Drop the first parameter from the bl_submit _CDEF declaration only
+    # (the C definition spells it `int64_t **bufs`, so this anchor is
+    # unique to the cffi declaration).
+    anchor = "int64_t bl_submit(int64_t bufs, "
+    assert kernel.count(anchor) == 1
+    mutated = kernel.replace(anchor, "int64_t bl_submit(")
+    issues = analyze_parity(mutated, siblings)
+    assert any(
+        i.code == "PAR402" and "bl_submit" in i.message for i in issues
+    )
+
+
+# -------------------------------------------------- rule plumbing/scope
+def test_parity_rules_only_apply_to_the_kernel_module():
+    rules = all_rules(["PAR401", "PAR402", "PAR403"])
+    for rule in rules:
+        assert rule.applies_to("src/repro/sim/_ckernels.py")
+        assert not rule.applies_to("src/repro/sim/arrays.py")
+        assert not rule.applies_to("src/repro/service/_ckernels.py")
+
+
+def test_parity_rules_fire_through_lint_source(kernel):
+    drifted = kernel.replace(
+        "const double SEC = 1e9;", "const double SEC = 1e6;"
+    )
+    findings = lint_source(drifted, KERNEL_PATH)
+    assert [f.code for f in findings] == ["PAR403"]
+
+
+def test_missing_c_source_reports_par401():
+    issues = analyze_parity("x = 1\n", {})
+    assert [i.code for i in issues] == ["PAR401"]
+    assert "_C_SOURCE" in issues[0].message
