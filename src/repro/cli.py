@@ -10,6 +10,7 @@ writing code:
 ``run``        simulate one benchmark under one policy; optional timeline,
                energy breakdown, Chrome-trace export and fault injection
 ``sweep``      compare policies across power budgets on one benchmark
+``latency``    tail latency / QoS under open-loop multi-tenant arrivals
 ``degradation``  policy slowdown under deterministic chaos fault ladders
 ``figure4``    regenerate Figure 4 (speedup + EDP panels, shape checks)
 ``figure5``    regenerate Figure 5
@@ -72,7 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks and policies")
+    p_list = sub.add_parser("list", help="list benchmarks and policies")
+    p_list.add_argument("--json", action="store_true",
+                        help="machine-readable JSON: benchmarks, policies, "
+                        "arrival kinds and experiments")
     sub.add_parser("table1", help="print Table I (machine configuration)")
 
     p_run = sub.add_parser("run", help="simulate one benchmark under one policy")
@@ -99,6 +103,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Chrome/Perfetto trace JSON")
     p_run.add_argument("--export-paraver", metavar="BASENAME",
                        help="write Paraver .prv/.pcf trace files")
+    p_run.add_argument("--arrivals", default=None, metavar="SPEC",
+                       help="open-loop admission: run the benchmark as one "
+                       "tenant under this arrival spec, e.g. "
+                       "'poisson(rate=0.5,jobs=4)' or "
+                       "'mmpp(rate=0.4,burst=8,dwell=2,jobs=4)'")
+    p_run.add_argument("--tenants", default=None, metavar="SPEC",
+                       help="full multi-tenant scenario "
+                       "('[name:]bench@kind(...)[@qos=12ms]' joined by '+'); "
+                       "overrides the benchmark argument")
 
     def positive_int(text: str) -> int:
         value = int(text)
@@ -138,8 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--faults", default="off", metavar="SPEC",
                          help="fault spec applied to every cell (see run "
                          "--faults); changes the cache key")
+    p_sweep.add_argument("--arrivals", default=None, metavar="SPEC",
+                         help="open-loop admission for every cell (see run "
+                         "--arrivals); changes the cache key")
+    p_sweep.add_argument("--tenants", default=None, metavar="SPEC",
+                         help="multi-tenant scenario pinned for every cell "
+                         "(the benchmark becomes a display label)")
     add_executor_flags(p_sweep)
     add_resilience_flags(p_sweep)
+
+    p_lat = sub.add_parser(
+        "latency", help="tail latency / QoS under open-loop arrivals"
+    )
+    p_lat.add_argument("--tenants", default=None, metavar="SPEC",
+                       help="multi-tenant scenario spec (default: the "
+                       "two-tenant web+batch study scenario)")
+    p_lat.add_argument("--policies", nargs="+", default=None,
+                       choices=POLICIES + EXTRA_POLICIES,
+                       help="default: fifo cats_sa cata cata_rsu")
+    p_lat.add_argument("--intensities", nargs="+", type=float, default=None,
+                       help="arrival-rate multipliers (default: 0.5 1.0 2.0)")
+    p_lat.add_argument("--fast", type=int, default=8)
+    p_lat.add_argument("--seed", type=int, default=1)
+    p_lat.add_argument("--scale", type=float, default=0.3)
+    p_lat.add_argument("--smoke", action="store_true",
+                       help="tiny scenario, two policies, one intensity "
+                       "(CI mode)")
+    p_lat.add_argument("--csv", metavar="FILE", default=None,
+                       help="also write the study rows as CSV")
+    add_executor_flags(p_lat)
+    add_resilience_flags(p_lat)
 
     for name, help_text in (
         ("figure4", "regenerate Figure 4"),
@@ -279,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--only", nargs="+", metavar="SCENARIO",
                         help="run (and check) only the named scenarios; "
                         "incompatible with --update")
+    p_perf.add_argument("--history-limit", type=positive_int, default=None,
+                        metavar="N",
+                        help="after appending this run, prune each "
+                        "BENCH_history.jsonl to its newest N records")
 
     # Delegated subcommands: main() hands the remaining argv to the
     # analysis drivers before this parser ever runs, so these entries only
@@ -298,16 +343,106 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> str:
+    from .workloads.scenario import ARRIVAL_KINDS
+
     lines = ["benchmarks:"]
     lines += [f"  {name}" for name in sorted(BENCHMARKS)]
     lines.append("policies (paper):")
     lines += [f"  {p}" for p in POLICIES]
     lines.append("policies (extensions):")
     lines += [f"  {p}" for p in EXTRA_POLICIES]
+    lines.append("arrival kinds (run/sweep --arrivals, latency --tenants):")
+    for kind in sorted(ARRIVAL_KINDS):
+        lines.append(f"  {kind}: {ARRIVAL_KINDS[kind]['description']}")
+    return "\n".join(lines)
+
+
+def _cmd_list_json() -> str:
+    import json as _json
+
+    from .harness import list_experiments
+    from .workloads.scenario import ARRIVAL_KINDS
+
+    payload = {
+        "benchmarks": sorted(BENCHMARKS),
+        "policies": {"paper": list(POLICIES), "extensions": list(EXTRA_POLICIES)},
+        "arrival_kinds": {
+            kind: {
+                "description": meta["description"],
+                # None marks a required parameter; others show defaults.
+                "params": meta["params"],
+            }
+            for kind, meta in ARRIVAL_KINDS.items()
+        },
+        "experiments": [
+            {
+                "id": e.exp_id,
+                "artifact": e.paper_artifact,
+                "description": e.description,
+            }
+            for e in list_experiments()
+        ],
+    }
+    return _json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> str:
+    from .core.policies import run_scenario_policy
+    from .workloads.scenario import parse_scenario
+
+    spec = (
+        args.tenants
+        if args.tenants is not None
+        else f"{args.benchmark}@{args.arrivals}"
+    )
+    scn = parse_scenario(spec)
+    result = run_scenario_policy(
+        scn,
+        args.policy,
+        fast_cores=args.fast,
+        seed=args.seed,
+        scale=args.scale,
+        sanitize=args.sanitize,
+        faults=args.faults,
+    )
+    summary = result.extra.get("scenario", {})
+    lines = [
+        f"{scn.label()} under {args.policy} @ {args.fast} fast cores "
+        f"(scale {args.scale}, seed {args.seed})",
+        f"  scenario:         {scn.canonical()}",
+        f"  jobs admitted:    {summary.get('jobs', 0)}",
+        f"  tasks executed:   {result.tasks_executed}",
+        f"  makespan:         {result.exec_time_ns / 1e6:.3f} ms",
+        f"  energy:           {result.energy_j:.4f} J",
+        "  latency p50/p95/p99: "
+        f"{(result.latency_p50_ns or 0.0) / 1e6:.3f} / "
+        f"{(result.latency_p95_ns or 0.0) / 1e6:.3f} / "
+        f"{(result.latency_p99_ns or 0.0) / 1e6:.3f} ms",
+        f"  QoS violations:   {result.qos_violation_rate or 0.0:.2%} of jobs",
+    ]
+    for name, stats in summary.get("tenants", {}).items():
+        parts = [
+            f"jobs {stats['jobs']}",
+            f"p99 {stats['latency_p99_ns'] / 1e6:.3f} ms",
+        ]
+        if "qos_violations" in stats:
+            parts.append(f"QoS misses {stats['qos_violations']}")
+        if "accel_grants" in stats:
+            parts.append(f"accel grants {stats['accel_grants']}")
+        lines.append(f"    tenant {name}: " + ", ".join(parts))
+    if args.timeline:
+        lines.append(render_timeline(result.trace, width=100))
+    if args.export_trace:
+        n = export_chrome_trace(result.trace, args.export_trace)
+        lines.append(f"  wrote {n} trace events to {args.export_trace}")
     return "\n".join(lines)
 
 
 def _cmd_run(args: argparse.Namespace) -> str:
+    if args.arrivals is not None and args.tenants is not None:
+        raise SystemExit("pass either --arrivals or --tenants, not both")
+    if args.arrivals is not None or args.tenants is not None:
+        return _cmd_run_scenario(args)
     system = build_system(
         build_program(args.benchmark, scale=args.scale, seed=args.seed),
         args.policy,
@@ -390,6 +525,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         faults=args.faults,
         retry=_retry_from_args(args),
         batch_cells=args.batch_cells,
+        arrivals=args.arrivals,
+        tenants=args.tenants,
     )
     grid = runner.run_grid(
         args.policies, workloads=[args.benchmark], fast_counts=args.budgets
@@ -557,7 +694,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return tdg_main(raw[1:])
     args = build_parser().parse_args(raw)
     if args.command == "list":
-        print(_cmd_list())
+        print(_cmd_list_json() if args.json else _cmd_list())
     elif args.command == "table1":
         print(render_table1())
     elif args.command == "run":
@@ -584,6 +721,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote {len(result.points)} points to {args.csv}")
         if not result.shape.ok:
             return 1
+    elif args.command == "latency":
+        from .harness import (
+            LATENCY_INTENSITIES,
+            LATENCY_POLICIES,
+            LATENCY_SMOKE_TENANTS,
+            LATENCY_TENANTS,
+            run_latency,
+        )
+
+        tenants = args.tenants
+        policies = tuple(args.policies) if args.policies else None
+        intensities = tuple(args.intensities) if args.intensities else None
+        if args.smoke:
+            tenants = tenants or LATENCY_SMOKE_TENANTS
+            policies = policies or ("fifo", "cata")
+            intensities = intensities or (1.0,)
+        study = run_latency(
+            tenants=tenants or LATENCY_TENANTS,
+            policies=policies or LATENCY_POLICIES,
+            intensities=intensities or LATENCY_INTENSITIES,
+            fast=args.fast,
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            verbose=args.verbose,
+            retry=_retry_from_args(args),
+            batch_cells=args.batch_cells,
+        )
+        print(study.render())
+        print(study.stats.summary())
+        if args.csv:
+            with open(args.csv, "w", encoding="utf-8") as fh:
+                fh.write(study.to_csv() + "\n")
+            print(f"wrote {len(study.rows)} rows to {args.csv}")
     elif args.command == "degradation":
         from .harness import (
             DEGRADATION_INTENSITIES,
@@ -667,6 +839,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             threshold=threshold,
             update=args.update,
             only=tuple(args.only) if args.only else None,
+            history_limit=args.history_limit,
         )
         print(report)
         return code

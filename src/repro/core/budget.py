@@ -76,6 +76,12 @@ class AccelStateTable:
         self._accel_count = 0
         #: Cores removed by fault injection — excluded from every decision.
         self._failed = [False] * core_count
+        #: Tenant whose task each core is currently running (open-loop
+        #: scenarios only; all None in closed-loop runs).
+        self._tenant: list[Optional[int]] = [None] * core_count
+        #: Cumulative acceleration grants attributed per tenant: counted at
+        #: commit time when the accelerated core is running a tenant's task.
+        self.accel_grants_by_tenant: dict[int, int] = {}
         #: Optional invariant checker (``--sanitize``); installed by the
         #: RSM/RSU constructors from ``sim.sanitizer``.
         self.sanitizer = None
@@ -170,6 +176,10 @@ class AccelStateTable:
         return Decision(accel=beneficiary, decel=core_id)
 
     # -------------------------------------------------------------- commits
+    def note_tenant(self, core_id: int, tenant_id: Optional[int]) -> None:
+        """Record which tenant's task ``core_id`` is running (or None)."""
+        self._tenant[core_id] = tenant_id
+
     def set_criticality(self, core_id: int, crit: str) -> None:
         if crit not in (Criticality.CRITICAL, Criticality.NON_CRITICAL, Criticality.NO_TASK):
             raise ValueError(f"unknown criticality {crit!r}")
@@ -192,6 +202,11 @@ class AccelStateTable:
                 )
             self._status[decision.accel] = "A"
             self._accel_count += 1
+            tenant = self._tenant[decision.accel]
+            if tenant is not None:
+                self.accel_grants_by_tenant[tenant] = (
+                    self.accel_grants_by_tenant.get(tenant, 0) + 1
+                )
         san = self.sanitizer
         if san is not None:
             san.on_budget_commit(self, decision)

@@ -46,7 +46,7 @@ from .ondemand import OndemandGovernor
 from .rsu import RsuCataManager
 from .turbomode import TurboModeManager
 
-__all__ = ["POLICIES", "build_system", "run_policy"]
+__all__ = ["POLICIES", "EXTRA_POLICIES", "build_system", "run_policy", "run_scenario_policy"]
 
 #: The six configurations evaluated in the paper's Figures 4 and 5.
 POLICIES: tuple[str, ...] = (
@@ -82,6 +82,8 @@ def build_system(
     sanitize: bool = False,
     faults: "str | FaultPlan | None" = None,
     arena: "Optional[KernelArena]" = None,
+    jobs=None,
+    scenario_spec: Optional[str] = None,
 ) -> RuntimeSystem:
     """Wire a runtime system for one policy on one program.
 
@@ -90,7 +92,10 @@ def build_system(
     :class:`FaultPlan`, or ``None``/``"off"`` for a pristine machine.
     ``arena`` donates reusable kernel buffers for multi-cell worker
     sessions (see :mod:`repro.sim.arrays`); callers must ``reset()`` it
-    between cells.
+    between cells.  ``jobs`` (a sequence of
+    :class:`~repro.runtime.admission.AdmittedJob`) switches the system to
+    open-loop arrival-timed admission; ``program`` is then only a label
+    carrier (see :func:`run_scenario_policy`).
     """
     if machine is None:
         machine = default_machine()
@@ -215,6 +220,8 @@ def build_system(
         sanitize=sanitize,
         faults=plan,
         arena=arena,
+        jobs=jobs,
+        scenario_spec=scenario_spec,
     )
 
 
@@ -240,5 +247,50 @@ def run_policy(
         sanitize=sanitize,
         faults=faults,
         arena=arena,
+    )
+    return system.run()
+
+
+def run_scenario_policy(
+    scenario,
+    policy: str,
+    machine: Optional[MachineConfig] = None,
+    fast_cores: int = 8,
+    seed: int = 0,
+    scale: float = 1.0,
+    trace_enabled: bool = True,
+    sanitize: bool = False,
+    faults: "str | FaultPlan | None" = None,
+    arena: "Optional[KernelArena]" = None,
+):
+    """Run an open-loop multi-tenant scenario under one policy.
+
+    ``scenario`` is a spec string (``[name:]bench@kind(...)[@qos=..]``
+    tenants joined by ``+``; see :mod:`repro.workloads.scenario`) or an
+    already-parsed :class:`~repro.workloads.scenario.Scenario`.  The
+    ``(scenario, scale, seed)`` triple is bitwise-reproducible.  Returns a
+    :class:`~repro.runtime.system.RunResult` whose latency fields and
+    ``extra["scenario"]`` summary are populated.
+    """
+    # Imported here: repro.workloads sits above repro.core in the layer
+    # order, and only scenario runs need it.
+    from ..workloads.scenario import Scenario, parse_scenario
+
+    scn = scenario if isinstance(scenario, Scenario) else parse_scenario(str(scenario))
+    if machine is None:
+        machine = default_machine()
+    jobs = scn.build_jobs(scale=scale, seed=seed, machine=machine)
+    system = build_system(
+        Program(name=scn.label()),
+        policy,
+        machine=machine,
+        fast_cores=fast_cores,
+        seed=seed,
+        trace_enabled=trace_enabled,
+        sanitize=sanitize,
+        faults=faults,
+        arena=arena,
+        jobs=jobs,
+        scenario_spec=scn.canonical(),
     )
     return system.run()

@@ -43,7 +43,9 @@ __all__ = [
 #: Bump whenever the simulator's observable behavior or the serialized
 #: schema changes; every previously cached result then misses.
 #: v2: cell keys gained the fault-injection spec field.
-CACHE_SCHEMA_VERSION: int = 2
+#: v3: cell keys gained the scenario/arrival spec field and RunResult
+#: gained optional tail-latency/QoS fields.
+CACHE_SCHEMA_VERSION: int = 3
 
 #: Subdirectory (under the cache root) holding corrupt entries moved aside
 #: by :meth:`ResultCache.get` instead of being deleted.
@@ -71,8 +73,14 @@ def cell_key(
     machine: Optional[MachineConfig] = None,
     trace_enabled: bool = False,
     faults: str = "off",
+    scenario: str = "off",
 ) -> str:
-    """Content address of one grid cell's result."""
+    """Content address of one grid cell's result.
+
+    ``scenario`` is the canonical open-loop scenario spec, or ``"off"``
+    for legacy closed-loop cells; it joins the key so a scenario cell can
+    never alias the closed-loop cell for the same workload name.
+    """
     blob = json.dumps(
         {
             "schema": CACHE_SCHEMA_VERSION,
@@ -84,6 +92,7 @@ def cell_key(
             "machine": machine_fingerprint(machine),
             "trace": bool(trace_enabled),
             "faults": faults,
+            "scenario": scenario,
         },
         sort_keys=True,
     )

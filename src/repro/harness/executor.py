@@ -51,7 +51,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
-from ..core.policies import run_policy
+from ..core.policies import run_policy, run_scenario_policy
 from ..runtime.system import RunResult
 from ..sim.arrays import KernelArena
 from ..sim.config import MachineConfig, default_machine
@@ -105,9 +105,16 @@ class CellSpec:
     #: Fault-injection spec (see :mod:`repro.sim.faults`); ``"off"`` keeps
     #: the machine pristine and the cell key backward-distinct.
     faults: str = "off"
+    #: Canonical open-loop scenario spec (see
+    #: :mod:`repro.workloads.scenario`); ``"off"`` = closed-loop legacy
+    #: cell.  When set, ``workload`` is a display label only — the tenants'
+    #: benchmarks come from the spec itself.
+    scenario: str = "off"
 
     def label(self) -> str:
         tail = f" faults={self.faults}" if self.faults != "off" else ""
+        if self.scenario != "off":
+            tail += f" scenario={self.scenario}"
         return f"{self.workload}/{self.policy}@{self.fast} seed={self.seed}{tail}"
 
     def key(self, machine: Optional[MachineConfig] = None) -> str:
@@ -120,6 +127,7 @@ class CellSpec:
             machine,
             self.trace_enabled,
             self.faults,
+            self.scenario,
         )
 
 
@@ -158,6 +166,19 @@ def simulate_cell(
             arena.machine_cache[fingerprint] = machine
     else:
         machine = machine_from_dict(machine_dict) if machine_dict is not None else None
+    if spec.scenario != "off":
+        result = run_scenario_policy(
+            spec.scenario,
+            spec.policy,
+            machine=machine,
+            fast_cores=spec.fast,
+            seed=spec.seed,
+            scale=spec.scale,
+            trace_enabled=spec.trace_enabled,
+            faults=spec.faults,
+            arena=arena,
+        )
+        return result, time.perf_counter() - t0
     program = build_program(
         spec.workload, scale=spec.scale, seed=spec.seed, machine=machine
     )

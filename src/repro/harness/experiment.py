@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from .degradation import run_degradation
 from .estimators import run_estimator_study
+from .latency import run_latency
 from .figure4 import run_figure4
 from .figure5 import run_figure5
 from .rsu_overhead import render_rsu_overhead, run_rsu_overhead
@@ -104,6 +105,17 @@ def _degradation(ctx: RunContext) -> str:
     ).render()
 
 
+def _latency(ctx: RunContext) -> str:
+    return run_latency(
+        seed=ctx.seeds[0],
+        scale=ctx.scale * 0.3,
+        jobs=ctx.jobs,
+        cache_dir=ctx.cache_dir,
+        verbose=ctx.verbose,
+        batch_cells=ctx.batch_cells,
+    ).render()
+
+
 def _scaling(ctx: RunContext) -> str:
     rows = run_scaling_study(base_scale=ctx.scale * 0.7, seeds=ctx.seeds)
     return render_scaling_study(rows, "fluidanimate")
@@ -158,6 +170,13 @@ EXPERIMENTS: tuple[Experiment, ...] = (
         description="Policy slowdown under injected machine faults",
         run=_degradation,
         asserts="deterministic chaos ladder; per-policy graceful degradation",
+    ),
+    Experiment(
+        exp_id="latency",
+        paper_artifact="Section VI related work (extension)",
+        description="Tail latency and QoS under open-loop multi-tenant arrivals",
+        run=_latency,
+        asserts="deterministic p50/p95/p99 and QoS-violation tables per policy",
     ),
     Experiment(
         exp_id="scaling",

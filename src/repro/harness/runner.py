@@ -105,6 +105,8 @@ class GridRunner:
         retry: Optional[RetryPolicy] = None,
         cell_timeout_s: Optional[float] = None,
         batch_cells: int = 1,
+        arrivals: Optional[str] = None,
+        tenants: Optional[str] = None,
     ) -> None:
         """``seeds`` enables multi-seed averaging: each grid cell is
         simulated once per seed and the normalized ratios are averaged
@@ -124,7 +126,23 @@ class GridRunner:
         wall-clock limit.  ``batch_cells`` dispatches that many cells per
         worker task, simulated back-to-back on shared kernel buffers
         (bitwise-identical results; amortizes per-cell setup).
+
+        ``arrivals`` switches every cell to open-loop admission: each
+        workload runs as a single tenant under that arrival spec (e.g.
+        ``"poisson(rate=0.25,jobs=4)"``).  ``tenants`` instead pins one
+        full multi-tenant scenario spec for every cell (the per-cell
+        workload becomes a display label).  Mutually exclusive.
         """
+        if arrivals is not None and tenants is not None:
+            raise ValueError("pass either arrivals= or tenants=, not both")
+        self.arrivals = arrivals
+        self._tenants_scenario: Optional[str] = None
+        if tenants is not None:
+            from ..workloads.scenario import parse_scenario
+
+            self._tenants_scenario = parse_scenario(tenants).canonical()
+        #: Per-workload canonicalized single-tenant scenario (arrivals mode).
+        self._arrival_scenarios: dict[str, str] = {}
         self.scale = scale
         raw: tuple[int, ...] = tuple(seeds) if seeds is not None else (seed,)
         if not raw:
@@ -169,6 +187,19 @@ class GridRunner:
     def seed(self) -> int:
         return self.seeds[0]
 
+    def _scenario_for(self, workload: str) -> str:
+        if self._tenants_scenario is not None:
+            return self._tenants_scenario
+        if self.arrivals is None:
+            return "off"
+        cached = self._arrival_scenarios.get(workload)
+        if cached is None:
+            from ..workloads.scenario import parse_scenario
+
+            cached = parse_scenario(f"{workload}@{self.arrivals}").canonical()
+            self._arrival_scenarios[workload] = cached
+        return cached
+
     def _spec(self, workload: str, policy: str, fast: int, seed: int) -> CellSpec:
         return CellSpec(
             workload=workload,
@@ -178,6 +209,7 @@ class GridRunner:
             scale=self.scale,
             trace_enabled=self.trace_enabled,
             faults=self.faults,
+            scenario=self._scenario_for(workload),
         )
 
     def run_one(

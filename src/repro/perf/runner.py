@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import subprocess
 from pathlib import Path
 from typing import Optional
@@ -211,6 +212,26 @@ def _select(
     return tuple(s for s in scenarios if s.name in only)
 
 
+def _prune_history(path: Path, limit: int) -> int:
+    """Keep only the newest ``limit`` records of a history file.
+
+    Returns the number of records dropped.  The rewrite is atomic
+    (tmp file + :func:`os.replace`) so a crash mid-prune can never
+    truncate the longitudinal record.
+    """
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    except FileNotFoundError:
+        return 0
+    if len(lines) <= limit:
+        return 0
+    kept = lines[-limit:]
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text("".join(kept), encoding="utf-8")
+    os.replace(tmp, path)
+    return len(lines) - len(kept)
+
+
 def run_perf(
     out_dir: str = ".",
     smoke: bool = False,
@@ -218,6 +239,7 @@ def run_perf(
     threshold: float = REGRESSION_THRESHOLD,
     update: bool = False,
     only: Optional[tuple[str, ...]] = None,
+    history_limit: Optional[int] = None,
 ) -> tuple[str, int]:
     """Run every scenario; returns ``(report_text, exit_code)``.
 
@@ -236,7 +258,13 @@ def run_perf(
     then covers exactly that subset).  It cannot be combined with
     ``update`` — a filtered run would silently drop every other scenario
     from the baseline files.
+
+    ``history_limit`` prunes ``BENCH_history.jsonl`` to its newest N
+    records after this run's record is appended, bounding the file's
+    growth on long-lived checkouts.
     """
+    if history_limit is not None and history_limit < 1:
+        raise ValueError(f"history_limit must be >= 1, got {history_limit}")
     if only is not None:
         if update:
             raise ValueError("--only cannot be combined with --update: a "
@@ -291,6 +319,13 @@ def run_perf(
         with history_path.open("a", encoding="utf-8") as fh:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
         report.append(f"appended run record to {history_path}")
+        if history_limit is not None:
+            dropped = _prune_history(history_path, history_limit)
+            if dropped:
+                report.append(
+                    f"pruned {dropped} old record(s); {history_path} now "
+                    f"keeps the newest {history_limit}"
+                )
     except OSError as exc:
         report.append(f"could not append {history_path}: {exc}")
 

@@ -1,0 +1,290 @@
+"""Open-loop job admission: arrival-timed, multi-tenant task submission.
+
+:class:`~repro.runtime.submission.SubmissionController` models the OmpSs
+main thread: one serial program occupying core 0, suspended workers, and
+taskwait barriers.  That model cannot express *arrivals* — a job landing
+mid-run would have to suspend a worker that is busy executing someone
+else's task.  :class:`JobAdmissionController` instead models the
+CuttleSys-style interactive setting: each tenant has a dedicated ingress
+thread *off* the simulated cores that materializes a job's tasks when the
+job arrives.  Task creation still pays the per-task submission and
+estimator overheads (as pure event delays), but no core is occupied and
+worker 0 participates in the pool like any other worker.
+
+Each admitted job keeps its program's taskwait barriers: a job's next
+barrier segment is submitted only once every task of the previous segment
+has finished.  Barriers are per-job — tenants never synchronize with each
+other; they only contend for cores and the shared power budget.
+
+The controller is API-compatible with the slice of ``SubmissionController``
+that :class:`~repro.runtime.system.RuntimeSystem` touches
+(``finished_submitting``, ``start()``, ``on_quiescent()``), so the rest of
+the runtime is oblivious to which submission model is active.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import RuntimeSystem
+    from .task import Task
+
+__all__ = ["AdmittedJob", "JobAdmissionController", "AdmissionMetrics"]
+
+
+@dataclass(frozen=True)
+class AdmittedJob:
+    """One job in the admission queue: a program with an arrival time."""
+
+    job_id: int
+    tenant_id: int
+    tenant_name: str
+    arrival_ns: float
+    program: Program
+    #: Response-time target (arrival -> last task completion), ns; None = none.
+    qos_ns: Optional[float] = None
+
+
+@dataclass
+class AdmissionMetrics:
+    """Tail-latency / QoS digest of one open-loop run."""
+
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    qos_violation_rate: float
+    #: JSON-safe per-tenant breakdown for ``RunResult.extra["scenario"]``.
+    summary: dict
+
+
+def _nearest_rank(sorted_vals: Sequence[float], q: float) -> float:
+    """Deterministic nearest-rank percentile (no interpolation)."""
+    if not sorted_vals:
+        return 0.0
+    k = math.ceil(q / 100.0 * len(sorted_vals))
+    return sorted_vals[min(len(sorted_vals), max(1, k)) - 1]
+
+
+class _JobStream:
+    """Submission cursor for one admitted job."""
+
+    __slots__ = (
+        "job",
+        "segments",
+        "segment_idx",
+        "spec_idx",
+        "phase",
+        "outstanding",
+        "parked",
+        "done",
+        "task_ids",
+        "last_end_ns",
+    )
+
+    def __init__(self, job: AdmittedJob) -> None:
+        job.program.validate()
+        self.job = job
+        bounds = [0, *job.program.barriers, len(job.program.specs)]
+        self.segments = [(a, b) for a, b in zip(bounds, bounds[1:]) if b > a]
+        self.segment_idx = 0
+        self.spec_idx = self.segments[0][0] if self.segments else 0
+        self.phase = 0
+        #: Tasks submitted for the current segment but not yet finished.
+        self.outstanding = 0
+        #: Waiting at a taskwait for ``outstanding`` to drain.
+        self.parked = False
+        self.done = not self.segments
+        #: Program-local spec index -> global TDG task id (dep remapping).
+        self.task_ids: list[int] = []
+        self.last_end_ns = job.arrival_ns
+
+
+class JobAdmissionController:
+    """Submits each job's tasks starting at its arrival instant."""
+
+    def __init__(self, system: "RuntimeSystem", jobs: Sequence[AdmittedJob]) -> None:
+        self.system = system
+        self.jobs = list(jobs)
+        for idx, job in enumerate(self.jobs):
+            if job.job_id != idx:
+                raise ValueError(
+                    f"job_id {job.job_id} at admission-queue position {idx}: "
+                    "ids must equal queue positions"
+                )
+            if job.arrival_ns < 0:
+                raise ValueError(f"job {idx} has negative arrival {job.arrival_ns}")
+        self._streams = [_JobStream(job) for job in self.jobs]
+        self._unsubmitted = sum(1 for s in self._streams if not s.done)
+        self.finished_submitting = self._unsubmitted == 0
+        #: Task latencies (end - submit) in finish order; per-tenant split.
+        self._latencies: list[float] = []
+        self._tenant_latencies: dict[int, list[float]] = {}
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Arm one arrival event per job at the current instant."""
+        worker0 = self.system.workers[0]
+        if worker0.state == "created":
+            worker0.start()
+        if self.finished_submitting:  # no jobs, or only empty programs
+            self.system.check_completion()
+            return
+        now = self.system.sim.now
+        for stream in self._streams:
+            if stream.done:
+                continue
+            delay = stream.job.arrival_ns - now
+            self.system.sim.schedule(max(0.0, delay), partial(self._pump, stream))
+
+    def _pump(self, stream: _JobStream) -> None:
+        """Submit the stream's next task, or close out its segment."""
+        _start, end = stream.segments[stream.segment_idx]
+        if stream.spec_idx >= end:
+            self._end_segment(stream)
+            return
+        base_cost = self.system.machine.overheads.task_submit_ns
+        self.system.sim.schedule(base_cost, partial(self._create, stream))
+
+    def _create(self, stream: _JobStream) -> None:
+        system = self.system
+        job = stream.job
+        spec = job.program.specs[stream.spec_idx]
+        system.ready_context_core = 0
+        task, bl_edges = system.tdg.submit(
+            ttype=spec.ttype,
+            cpu_cycles=spec.cpu_cycles,
+            mem_ns=spec.mem_ns,
+            deps=tuple(stream.task_ids[d] for d in spec.deps),
+            block_at=spec.block_at,
+            block_ns=spec.block_ns,
+            phase=stream.phase,
+            now_ns=system.sim.now,
+        )
+        task.tenant_id = job.tenant_id
+        task.job_id = job.job_id
+        stream.task_ids.append(task.task_id)
+        stream.outstanding += 1
+        stream.spec_idx += 1
+        system.estimator.on_submit(task, system.tdg)
+        system.dispatch()
+        est_cost = system.estimator.submit_cost_ns(task, bl_edges)
+        if est_cost > 0:
+            system.sim.schedule(est_cost, partial(self._pump, stream))
+        else:
+            self._pump(stream)
+
+    def _end_segment(self, stream: _JobStream) -> None:
+        stream.phase += 1
+        if stream.segment_idx == len(stream.segments) - 1:
+            stream.done = True
+            self._unsubmitted -= 1
+            if self._unsubmitted == 0:
+                self.finished_submitting = True
+            self.system.check_completion()
+        else:
+            stream.parked = True
+            self._maybe_unpark(stream)
+
+    def _maybe_unpark(self, stream: _JobStream) -> None:
+        """Cross the taskwait once the segment's tasks have drained."""
+        if not stream.parked or stream.outstanding:
+            return
+        stream.parked = False
+        stream.segment_idx += 1
+        stream.spec_idx = stream.segments[stream.segment_idx][0]
+        self._pump(stream)
+
+    # ------------------------------------------------------------- runtime
+    def on_task_finished(self, task: "Task") -> None:
+        """Bookkeeping hook, called once per real task completion."""
+        job_id = task.job_id
+        if job_id is None:
+            return
+        stream = self._streams[job_id]
+        stream.outstanding -= 1
+        now = self.system.sim.now
+        if now > stream.last_end_ns:
+            stream.last_end_ns = now
+        latency = task.end_ns - task.submit_ns
+        self._latencies.append(latency)
+        tid = task.tenant_id
+        assert tid is not None
+        self._tenant_latencies.setdefault(tid, []).append(latency)
+        if stream.parked and stream.outstanding == 0:
+            self._maybe_unpark(stream)
+
+    def on_quiescent(self) -> None:
+        """Barriers are per-job here; global quiescence needs no action."""
+
+    # ------------------------------------------------------------- metrics
+    def metrics(
+        self,
+        accel_grants: Optional[dict[int, int]] = None,
+        spec: Optional[str] = None,
+    ) -> AdmissionMetrics:
+        """Aggregate tail latencies and QoS outcomes after the run."""
+        all_lat = sorted(self._latencies)
+        qos_jobs = 0
+        qos_violations = 0
+        tenants: dict[int, dict] = {}
+        for stream in self._streams:
+            job = stream.job
+            info = tenants.setdefault(
+                job.tenant_id,
+                {
+                    "name": job.tenant_name,
+                    "jobs": 0,
+                    "tasks": 0,
+                    "qos_ns": job.qos_ns,
+                    "qos_violations": 0,
+                    "total_response_ns": 0.0,
+                    "max_response_ns": 0.0,
+                },
+            )
+            response = stream.last_end_ns - job.arrival_ns
+            info["jobs"] += 1
+            info["tasks"] += len(stream.task_ids)
+            info["total_response_ns"] += response
+            if response > info["max_response_ns"]:
+                info["max_response_ns"] = response
+            if job.qos_ns is not None:
+                qos_jobs += 1
+                if response > job.qos_ns:
+                    qos_violations += 1
+                    info["qos_violations"] += 1
+        tenant_summary: dict[str, dict] = {}
+        for tid in sorted(tenants):
+            info = tenants[tid]
+            lat = sorted(self._tenant_latencies.get(tid, []))
+            entry: dict = {
+                "tenant_id": tid,
+                "jobs": info["jobs"],
+                "tasks": info["tasks"],
+                "latency_p50_ns": _nearest_rank(lat, 50),
+                "latency_p95_ns": _nearest_rank(lat, 95),
+                "latency_p99_ns": _nearest_rank(lat, 99),
+                "mean_response_ns": info["total_response_ns"] / info["jobs"],
+                "max_response_ns": info["max_response_ns"],
+            }
+            if info["qos_ns"] is not None:
+                entry["qos_ns"] = info["qos_ns"]
+                entry["qos_violations"] = info["qos_violations"]
+            if accel_grants and tid in accel_grants:
+                entry["accel_grants"] = accel_grants[tid]
+            tenant_summary[info["name"]] = entry
+        summary: dict = {"jobs": len(self.jobs), "tenants": tenant_summary}
+        if spec is not None:
+            summary["spec"] = spec
+        return AdmissionMetrics(
+            p50_ns=_nearest_rank(all_lat, 50),
+            p95_ns=_nearest_rank(all_lat, 95),
+            p99_ns=_nearest_rank(all_lat, 99),
+            qos_violation_rate=(qos_violations / qos_jobs) if qos_jobs else 0.0,
+            summary=summary,
+        )

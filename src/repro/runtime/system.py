@@ -26,6 +26,7 @@ from ..sim.kernel import CpufreqFramework
 from ..sim.power import PowerModel
 from ..sim.trace import Trace
 from .accel import AccelerationManager, NullAccelerationManager
+from .admission import AdmittedJob, JobAdmissionController
 from .criticality import CriticalityEstimator, StaticAnnotationEstimator
 from .faults import FaultInjector
 from .program import Program
@@ -57,6 +58,13 @@ class RunResult:
     cpufreq_writes: int
     trace: Trace = field(repr=False, default_factory=Trace)
     extra: dict = field(default_factory=dict)
+
+    # --- open-loop scenario metrics (None in closed-loop batch runs; the
+    # serializer omits None values so legacy fingerprints are unchanged) ---
+    latency_p50_ns: Optional[float] = None
+    latency_p95_ns: Optional[float] = None
+    latency_p99_ns: Optional[float] = None
+    qos_violation_rate: Optional[float] = None
 
     @property
     def exec_time_s(self) -> float:
@@ -91,6 +99,8 @@ class RuntimeSystem:
         sanitize: bool = False,
         faults: Optional[FaultPlan] = None,
         arena: Optional[KernelArena] = None,
+        jobs: Optional[Sequence[AdmittedJob]] = None,
+        scenario_spec: Optional[str] = None,
     ) -> None:
         self.machine = machine
         self.program = program
@@ -152,7 +162,17 @@ class RuntimeSystem:
         #: The core whose completion/submission last released tasks — the
         #: enqueue hint used by the work-stealing scheduler.
         self.ready_context_core: int = 0
-        self.submission = SubmissionController(self, program)
+        self.scenario_spec = scenario_spec
+        #: Open-loop scenarios replace the main-thread submission model with
+        #: arrival-timed job admission; closed-loop runs are untouched.
+        self._admission: Optional[JobAdmissionController] = None
+        if jobs is None:
+            self.submission: SubmissionController | JobAdmissionController = (
+                SubmissionController(self, program)
+            )
+        else:
+            self._admission = JobAdmissionController(self, jobs)
+            self.submission = self._admission
         #: Fault injection is strictly opt-in: with no plan there is no
         #: injector, no armed events and no per-event overhead.
         self.fault_injector: Optional[FaultInjector] = (
@@ -172,8 +192,28 @@ class RuntimeSystem:
     def on_task_finished(self, task: Task) -> None:
         """Called by workers after TDG completion bookkeeping."""
         self.estimator.on_finish(task, self.tdg)
+        if self._admission is not None:
+            self._admission.on_task_finished(task)
         self._maybe_advance_barrier()
         self.check_completion()
+
+    def note_tenant_running(self, core_id: int, tenant_id: int) -> None:
+        """Attribute a core to the tenant whose task it just picked up."""
+        table = self._accel_table()
+        if table is not None:
+            table.note_tenant(core_id, tenant_id)
+
+    def _accel_table(self):
+        """The manager's budget table, whichever attribute it lives under.
+
+        Resolved per call, not cached: RSU managers rebuild their table on
+        ``rsu_on`` faults.  Returns None for budget-less managers (fifo,
+        cats_*), which simply get no per-tenant acceleration accounting.
+        """
+        table = getattr(self.manager, "table", None)
+        if table is None:
+            table = getattr(self.manager, "rsm", None)
+        return table
 
     def on_worker_idle(self, worker: Worker) -> None:
         self._idle_stack.append(worker.core_id)
@@ -266,6 +306,26 @@ class RuntimeSystem:
             )
         self.energy.finalize()
         assert self.completion_ns is not None
+        # Scenario runs carry tail-latency/QoS metrics and a per-tenant
+        # summary; both are absent (None / no extra key) in legacy runs so
+        # serialized results stay byte-identical to the golden fingerprints.
+        latency_fields: dict = {}
+        scenario_extra: dict = {}
+        if self._admission is not None:
+            table = self._accel_table()
+            grants = (
+                dict(table.accel_grants_by_tenant) if table is not None else {}
+            )
+            metrics = self._admission.metrics(
+                accel_grants=grants, spec=self.scenario_spec
+            )
+            latency_fields = {
+                "latency_p50_ns": metrics.p50_ns,
+                "latency_p95_ns": metrics.p95_ns,
+                "latency_p99_ns": metrics.p99_ns,
+                "qos_violation_rate": metrics.qos_violation_rate,
+            }
+            scenario_extra = {"scenario": metrics.summary}
         return RunResult(
             policy=self.policy_name,
             workload=self.program.name,
@@ -291,5 +351,7 @@ class RuntimeSystem:
                     if self.fault_injector is not None
                     else {}
                 ),
+                **scenario_extra,
             },
+            **latency_fields,
         )

@@ -88,6 +88,11 @@ class Task:
     start_ns: float = 0.0
     end_ns: float = 0.0
 
+    # --- scenario tenancy (set post-construction by the admission
+    # controller; always None in legacy closed-loop batch mode) ---
+    tenant_id: Optional[int] = None
+    job_id: Optional[int] = None
+
     def __post_init__(self) -> None:
         if self.cpu_cycles < 0 or self.mem_ns < 0:
             raise ValueError("work amounts must be non-negative")

@@ -171,6 +171,10 @@ class Worker:
         self.state = "assigned"
         self.current_task = task
         self.system.tdg.mark_running(task, self.core_id, self.system.sim.now)
+        if task.tenant_id is not None:
+            # Attribute this core to the tenant before the manager decides
+            # whether to grant it an acceleration slot.
+            self.system.note_tenant_running(self.core_id, task.tenant_id)
         # Taking a task may have freed/blocked eligibility for others.
         self.system.dispatch()
         self.system.manager.on_task_assigned(self, task, self._execute)
@@ -239,6 +243,7 @@ class Worker:
                 end_ns=now,
                 critical=task.critical,
                 accelerated_at_start=self._accelerated_at_start,
+                tenant=task.tenant_id,
             )
         )
         self.system.ready_context_core = self.core_id

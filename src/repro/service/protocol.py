@@ -85,6 +85,7 @@ def spec_to_dict(spec: CellSpec) -> dict[str, Any]:
         "scale": spec.scale,
         "trace": spec.trace_enabled,
         "faults": spec.faults,
+        "scenario": spec.scenario,
     }
 
 
@@ -101,6 +102,7 @@ def spec_from_dict(data: dict[str, Any]) -> CellSpec:
             scale=float(data["scale"]),
             trace_enabled=bool(data.get("trace", False)),
             faults=str(data.get("faults", "off")),
+            scenario=str(data.get("scenario", "off")),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed cell {data!r}: {exc}") from exc
@@ -109,7 +111,22 @@ def spec_from_dict(data: dict[str, Any]) -> CellSpec:
 
 
 def _validate_spec(spec: CellSpec) -> None:
-    if spec.workload not in BENCHMARKS:
+    if spec.scenario != "off":
+        # Scenario cells carry their benchmarks inside the spec; the
+        # workload field is a display label.  Parse to validate (and to
+        # reject non-canonical forms, which would fracture the cache).
+        from ..workloads.scenario import parse_scenario
+
+        try:
+            canonical = parse_scenario(spec.scenario).canonical()
+        except ValueError as exc:
+            raise ProtocolError(f"bad scenario {spec.scenario!r}: {exc}") from exc
+        if canonical != spec.scenario:
+            raise ProtocolError(
+                f"scenario {spec.scenario!r} is not canonical "
+                f"(expected {canonical!r})"
+            )
+    elif spec.workload not in BENCHMARKS:
         raise ProtocolError(f"unknown workload {spec.workload!r}")
     if spec.policy not in POLICIES + EXTRA_POLICIES:
         raise ProtocolError(f"unknown policy {spec.policy!r}")
@@ -141,7 +158,8 @@ def expand_submit(body: Any) -> tuple[str, list[CellSpec]]:
 
     Accepts either an explicit ``"cells": [...]`` list or a grid
     (``workloads x policies x budgets x seeds`` at one ``scale`` with one
-    ``faults`` spec).  Order is preserved — duplicates too: deduplication
+    ``faults`` spec and, optionally, one canonical ``scenario`` applied to
+    every cell).  Order is preserved — duplicates too: deduplication
     is the scheduler's job (and part of its accounting), not the parser's.
     """
     if not isinstance(body, dict):
@@ -163,10 +181,11 @@ def expand_submit(body: Any) -> tuple[str, list[CellSpec]]:
             raise ProtocolError("'scale' must be a number") from exc
         faults = str(body.get("faults", "off"))
         trace = bool(body.get("trace", False))
+        scenario = str(body.get("scenario", "off"))
         cells = [
             CellSpec(
                 workload=w, policy=p, fast=f, seed=s, scale=scale,
-                trace_enabled=trace, faults=faults,
+                trace_enabled=trace, faults=faults, scenario=scenario,
             )
             for w in workloads
             for p in policies

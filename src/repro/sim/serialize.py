@@ -92,6 +92,23 @@ _TRACE_RECORD_TYPES: dict[str, type] = {
     "freq_changes": FreqChangeRecord,
 }
 
+#: Record fields added *after* the original schema, dropped from the
+#: serialized form while None so pre-existing traces — and the golden
+#: SHA-256 fingerprints — stay byte-identical.  Only lists new fields:
+#: ReconfigRecord's original nullable fields still serialize as null.
+_OMIT_WHEN_NONE: dict[str, tuple[str, ...]] = {
+    "task_spans": ("tenant",),
+}
+
+#: RunResult fields added with the scenario layer (schema v3); omitted
+#: while None for the same byte-stability reason.
+_RESULT_OMIT_WHEN_NONE: tuple[str, ...] = (
+    "latency_p50_ns",
+    "latency_p95_ns",
+    "latency_p99_ns",
+    "qos_violation_rate",
+)
+
 
 def trace_to_dict(trace: Trace) -> dict[str, Any]:
     """Plain-dict form of a :class:`Trace` (records and counters)."""
@@ -105,7 +122,14 @@ def trace_to_dict(trace: Trace) -> dict[str, Any]:
         "max_lock_wait_ns": trace.max_lock_wait_ns,
     }
     for name in _TRACE_RECORD_TYPES:
-        out[name] = [dataclasses.asdict(rec) for rec in getattr(trace, name)]
+        omit = _OMIT_WHEN_NONE.get(name)
+        records = [dataclasses.asdict(rec) for rec in getattr(trace, name)]
+        if omit:
+            for rec_d in records:
+                for key in omit:
+                    if rec_d[key] is None:
+                        del rec_d[key]
+        out[name] = records
     return out
 
 
@@ -134,6 +158,9 @@ def result_to_dict(result: "Any") -> dict[str, Any]:
         for f in dataclasses.fields(result)
         if f.name != "trace"
     }
+    for name in _RESULT_OMIT_WHEN_NONE:
+        if fields.get(name) is None:
+            fields.pop(name, None)
     fields["trace"] = trace_to_dict(result.trace)
     return fields
 

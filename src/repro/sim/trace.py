@@ -36,6 +36,9 @@ class TaskSpan:
     end_ns: float
     critical: bool
     accelerated_at_start: bool
+    #: Owning tenant in open-loop scenarios; None in closed-loop runs (and
+    #: omitted from the serialized form, keeping legacy traces byte-stable).
+    tenant: Optional[int] = None
 
     @property
     def duration_ns(self) -> float:

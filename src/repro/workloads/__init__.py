@@ -11,6 +11,14 @@ fidelity argument.
 from .base import WorkloadBuilder, scaled_count
 from .characterize import WorkloadStats, characterization_rows, characterize
 from .registry import BENCHMARKS, build_program
+from .scenario import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    Scenario,
+    TenantSpec,
+    parse_arrival,
+    parse_scenario,
+)
 from .synthetic import StageSpec, make_forkjoin, make_pipeline, make_stencil
 
 __all__ = [
@@ -18,6 +26,12 @@ __all__ = [
     "build_program",
     "WorkloadBuilder",
     "scaled_count",
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "TenantSpec",
+    "Scenario",
+    "parse_arrival",
+    "parse_scenario",
     "WorkloadStats",
     "characterize",
     "characterization_rows",

@@ -18,7 +18,6 @@ identical ``(name, scale, seed)`` triples produce identical programs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -39,19 +38,28 @@ def scaled_count(base: int, scale: float, minimum: int = 1) -> int:
     return max(minimum, int(round(base * scale)))
 
 
-@dataclass
 class WorkloadBuilder:
-    """Convenience wrapper around :class:`Program` construction."""
+    """Convenience wrapper around :class:`Program` construction.
 
-    name: str
-    seed: int = 0
-    machine: Optional[MachineConfig] = None
+    A plain class rather than a dataclass: the ``machine`` argument is
+    optional, but the *attribute* is resolved to a concrete
+    :class:`MachineConfig` at construction, so downstream code never needs
+    a None check.
+    """
 
-    def __post_init__(self) -> None:
-        if self.machine is None:
-            self.machine = default_machine()
-        self.rng = np.random.default_rng(self.seed)
-        self.program = Program(name=self.name)
+    def __init__(
+        self,
+        name: str,
+        seed: int = 0,
+        machine: Optional[MachineConfig] = None,
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        self.machine: MachineConfig = (
+            machine if machine is not None else default_machine()
+        )
+        self.rng = np.random.default_rng(seed)
+        self.program = Program(name=name)
 
     # -------------------------------------------------------------- timing
     def sample_us(self, mean_us: float, cv: float) -> float:
@@ -73,7 +81,6 @@ class WorkloadBuilder:
 
     def work(self, duration_us: float, beta: float) -> tuple[float, float]:
         """Split a slow-core duration into ``(cpu_cycles, mem_ns)``."""
-        assert self.machine is not None
         return split_by_boundedness(duration_us * US, beta, self.machine)
 
     # ---------------------------------------------------------- task adds

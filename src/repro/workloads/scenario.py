@@ -1,0 +1,369 @@
+"""Scenario layer: *what* runs is split from *when and for whom* it runs.
+
+A :class:`Scenario` composes one or more tenants.  Each tenant pairs a
+benchmark (any :data:`~repro.workloads.registry.BENCHMARKS` generator —
+the *what*) with an arrival process (the *when*): closed-loop (today's
+behaviour, everything arrives at t=0), seeded open-loop Poisson, or
+bursty MMPP (a 2-state Markov-modulated Poisson process).  Tenants may
+also carry a QoS target — a per-job response-time bound checked against
+``arrival -> last task completion``.
+
+Reproducibility contract: ``(scenario, scale, seed)`` is bitwise
+reproducible.  Every random draw comes from per-tenant
+``numpy.random.default_rng`` streams whose seeds are derived as
+``sha256(f"{seed}|{tenant_index}|{tenant_canonical}")`` — the same
+derivation idiom the fault planner uses — so adding a tenant or editing
+another tenant's spec never perturbs this tenant's arrivals.
+
+Spec grammar (one string, tenants joined by ``+``)::
+
+    [name:]benchmark[@kind(k=v,...)][@qos=TIME]
+
+    blackscholes                                  closed-loop, one job
+    blackscholes@poisson(rate=0.25,jobs=4)        open-loop Poisson
+    web:ferret@mmpp(rate=0.2,burst=8,dwell=2)@qos=30ms
+    blackscholes@poisson(rate=0.25)+swaptions@poisson(rate=0.2)
+
+``rate`` is in jobs per simulated millisecond; ``dwell`` (MMPP state
+dwell time) is in milliseconds; ``qos`` accepts ``ns``/``us``/``ms``/``s``
+suffixes.  ``canonical()`` renders a fully-expanded, sorted-parameter,
+idempotent form — the string that joins the sweep-cache cell key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .registry import BENCHMARKS, build_program
+
+if TYPE_CHECKING:
+    from ..runtime.admission import AdmittedJob
+    from ..sim.config import MachineConfig
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalSpec",
+    "TenantSpec",
+    "Scenario",
+    "parse_arrival",
+    "parse_scenario",
+]
+
+#: Nanoseconds per simulated millisecond (rates are jobs/ms).
+_NS_PER_MS = 1e6
+
+#: Arrival-process registry: parameter names with their defaults (``None``
+#: means required).  Exposed so ``repro list --json`` can enumerate the
+#: supported kinds without parsing docstrings.
+ARRIVAL_KINDS: dict[str, dict] = {
+    "closed": {
+        "params": {"jobs": 1},
+        "description": "all jobs arrive at t=0 (legacy batch behaviour)",
+    },
+    "poisson": {
+        "params": {"jobs": 4, "rate": None},
+        "description": "open-loop Poisson arrivals; rate in jobs per ms",
+    },
+    "mmpp": {
+        "params": {"burst": 8.0, "dwell": 2.0, "jobs": 4, "rate": None},
+        "description": (
+            "2-state Markov-modulated Poisson: base rate (jobs/ms), "
+            "burst-state rate multiplier, exponential dwell per state (ms)"
+        ),
+    },
+}
+
+#: Time-unit suffixes accepted by ``qos=`` values, in nanoseconds.
+#: Longest-suffix-first so ``us``/``ms`` are tried before bare ``s``.
+_TIME_UNITS = (("ns", 1.0), ("us", 1e3), ("ms", 1e6), ("s", 1e9))
+
+
+def _parse_time_ns(text: str) -> float:
+    for suffix, factor in _TIME_UNITS:
+        if text.endswith(suffix):
+            body = text[: -len(suffix)]
+            # "ms"/"ns"/"us" all end in "s" — require a numeric body so
+            # "30ms" is not mis-split as "30m" + "s".
+            try:
+                value = float(body)
+            except ValueError:
+                continue
+            if value < 0:
+                raise ValueError(f"negative time {text!r}")
+            return value * factor
+    raise ValueError(
+        f"bad time {text!r} (expected e.g. 500us, 30ms, 2s, 1500000ns)"
+    )
+
+
+def _fmt(value: float) -> str:
+    """Idempotent float rendering: ``float(_fmt(x)) == x`` exactly."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When a tenant's jobs arrive.  ``rate`` is jobs per simulated ms."""
+
+    kind: str = "closed"
+    jobs: int = 1
+    rate: Optional[float] = None
+    #: MMPP burst-state rate multiplier (>= 1).
+    burst: float = 8.0
+    #: MMPP mean dwell per state, in simulated milliseconds.
+    dwell: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r} "
+                f"(known: {', '.join(sorted(ARRIVAL_KINDS))})"
+            )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.kind in ("poisson", "mmpp"):
+            if self.rate is None or self.rate <= 0:
+                raise ValueError(f"{self.kind} arrivals need rate > 0 (jobs/ms)")
+        if self.kind == "mmpp":
+            if self.burst < 1.0:
+                raise ValueError(f"mmpp burst must be >= 1, got {self.burst}")
+            if self.dwell <= 0:
+                raise ValueError(f"mmpp dwell must be > 0 ms, got {self.dwell}")
+
+    def canonical(self) -> str:
+        """Fully-expanded sorted-parameter form, stable under re-parsing."""
+        params: dict[str, str] = {"jobs": str(self.jobs)}
+        if self.kind in ("poisson", "mmpp"):
+            assert self.rate is not None
+            params["rate"] = _fmt(self.rate)
+        if self.kind == "mmpp":
+            params["burst"] = _fmt(self.burst)
+            params["dwell"] = _fmt(self.dwell)
+        body = ",".join(f"{k}={params[k]}" for k in sorted(params))
+        return f"{self.kind}({body})"
+
+    def scaled(self, intensity: float) -> "ArrivalSpec":
+        """Multiply the open-loop rate by ``intensity`` (closed unchanged)."""
+        if intensity <= 0:
+            raise ValueError(f"intensity must be > 0, got {intensity}")
+        if self.kind == "closed" or intensity == 1.0:
+            return self
+        assert self.rate is not None
+        return replace(self, rate=self.rate * intensity)
+
+    def sample_arrivals(self, rng: np.random.Generator) -> list[float]:
+        """Absolute arrival times (ns), non-decreasing, one per job."""
+        if self.kind == "closed":
+            return [0.0] * self.jobs
+        assert self.rate is not None
+        mean_gap = _NS_PER_MS / self.rate
+        if self.kind == "poisson":
+            out: list[float] = []
+            t = 0.0
+            for _ in range(self.jobs):
+                t += float(rng.exponential(mean_gap))
+                out.append(t)
+            return out
+        # MMPP: alternate between a base-rate state and a burst state whose
+        # rate is ``burst`` times higher; exponential dwell per state.  On a
+        # state switch the in-flight inter-arrival draw is discarded and
+        # redrawn from the switch instant — valid by memorylessness of the
+        # exponential, and it keeps the sampler a bounded loop (time
+        # strictly advances to the switch point on every discarded draw).
+        dwell_ns = self.dwell * _NS_PER_MS
+        gaps = (mean_gap, mean_gap / self.burst)
+        state = 0
+        t = 0.0
+        state_end = float(rng.exponential(dwell_ns))
+        out = []
+        while len(out) < self.jobs:
+            gap = float(rng.exponential(gaps[state]))
+            if t + gap > state_end:
+                t = state_end
+                state = 1 - state
+                state_end = t + float(rng.exponential(dwell_ns))
+                continue
+            t += gap
+            out.append(t)
+        return out
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a benchmark, an arrival process, an optional QoS bound."""
+
+    name: str
+    benchmark: str
+    arrival: ArrivalSpec = ArrivalSpec()
+    #: Per-job response-time target (arrival -> last task completion), ns.
+    qos_ns: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c in self.name for c in "+@:()=,"):
+            raise ValueError(f"bad tenant name {self.name!r}")
+        if self.benchmark not in BENCHMARKS:
+            raise ValueError(
+                f"unknown benchmark {self.benchmark!r} "
+                f"(known: {', '.join(sorted(BENCHMARKS))})"
+            )
+        if self.qos_ns is not None and self.qos_ns <= 0:
+            raise ValueError(f"qos must be > 0 ns, got {self.qos_ns}")
+
+    def canonical(self) -> str:
+        out = f"{self.name}:{self.benchmark}@{self.arrival.canonical()}"
+        if self.qos_ns is not None:
+            out += f"@qos={int(self.qos_ns)}ns"
+        return out
+
+
+def parse_arrival(text: str) -> ArrivalSpec:
+    """Parse ``kind`` or ``kind(k=v,...)`` into an :class:`ArrivalSpec`."""
+    text = text.strip()
+    if "(" in text:
+        if not text.endswith(")"):
+            raise ValueError(f"bad arrival spec {text!r} (missing ')')")
+        kind, _, body = text[:-1].partition("(")
+    else:
+        kind, body = text, ""
+    kind = kind.strip()
+    if kind not in ARRIVAL_KINDS:
+        raise ValueError(
+            f"unknown arrival kind {kind!r} "
+            f"(known: {', '.join(sorted(ARRIVAL_KINDS))})"
+        )
+    allowed = ARRIVAL_KINDS[kind]["params"]
+    kwargs: dict[str, float | int] = {}
+    for part in filter(None, (p.strip() for p in body.split(","))):
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep or key not in allowed:
+            raise ValueError(
+                f"bad arrival parameter {part!r} for {kind!r} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+        try:
+            kwargs[key] = int(raw) if key == "jobs" else float(raw)
+        except ValueError as exc:
+            raise ValueError(f"bad arrival parameter {part!r}: {exc}") from exc
+    return ArrivalSpec(kind=kind, **kwargs)  # type: ignore[arg-type]
+
+
+def _parse_tenant(text: str, index: int) -> TenantSpec:
+    head, *rest = [p.strip() for p in text.strip().split("@")]
+    if ":" in head:
+        name, _, benchmark = head.partition(":")
+        name = name.strip()
+    else:
+        name, benchmark = f"t{index}", head
+    arrival = ArrivalSpec()
+    qos_ns: Optional[float] = None
+    for part in rest:
+        if part.startswith("qos="):
+            if qos_ns is not None:
+                raise ValueError(f"duplicate qos in tenant {text!r}")
+            qos_ns = _parse_time_ns(part[len("qos="):])
+        else:
+            if arrival != ArrivalSpec():
+                raise ValueError(f"duplicate arrival spec in tenant {text!r}")
+            arrival = parse_arrival(part)
+    return TenantSpec(
+        name=name, benchmark=benchmark.strip(), arrival=arrival, qos_ns=qos_ns
+    )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """An ordered set of tenants sharing one machine and power budget."""
+
+    tenants: tuple[TenantSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError("scenario needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in scenario: {names}")
+
+    def canonical(self) -> str:
+        return "+".join(t.canonical() for t in self.tenants)
+
+    def label(self) -> str:
+        """Compact display label (benchmarks only) for tables/journals."""
+        return "+".join(t.benchmark for t in self.tenants)
+
+    def scaled_rates(self, intensity: float) -> "Scenario":
+        """Scale every open-loop tenant's arrival rate by ``intensity``."""
+        return Scenario(
+            tenants=tuple(
+                replace(t, arrival=t.arrival.scaled(intensity))
+                for t in self.tenants
+            )
+        )
+
+    def build_jobs(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        machine: Optional["MachineConfig"] = None,
+    ) -> list["AdmittedJob"]:
+        """Materialize the admission queue: programs + arrival times.
+
+        ``scale`` sizes each job's program (exactly like single-benchmark
+        runs); it never changes job counts or arrival times.  Jobs are
+        ordered by ``(arrival_ns, tenant_index, per-tenant job index)``
+        and ``job_id`` is the position in that order.
+        """
+        from ..runtime.admission import AdmittedJob
+
+        raw: list[tuple[float, int, int, int]] = []
+        for tid, tenant in enumerate(self.tenants):
+            rng = np.random.default_rng(
+                _derived_seed(seed, tid, tenant.canonical())
+            )
+            arrivals = tenant.arrival.sample_arrivals(rng)
+            seeds = [int(rng.integers(0, 2**31 - 1)) for _ in arrivals]
+            for j, (arrival_ns, job_seed) in enumerate(zip(arrivals, seeds)):
+                raw.append((arrival_ns, tid, j, job_seed))
+        raw.sort(key=lambda r: (r[0], r[1], r[2]))
+        jobs: list[AdmittedJob] = []
+        for job_id, (arrival_ns, tid, _j, job_seed) in enumerate(raw):
+            tenant = self.tenants[tid]
+            program = build_program(
+                tenant.benchmark, scale=scale, seed=job_seed, machine=machine
+            )
+            jobs.append(
+                AdmittedJob(
+                    job_id=job_id,
+                    tenant_id=tid,
+                    tenant_name=tenant.name,
+                    arrival_ns=arrival_ns,
+                    program=program,
+                    qos_ns=tenant.qos_ns,
+                )
+            )
+        return jobs
+
+
+def _derived_seed(seed: int, tenant_index: int, canonical: str) -> int:
+    """Per-tenant RNG seed: stable across tenant additions/reordering of
+    *other* tenants (same idiom as the fault planner's spec-derived seeds)."""
+    blob = f"{seed}|{tenant_index}|{canonical}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "little")
+
+
+def parse_scenario(spec: str) -> Scenario:
+    """Parse a full scenario spec (tenants joined by ``+``)."""
+    spec = spec.strip()
+    if not spec or spec == "off":
+        raise ValueError("empty scenario spec")
+    tenants = tuple(
+        _parse_tenant(part, index)
+        for index, part in enumerate(spec.split("+"))
+    )
+    return Scenario(tenants=tenants)

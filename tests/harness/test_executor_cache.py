@@ -156,6 +156,7 @@ class TestCacheKey:
                 "machine": machine_fingerprint(None),
                 "trace": False,
                 "faults": "off",
+                "scenario": "off",
             },
             sort_keys=True,
         )

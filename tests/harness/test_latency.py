@@ -1,0 +1,112 @@
+"""Tail-latency study harness (repro.harness.latency) and the
+scenario-aware sweep cache."""
+
+from repro.harness.cache import ResultCache, cell_key
+from repro.harness.executor import CellSpec, SweepExecutor, simulate_cell
+from repro.harness.latency import LATENCY_SMOKE_TENANTS, run_latency
+from repro.sim.serialize import result_to_dict
+
+FAST_ARGS = dict(
+    tenants=LATENCY_SMOKE_TENANTS,
+    policies=("fifo", "cata"),
+    intensities=(1.0, 2.0),
+    scale=0.1,
+    seed=1,
+)
+
+
+class TestLatencyStudy:
+    def test_shape_and_metrics(self):
+        study = run_latency(**FAST_ARGS)
+        assert len(study.rows) == 2 * 2  # policies x intensities
+        for row in study.rows:
+            assert row.jobs == 4
+            assert row.tasks_executed > 0
+            assert (
+                row.latency_p50_ns
+                <= row.latency_p95_ns
+                <= row.latency_p99_ns
+            )
+            assert 0.0 <= row.qos_violation_rate <= 1.0
+        # Scaled scenarios are distinct cells.
+        assert study.row("fifo", 1.0).scenario != study.row("fifo", 2.0).scenario
+
+    def test_deterministic_and_jobs_invariant(self):
+        a = run_latency(**FAST_ARGS)
+        b = run_latency(**FAST_ARGS, jobs=2)
+        assert a.rows == b.rows
+        assert a.to_csv() == b.to_csv()
+
+    def test_render_and_csv(self):
+        study = run_latency(**FAST_ARGS)
+        text = study.render()
+        assert "intensity 1" in text and "intensity 2" in text
+        assert "fifo" in text and "cata" in text
+        csv = study.to_csv()
+        assert csv.count("\n") == len(study.rows)  # header + rows
+
+    def test_warm_cache_serves_all_cells(self, tmp_path):
+        cold = run_latency(**FAST_ARGS, cache_dir=str(tmp_path))
+        assert cold.stats.simulated == len(cold.rows)
+        warm = run_latency(**FAST_ARGS, cache_dir=str(tmp_path))
+        assert warm.stats.simulated == 0
+        assert warm.stats.cache_hits == len(warm.rows)
+        assert warm.rows == cold.rows
+
+
+class TestScenarioInCellKey:
+    def test_scenario_changes_the_cell_key(self):
+        machine_args = dict(
+            workload="blackscholes", policy="fifo", fast=8, seed=1, scale=0.1
+        )
+        base = cell_key(**machine_args)
+        scn = cell_key(
+            **machine_args, scenario="t0:blackscholes@poisson(jobs=2,rate=1)"
+        )
+        other = cell_key(
+            **machine_args, scenario="t0:blackscholes@poisson(jobs=2,rate=2)"
+        )
+        assert len({base, scn, other}) == 3
+
+    def test_closed_and_open_cells_do_not_collide_in_cache(self, tmp_path):
+        """Regression: before the scenario field joined the cell key, an
+        open-loop run could be served a stale closed-loop cached result."""
+        cache = ResultCache(str(tmp_path))
+        executor = SweepExecutor(cache=cache)
+        closed = CellSpec(workload="blackscholes", policy="fifo", fast=8,
+                          seed=1, scale=0.1)
+        open_ = CellSpec(workload="blackscholes", policy="fifo", fast=8,
+                         seed=1, scale=0.1,
+                         scenario="t0:blackscholes@poisson(jobs=2,rate=1)")
+        results, _ = executor.run_cells([closed])
+        results2, stats2 = executor.run_cells([open_])
+        assert stats2.simulated == 1  # not served from the closed-loop entry
+        assert results2[open_].latency_p50_ns is not None
+        assert results[closed].latency_p50_ns is None
+
+    def test_simulate_cell_scenario_branch_matches_direct_run(self):
+        from repro.core.policies import run_scenario_policy
+
+        spec = CellSpec(
+            workload="blackscholes",
+            policy="cata",
+            fast=8,
+            seed=2,
+            scale=0.1,
+            scenario="t0:blackscholes@poisson(jobs=2,rate=1)",
+        )
+        via_cell, _ = simulate_cell(spec, None)
+        direct = run_scenario_policy(
+            spec.scenario,
+            "cata",
+            fast_cores=8,
+            seed=2,
+            scale=0.1,
+            trace_enabled=False,
+        )
+        assert result_to_dict(via_cell) == result_to_dict(direct)
+
+    def test_label_mentions_scenario(self):
+        spec = CellSpec(workload="bs", policy="fifo", fast=8, seed=1,
+                        scale=0.1, scenario="t0:blackscholes@closed(jobs=1)")
+        assert "scenario=" in spec.label()

@@ -190,6 +190,42 @@ class TestRunPerf:
         with pytest.raises(ValueError, match="unknown scenario"):
             runner.run_perf(out_dir=str(tmp_path), only=("nope",))
 
+    def test_history_limit_prunes_to_newest_records(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path)
+        for _ in range(4):
+            runner.run_perf(out_dir=str(tmp_path), smoke=True)
+        history = tmp_path / runner.BENCH_HISTORY
+        assert len(history.read_text().splitlines()) == 4
+        # Fifth run appends, then prunes down to the newest 2 (this run's
+        # record is 'full' mode; the survivors are the tail).
+        report, code = runner.run_perf(
+            out_dir=str(tmp_path), smoke=False, history_limit=2
+        )
+        assert code == 0
+        assert "pruned 3 old record(s)" in report
+        lines = history.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[-1])["mode"] == "full"
+        # No leftover temp file from the atomic rewrite.
+        assert not (tmp_path / (runner.BENCH_HISTORY + ".tmp")).exists()
+
+    def test_history_limit_noop_when_under_limit(self, monkeypatch, tmp_path):
+        runner = self._patch(monkeypatch, tmp_path)
+        report, code = runner.run_perf(
+            out_dir=str(tmp_path), smoke=True, history_limit=10
+        )
+        assert code == 0
+        assert "pruned" not in report
+        history = tmp_path / runner.BENCH_HISTORY
+        assert len(history.read_text().splitlines()) == 1
+
+    def test_history_limit_validation(self, monkeypatch, tmp_path):
+        import pytest
+
+        runner = self._patch(monkeypatch, tmp_path)
+        with pytest.raises(ValueError, match="history_limit"):
+            runner.run_perf(out_dir=str(tmp_path), history_limit=0)
+
     def test_calibration_drift_warns_but_never_fails(self, monkeypatch, tmp_path):
         import repro.perf.runner as runner_mod
 

@@ -1,0 +1,130 @@
+"""Open-loop job admission (repro.runtime.admission)."""
+
+import pytest
+
+from repro.core.policies import run_policy, run_scenario_policy
+from repro.runtime.admission import _nearest_rank
+from repro.sim.serialize import result_to_dict
+from repro.workloads import build_program
+from repro.workloads.scenario import parse_scenario
+
+TWO_TENANTS = (
+    "a:blackscholes@poisson(rate=1,jobs=2)@qos=4ms"
+    "+b:swaptions@poisson(rate=0.8,jobs=2)"
+)
+
+
+def _run(spec=TWO_TENANTS, policy="cata", **kw):
+    kw.setdefault("scale", 0.15)
+    kw.setdefault("seed", 3)
+    return run_scenario_policy(spec, policy, **kw)
+
+
+class TestNearestRank:
+    def test_empty(self):
+        assert _nearest_rank([], 99) == 0.0
+
+    def test_single_value_all_percentiles(self):
+        assert _nearest_rank([5.0], 50) == 5.0
+        assert _nearest_rank([5.0], 99) == 5.0
+
+    def test_textbook_values(self):
+        vals = sorted(float(v) for v in range(1, 101))
+        assert _nearest_rank(vals, 50) == 50.0
+        assert _nearest_rank(vals, 95) == 95.0
+        assert _nearest_rank(vals, 99) == 99.0
+
+
+class TestOpenLoopRun:
+    def test_all_jobs_complete_and_metrics_populated(self):
+        result = _run()
+        summary = result.extra["scenario"]
+        assert summary["jobs"] == 4
+        assert result.tasks_executed > 0
+        assert result.latency_p50_ns is not None
+        assert (
+            result.latency_p50_ns
+            <= result.latency_p95_ns
+            <= result.latency_p99_ns
+        )
+        assert 0.0 <= result.qos_violation_rate <= 1.0
+
+    def test_bitwise_deterministic(self):
+        a = result_to_dict(_run())
+        b = result_to_dict(_run())
+        assert a == b
+
+    def test_task_spans_carry_tenant_ids(self):
+        result = _run()
+        tenants = {s.tenant for s in result.trace.task_spans}
+        assert tenants == {0, 1}
+
+    def test_per_tenant_summary(self):
+        result = _run()
+        tenants = result.extra["scenario"]["tenants"]
+        assert sorted(tenants) == ["a", "b"]
+        a = tenants["a"]
+        assert a["jobs"] == 2
+        assert a["tasks"] > 0
+        assert a["latency_p50_ns"] <= a["latency_p99_ns"]
+        # Only tenant "a" declared a QoS bound.
+        assert "qos_ns" in a and "qos_violations" in a
+        assert "qos_ns" not in tenants["b"]
+
+    def test_accel_grants_attributed_per_tenant(self):
+        result = _run(policy="cata")
+        tenants = result.extra["scenario"]["tenants"]
+        grants = {
+            name: t.get("accel_grants", 0) for name, t in tenants.items()
+        }
+        assert sum(grants.values()) > 0
+
+    def test_late_arrivals_extend_makespan(self):
+        fast = _run("a:blackscholes@poisson(rate=10,jobs=2)")
+        slow = _run("a:blackscholes@poisson(rate=0.05,jobs=2)")
+        assert slow.exec_time_ns > fast.exec_time_ns
+        # Last job of the sparse stream arrives after the first finishes;
+        # its arrival gates the makespan.
+        assert slow.exec_time_ns >= 1e6 / 0.05
+
+    def test_tight_qos_is_violated_loose_is_not(self):
+        tight = _run("a:blackscholes@poisson(rate=2,jobs=2)@qos=1us")
+        loose = _run("a:blackscholes@poisson(rate=2,jobs=2)@qos=10s")
+        assert tight.qos_violation_rate == 1.0
+        assert loose.qos_violation_rate == 0.0
+
+    def test_policies_differ_but_each_is_reproducible(self):
+        fifo = result_to_dict(_run(policy="fifo"))
+        cata = result_to_dict(_run(policy="cata"))
+        assert fifo != cata
+        assert result_to_dict(_run(policy="fifo")) == fifo
+
+
+class TestClosedLoopUnchanged:
+    def test_legacy_run_leaves_latency_fields_none(self):
+        result = run_policy(
+            build_program("blackscholes", scale=0.15, seed=3),
+            "cata",
+            fast_cores=8,
+            seed=3,
+        )
+        assert result.latency_p50_ns is None
+        assert result.latency_p95_ns is None
+        assert result.latency_p99_ns is None
+        assert result.qos_violation_rate is None
+        assert "scenario" not in result.extra
+        assert all(s.tenant is None for s in result.trace.task_spans)
+
+    def test_closed_arrival_kind_matches_batch_job_shape(self):
+        # A closed-loop scenario admits every job at t=0.
+        scn = parse_scenario("a:blackscholes@closed(jobs=2)")
+        jobs = scn.build_jobs(scale=0.1, seed=1)
+        assert [j.arrival_ns for j in jobs] == [0.0, 0.0]
+        result = _run("a:blackscholes@closed(jobs=2)")
+        assert result.extra["scenario"]["jobs"] == 2
+
+
+class TestValidation:
+    def test_bad_scenario_string_raises(self):
+        with pytest.raises(ValueError):
+            run_scenario_policy("nosuchbench@poisson(rate=1)", "fifo")

@@ -1,0 +1,87 @@
+"""Scenario field on the service wire protocol (repro.service.protocol)."""
+
+import pytest
+
+from repro.harness.executor import CellSpec
+from repro.service.protocol import (
+    ProtocolError,
+    expand_submit,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+SCENARIO = "t0:blackscholes@poisson(jobs=2,rate=1)"
+
+
+class TestSpecRoundTrip:
+    def test_scenario_round_trips(self):
+        spec = CellSpec(workload="blackscholes", policy="fifo", fast=8,
+                        seed=1, scale=0.5, scenario=SCENARIO)
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_missing_scenario_defaults_off(self):
+        # Wire dicts from pre-scenario clients carry no "scenario" key.
+        spec = CellSpec(workload="blackscholes", policy="fifo", fast=8,
+                        seed=1, scale=0.5)
+        data = spec_to_dict(spec)
+        del data["scenario"]
+        assert spec_from_dict(data).scenario == "off"
+
+    def test_scenario_workload_is_display_label(self):
+        # With a scenario the workload need not name a benchmark.
+        data = spec_to_dict(
+            CellSpec(workload="web+batch", policy="cata", fast=8, seed=1,
+                     scale=0.5, scenario=SCENARIO)
+        )
+        assert spec_from_dict(data).workload == "web+batch"
+
+
+class TestValidation:
+    def _data(self, scenario):
+        return {"workload": "blackscholes", "policy": "fifo", "fast": 8,
+                "seed": 1, "scale": 0.5, "scenario": scenario}
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(ProtocolError, match="bad scenario"):
+            spec_from_dict(self._data("nosuchbench@poisson(rate=1)"))
+
+    def test_non_canonical_scenario_rejected(self):
+        # Same cells must hash to the same cache key, so the wire form
+        # must already be canonical (params sorted, names expanded).
+        with pytest.raises(ProtocolError, match="not canonical"):
+            spec_from_dict(self._data("blackscholes@poisson(rate=1,jobs=2)"))
+
+    def test_unknown_workload_still_rejected_without_scenario(self):
+        with pytest.raises(ProtocolError, match="unknown workload"):
+            spec_from_dict(
+                {"workload": "web+batch", "policy": "fifo", "fast": 8,
+                 "seed": 1, "scale": 0.5}
+            )
+
+
+class TestExpandSubmit:
+    def test_cells_path_carries_scenario(self):
+        body = {
+            "client": "t",
+            "cells": [{
+                "workload": "blackscholes", "policy": "fifo", "fast": 8,
+                "seed": 1, "scale": 0.5, "scenario": SCENARIO,
+            }],
+        }
+        _, cells = expand_submit(body)
+        assert cells[0].scenario == SCENARIO
+
+    def test_grid_path_defaults_scenario_off(self):
+        body = {"workloads": ["blackscholes"], "policies": ["fifo"]}
+        _, cells = expand_submit(body)
+        assert all(c.scenario == "off" for c in cells)
+
+    def test_grid_path_applies_one_scenario_to_every_cell(self):
+        body = {
+            "workloads": ["web+batch"],
+            "policies": ["fifo", "cata"],
+            "scenario": SCENARIO,
+        }
+        _, cells = expand_submit(body)
+        assert len(cells) == 2
+        assert all(c.scenario == SCENARIO for c in cells)

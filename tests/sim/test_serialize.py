@@ -1,17 +1,24 @@
-"""Tests for machine-configuration serialization."""
+"""Tests for machine-configuration and run-result serialization."""
 
 import json
 from dataclasses import replace
 
 import pytest
 
+from repro.core.policies import run_policy, run_scenario_policy
 from repro.sim.config import default_machine
 from repro.sim.serialize import (
     dump_machine,
     load_machine,
     machine_from_dict,
     machine_to_dict,
+    result_from_dict,
+    result_to_dict,
+    trace_from_dict,
+    trace_to_dict,
 )
+from repro.sim.trace import TaskSpan, Trace
+from repro.workloads import build_program
 
 
 def test_round_trip_default_machine():
@@ -47,3 +54,91 @@ def test_invalid_payload_rejected_by_validation():
     data["core_count"] = 0
     with pytest.raises(ValueError):
         machine_from_dict(data)
+
+
+def _span(tenant=None):
+    return TaskSpan(
+        task_id=0,
+        task_type="work",
+        core_id=1,
+        start_ns=10.0,
+        end_ns=20.0,
+        critical=False,
+        accelerated_at_start=False,
+        tenant=tenant,
+    )
+
+
+class TestTaskSpanTenantField:
+    def test_none_tenant_omitted_from_serialized_form(self):
+        trace = Trace(enabled=True)
+        trace.task_spans.append(_span())
+        rec = trace_to_dict(trace)["task_spans"][0]
+        assert "tenant" not in rec
+
+    def test_tenant_round_trips(self):
+        trace = Trace(enabled=True)
+        trace.task_spans.append(_span(tenant=3))
+        data = trace_to_dict(trace)
+        assert data["task_spans"][0]["tenant"] == 3
+        again = trace_from_dict(data)
+        assert again.task_spans[0].tenant == 3
+
+    def test_legacy_trace_dict_still_loads(self):
+        trace = Trace(enabled=True)
+        trace.task_spans.append(_span())
+        data = trace_to_dict(trace)
+        # A pre-scenario cache entry has no "tenant" key at all.
+        assert "tenant" not in data["task_spans"][0]
+        again = trace_from_dict(data)
+        assert again.task_spans[0].tenant is None
+
+
+class TestRunResultLatencyFields:
+    def _closed(self):
+        return run_policy(
+            build_program("blackscholes", scale=0.1, seed=1),
+            "fifo",
+            fast_cores=8,
+            seed=1,
+        )
+
+    def _open(self):
+        return run_scenario_policy(
+            "a:blackscholes@poisson(rate=1,jobs=2)@qos=4ms",
+            "fifo",
+            scale=0.1,
+            seed=1,
+        )
+
+    def test_closed_loop_serialization_has_no_new_keys(self):
+        data = result_to_dict(self._closed())
+        for key in (
+            "latency_p50_ns",
+            "latency_p95_ns",
+            "latency_p99_ns",
+            "qos_violation_rate",
+        ):
+            assert key not in data
+
+    def test_open_loop_round_trip(self):
+        result = self._open()
+        data = result_to_dict(result)
+        assert data["latency_p50_ns"] == result.latency_p50_ns
+        json.dumps(data)  # JSON-safe, including extra["scenario"]
+        again = result_from_dict(data)
+        assert again.latency_p99_ns == result.latency_p99_ns
+        assert again.qos_violation_rate == result.qos_violation_rate
+        assert result_to_dict(again) == data
+
+    def test_legacy_result_dict_loads_with_none_defaults(self):
+        data = result_to_dict(self._closed())
+        again = result_from_dict(data)
+        assert again.latency_p50_ns is None
+        assert again.qos_violation_rate is None
+
+    def test_unknown_field_rejected(self):
+        data = result_to_dict(self._closed())
+        data["latency_p42_ns"] = 1.0
+        with pytest.raises(TypeError):
+            result_from_dict(data)

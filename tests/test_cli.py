@@ -19,6 +19,66 @@ def test_list(capsys):
     assert "blackscholes" in out and "cata_rsu" in out and "ondemand" in out
 
 
+def test_list_json(capsys):
+    code, out = run_cli(capsys, "list", "--json")
+    assert code == 0
+    doc = json.loads(out)
+    assert "blackscholes" in doc["benchmarks"]
+    assert "cata" in doc["policies"]["paper"]
+    assert "ondemand" in doc["policies"]["extensions"]
+    assert set(doc["arrival_kinds"]) == {"closed", "poisson", "mmpp"}
+    assert doc["arrival_kinds"]["poisson"]["params"]["rate"] is None  # required
+    assert any(e["id"] == "latency" for e in doc["experiments"])
+
+
+def test_list_text_mentions_arrival_kinds(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    assert "poisson" in out and "mmpp" in out
+
+
+def test_run_arrivals(capsys):
+    code, out = run_cli(
+        capsys, "run", "blackscholes", "--scale", "0.1",
+        "--arrivals", "poisson(rate=1,jobs=2)",
+    )
+    assert code == 0
+    assert "jobs admitted:    2" in out
+    assert "latency p50/p95/p99" in out
+
+
+def test_run_tenants_with_qos(capsys):
+    code, out = run_cli(
+        capsys, "run", "blackscholes", "--scale", "0.1",
+        "--tenants", "web:swaptions@poisson(rate=1,jobs=2)@qos=1us",
+    )
+    assert code == 0
+    assert "tenant web" in out
+    assert "QoS violations:   100.00%" in out
+
+
+def test_run_arrivals_and_tenants_conflict():
+    with pytest.raises(SystemExit):
+        main([
+            "run", "blackscholes",
+            "--arrivals", "poisson(rate=1)",
+            "--tenants", "a:swaptions@poisson(rate=1)",
+        ])
+
+
+def test_latency_smoke_with_csv(capsys, tmp_path):
+    csv_path = tmp_path / "lat.csv"
+    code, out = run_cli(
+        capsys, "latency", "--smoke", "--scale", "0.1",
+        "--csv", str(csv_path),
+    )
+    assert code == 0
+    assert "Tail latency under open-loop arrivals" in out
+    assert "simulated: 2" in out  # 2 policies x 1 intensity in smoke mode
+    header = csv_path.read_text().splitlines()[0]
+    assert header.startswith("policy,intensity,p50_ms")
+
+
 def test_table1(capsys):
     code, out = run_cli(capsys, "table1")
     assert code == 0

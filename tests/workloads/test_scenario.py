@@ -1,0 +1,178 @@
+"""Scenario grammar, canonicalization and arrival sampling
+(repro.workloads.scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.scenario import (
+    ARRIVAL_KINDS,
+    ArrivalSpec,
+    Scenario,
+    TenantSpec,
+    parse_arrival,
+    parse_scenario,
+)
+
+
+class TestArrivalSpec:
+    def test_closed_default(self):
+        spec = ArrivalSpec()
+        assert spec.kind == "closed"
+        assert spec.canonical() == "closed(jobs=1)"
+        rng = np.random.default_rng(0)
+        assert spec.sample_arrivals(rng) == [0.0]
+
+    def test_poisson_requires_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            ArrivalSpec(kind="poisson", jobs=3)
+        with pytest.raises(ValueError, match="rate"):
+            ArrivalSpec(kind="poisson", jobs=3, rate=0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival kind"):
+            ArrivalSpec(kind="uniform")
+
+    def test_poisson_arrivals_sorted_positive(self):
+        spec = ArrivalSpec(kind="poisson", jobs=8, rate=0.5)
+        out = spec.sample_arrivals(np.random.default_rng(7))
+        assert len(out) == 8
+        assert all(t > 0 for t in out)
+        assert out == sorted(out)
+
+    def test_mmpp_arrivals_sorted_and_deterministic(self):
+        spec = ArrivalSpec(kind="mmpp", jobs=16, rate=0.3, burst=8.0, dwell=2.0)
+        a = spec.sample_arrivals(np.random.default_rng(11))
+        b = spec.sample_arrivals(np.random.default_rng(11))
+        assert a == b
+        assert a == sorted(a)
+        assert len(a) == 16
+
+    def test_scaled_multiplies_open_loop_rate_only(self):
+        poisson = ArrivalSpec(kind="poisson", jobs=4, rate=0.25)
+        assert poisson.scaled(2.0).rate == 0.5
+        assert poisson.scaled(1.0) is poisson
+        closed = ArrivalSpec()
+        assert closed.scaled(4.0) is closed
+        with pytest.raises(ValueError, match="intensity"):
+            poisson.scaled(0.0)
+
+    def test_registry_covers_all_kinds(self):
+        assert set(ARRIVAL_KINDS) == {"closed", "poisson", "mmpp"}
+        for meta in ARRIVAL_KINDS.values():
+            assert "params" in meta and "description" in meta
+
+
+class TestParsing:
+    def test_parse_arrival_roundtrip(self):
+        spec = parse_arrival("poisson(rate=0.25,jobs=4)")
+        assert spec == ArrivalSpec(kind="poisson", jobs=4, rate=0.25)
+        assert parse_arrival(spec.canonical()) == spec
+
+    def test_parse_arrival_rejects_unknown_param(self):
+        with pytest.raises(ValueError, match="bad arrival parameter"):
+            parse_arrival("poisson(rate=1,burst=2)")
+
+    def test_tenant_default_names_are_positional(self):
+        scn = parse_scenario("blackscholes+swaptions")
+        assert [t.name for t in scn.tenants] == ["t0", "t1"]
+
+    def test_qos_units(self):
+        scn = parse_scenario("web:ferret@poisson(rate=0.2)@qos=30ms")
+        assert scn.tenants[0].qos_ns == 30e6
+        assert parse_scenario("a:ferret@qos=500us").tenants[0].qos_ns == 5e5
+        with pytest.raises(ValueError, match="bad time"):
+            parse_scenario("a:ferret@qos=30")
+
+    def test_canonical_is_parse_idempotent(self):
+        spec = (
+            "t0:blackscholes@poisson(jobs=3,rate=0.5)@qos=20000000ns"
+            "+t1:swaptions@mmpp(burst=8,dwell=2,jobs=2,rate=0.4)"
+        )
+        scn = parse_scenario(spec)
+        assert scn.canonical() == spec
+        assert parse_scenario(scn.canonical()).canonical() == spec
+
+    def test_canonical_preserves_float_precision(self):
+        scn = parse_scenario("blackscholes@poisson(rate=0.1)")
+        reparsed = parse_scenario(scn.canonical())
+        assert reparsed.tenants[0].arrival.rate == 0.1
+
+    def test_rejects_empty_off_and_duplicates(self):
+        with pytest.raises(ValueError):
+            parse_scenario("")
+        with pytest.raises(ValueError):
+            parse_scenario("off")
+        with pytest.raises(ValueError, match="duplicate tenant names"):
+            parse_scenario("a:ferret+a:swaptions")
+        with pytest.raises(ValueError, match="duplicate arrival"):
+            parse_scenario("ferret@poisson(rate=1)@poisson(rate=2)")
+        with pytest.raises(ValueError, match="duplicate qos"):
+            parse_scenario("ferret@qos=1ms@qos=2ms")
+
+    def test_rejects_unknown_benchmark_and_bad_name(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            parse_scenario("nosuchbench@poisson(rate=1)")
+        with pytest.raises(ValueError, match="bad tenant name"):
+            TenantSpec(name="a+b", benchmark="ferret")
+
+
+class TestBuildJobs:
+    def test_jobs_ordered_by_arrival_and_ids_positional(self):
+        scn = parse_scenario(
+            "a:blackscholes@poisson(rate=0.5,jobs=3)"
+            "+b:swaptions@poisson(rate=0.5,jobs=3)"
+        )
+        jobs = scn.build_jobs(scale=0.1, seed=2)
+        assert [j.job_id for j in jobs] == list(range(6))
+        arrivals = [j.arrival_ns for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert {j.tenant_id for j in jobs} == {0, 1}
+
+    def test_build_jobs_bitwise_deterministic(self):
+        spec = "a:blackscholes@mmpp(rate=0.4,jobs=4)+b:ferret@poisson(rate=0.3,jobs=2)"
+        a = parse_scenario(spec).build_jobs(scale=0.1, seed=5)
+        b = parse_scenario(spec).build_jobs(scale=0.1, seed=5)
+        assert [(j.arrival_ns, j.tenant_id, j.program.name) for j in a] == [
+            (j.arrival_ns, j.tenant_id, j.program.name) for j in b
+        ]
+        assert [len(j.program.specs) for j in a] == [len(j.program.specs) for j in b]
+
+    def test_adding_tenant_does_not_perturb_existing_arrivals(self):
+        solo = parse_scenario("a:blackscholes@poisson(rate=0.5,jobs=3)")
+        pair = parse_scenario(
+            "a:blackscholes@poisson(rate=0.5,jobs=3)"
+            "+b:swaptions@poisson(rate=0.5,jobs=3)"
+        )
+        solo_arrivals = [j.arrival_ns for j in solo.build_jobs(scale=0.1, seed=9)]
+        pair_arrivals = [
+            j.arrival_ns for j in pair.build_jobs(scale=0.1, seed=9)
+            if j.tenant_id == 0
+        ]
+        assert solo_arrivals == pair_arrivals
+
+    def test_scaled_rates_shrinks_gaps(self):
+        base = parse_scenario("a:blackscholes@poisson(rate=0.5,jobs=8)")
+        hot = base.scaled_rates(4.0)
+        assert hot.tenants[0].arrival.rate == 2.0
+        # With the same generator state, numpy's exponential(scale) is a
+        # scaled standard draw, so 4x the rate is exactly 4x tighter.
+        base_times = base.tenants[0].arrival.sample_arrivals(
+            np.random.default_rng(3)
+        )
+        hot_times = hot.tenants[0].arrival.sample_arrivals(
+            np.random.default_rng(3)
+        )
+        assert hot_times == pytest.approx([t / 4.0 for t in base_times])
+
+    def test_scale_changes_programs_not_arrivals(self):
+        scn = parse_scenario("a:swaptions@poisson(rate=0.5,jobs=4)")
+        small = scn.build_jobs(scale=0.05, seed=1)
+        big = scn.build_jobs(scale=0.2, seed=1)
+        assert [j.arrival_ns for j in small] == [j.arrival_ns for j in big]
+        assert sum(len(j.program.specs) for j in big) > sum(
+            len(j.program.specs) for j in small
+        )
+
+    def test_scenario_requires_tenants(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            Scenario(tenants=())
