@@ -27,6 +27,8 @@ writing code:
 ``submit``     submit a sweep grid to a running daemon
 ``status``     progress of a submitted job (``--wait`` long-polls)
 ``fetch``      results of a finished job, with SHA-256 fingerprints
+``drain``      gracefully drain a running daemon (stop admissions, finish
+               in-flight work, checkpoint, exit)
 =============  =============================================================
 
 ``run --sanitize`` attaches the sim-sanitizer (runtime invariant checks,
@@ -256,6 +258,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-client concurrency share (repeatable)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="per-cell executor logging")
+    p_serve.add_argument("--max-queue", type=positive_int, default=512,
+                         metavar="N",
+                         help="soft queue-depth bound: past it, "
+                         "low-criticality submissions are shed (429)")
+    p_serve.add_argument("--hard-queue", type=positive_int, default=2048,
+                         metavar="N",
+                         help="hard queue-depth ceiling: past it, every "
+                         "submission is shed regardless of criticality")
+    p_serve.add_argument("--max-inflight", type=positive_int, default=4096,
+                         metavar="N",
+                         help="per-client cap on unresolved cells")
+    p_serve.add_argument("--shed-seed", type=int, default=0, metavar="SEED",
+                         help="seed of the deterministic shed decision")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         metavar="SEC",
+                         help="graceful-drain deadline for SIGTERM / "
+                         "POST /v1/admin/drain")
+    p_serve.add_argument("--hang-timeout", type=float, default=None,
+                         metavar="SEC",
+                         help="watchdog: abandon + rebuild a busy worker "
+                         "whose heartbeat is staler than SEC (default: "
+                         "disabled)")
     add_resilience_flags(p_serve)
 
     p_submit = sub.add_parser(
@@ -273,6 +297,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="daemon base URL")
     p_submit.add_argument("--client", default=DEFAULT_CLIENT,
                           help="client name for fairness accounting")
+    p_submit.add_argument("--criticality", choices=["low", "high"],
+                          default=None,
+                          help="admission criticality under overload "
+                          "(default: derived — qos-bounded scenario cells "
+                          "are high, everything else low)")
+    p_submit.add_argument("--submit-retries", type=positive_int, default=5,
+                          metavar="N",
+                          help="client attempts per request (backoff is "
+                          "jittered-exponential, honoring Retry-After)")
     p_submit.add_argument("--wait", action="store_true",
                           help="block until the job settles, then print the "
                           "results table")
@@ -294,6 +327,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fetch.add_argument("--url", default=DEFAULT_URL)
     p_fetch.add_argument("--json", metavar="FILE", default=None,
                          help="also dump the full response as JSON")
+
+    p_drain = sub.add_parser(
+        "drain", help="gracefully drain a running daemon (stop admissions, "
+        "finish in-flight work, exit)"
+    )
+    p_drain.add_argument("--url", default=DEFAULT_URL)
 
     p_rsu = sub.add_parser("rsu", help="RSU area/power overhead")
     p_rsu.add_argument("--cores", nargs="+", type=int, default=[32, 64, 128, 256, 1024])
@@ -546,6 +585,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.overload import OverloadPolicy
     from .service.server import serve
 
     shares: dict[str, int] = {}
@@ -556,6 +596,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"--share expects CLIENT=N with N >= 1, got {item!r}"
             )
         shares[name] = int(value)
+    try:
+        overload = OverloadPolicy(
+            max_queue_depth=args.max_queue,
+            hard_queue_depth=args.hard_queue,
+            max_inflight_per_client=args.max_inflight,
+            shed_seed=args.shed_seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad overload policy: {exc}") from exc
     return serve(
         args.state_dir,
         host=args.host,
@@ -564,6 +613,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retry=_retry_from_args(args),
         shares=shares or None,
         default_share=args.default_share,
+        overload=overload,
+        drain_grace_s=args.drain_grace,
+        worker_hang_timeout_s=args.hang_timeout,
         verbose=args.verbose,
     )
 
@@ -618,9 +670,12 @@ def _render_fetch(payload: dict) -> str:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service.client import ServiceClient
+    from .service.client import ClientRetryPolicy, ServiceClient
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(
+        args.url,
+        retry=ClientRetryPolicy(max_attempts=args.submit_retries),
+    )
     receipt = client.submit(
         workloads=list(args.benchmarks),
         policies=list(args.policies),
@@ -629,6 +684,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         scale=args.scale,
         faults=args.faults,
         client=args.client,
+        criticality=args.criticality,
     )
     print(
         f"job {receipt['job']} accepted: {receipt['cells']} cells "
@@ -673,6 +729,19 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(payload, fh, sort_keys=True)
         print(f"wrote full response to {args.json}")
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    summary = client.drain()
+    print(
+        f"daemon draining: {summary.get('running', 0)} cells running, "
+        f"{summary.get('queued', 0)} queued (queued work resumes on the "
+        "next start)"
+    )
     return 0
 
 
@@ -785,13 +854,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote {len(study.rows)} rows to {args.csv}")
     elif args.command == "serve":
         return _cmd_serve(args)
-    elif args.command in ("submit", "status", "fetch"):
+    elif args.command in ("submit", "status", "fetch", "drain"):
         from .service.client import ServiceError
 
         handler = {
             "submit": _cmd_submit,
             "status": _cmd_status,
             "fetch": _cmd_fetch,
+            "drain": _cmd_drain,
         }[args.command]
         try:
             return handler(args)

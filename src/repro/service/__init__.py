@@ -1,4 +1,4 @@
-"""Persistent sweep service: daemon, client, protocol, fairness.
+"""Persistent sweep service: daemon, client, protocol, fairness, overload.
 
 ROADMAP item 1 made concrete: the content-addressed, resumable sweep
 harness (:mod:`repro.harness`) promoted into long-running infrastructure.
@@ -10,20 +10,48 @@ shares; ``repro submit`` / ``repro status`` / ``repro fetch`` are the
 client tier.  The worker tier is an unmodified
 :class:`~repro.harness.executor.SweepExecutor`, so served results are
 bitwise-identical to the single-process CLI path and the daemon survives
-SIGKILL with journal-backed resume.  See ``docs/service.md``.
+SIGKILL with journal-backed resume.
+
+The overload-control layer (:mod:`repro.service.overload`) sits at the
+door: bounded queue depth and per-client in-flight caps, with
+criticality-aware shedding — qos-bounded (or explicitly high-criticality)
+submissions keep being admitted under pressure while best-effort ones get
+``429 + Retry-After`` from a deterministic seeded shed decision.  The
+client tier answers with jittered exponential backoff, idempotent
+re-submits, and a circuit breaker; :mod:`repro.service.chaos` is the
+fault-injecting proxy that proves the loop converges.  See
+``docs/service.md``.
 """
 
+from .chaos import FAULT_KINDS, ChaosDecision, ChaosPlan, ChaosProxy
 from .client import (
     DEFAULT_URL,
+    CircuitBreaker,
+    CircuitOpenError,
+    ClientRetryPolicy,
     ServiceClient,
     ServiceError,
+    ServiceOverloadedError,
+    ServiceProtocolError,
     ServiceUnavailableError,
 )
 from .fairness import DEFAULT_SHARE, FairScheduler
+from .overload import (
+    CRITICALITIES,
+    CRITICALITY_HIGH,
+    CRITICALITY_LOW,
+    AdmissionController,
+    AdmissionDecision,
+    DrainingError,
+    OverloadedError,
+    OverloadPolicy,
+    criticality_of,
+)
 from .protocol import (
     DEFAULT_CLIENT,
     DEFAULT_HOST,
     DEFAULT_PORT,
+    MAX_BODY_BYTES,
     MAX_CELLS_PER_SUBMIT,
     PROTOCOL_VERSION,
     ProtocolError,
@@ -32,23 +60,43 @@ from .protocol import (
     spec_from_dict,
     spec_to_dict,
 )
-from .server import ServiceServer, SweepService, serve
+from .server import ServiceServer, ServiceShutdownError, SweepService, serve
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "CRITICALITIES",
+    "CRITICALITY_HIGH",
+    "CRITICALITY_LOW",
+    "ChaosDecision",
+    "ChaosPlan",
+    "ChaosProxy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "ClientRetryPolicy",
     "DEFAULT_CLIENT",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "DEFAULT_SHARE",
     "DEFAULT_URL",
+    "DrainingError",
+    "FAULT_KINDS",
+    "FairScheduler",
+    "MAX_BODY_BYTES",
     "MAX_CELLS_PER_SUBMIT",
+    "OverloadPolicy",
+    "OverloadedError",
     "PROTOCOL_VERSION",
     "ProtocolError",
-    "FairScheduler",
     "ServiceClient",
     "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceProtocolError",
     "ServiceServer",
+    "ServiceShutdownError",
     "ServiceUnavailableError",
     "SweepService",
+    "criticality_of",
     "expand_submit",
     "result_fingerprint",
     "serve",

@@ -1,0 +1,305 @@
+"""Deterministic fault-injecting TCP proxy for the sweep service.
+
+The HTTP chaos harness (``scripts/service_chaos_smoke.py``) puts this
+proxy between a :class:`~repro.service.client.ServiceClient` and a real
+daemon and walks a fault ladder: connection resets, truncated responses,
+injected 5xx, latency spikes.  The client's retry/backoff/circuit-breaker
+machinery must converge to byte-identical results through every rung.
+
+Determinism is the whole point: each accepted connection gets a
+monotonically increasing index, and its fate is drawn from
+``sha256(seed | index)`` — no global RNG, no wall-clock coupling — so a
+given :class:`ChaosPlan` replays the exact same fault schedule every run.
+
+Transport model matches the daemon's (HTTP/1.1, one request per
+connection, ``Connection: close``), which keeps the proxy a dumb byte
+pump: client bytes stream upstream until the client half-closes or the
+response completes; upstream bytes stream back subject to the injected
+fault.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["FAULT_KINDS", "ChaosPlan", "ChaosDecision", "ChaosProxy"]
+
+#: Injectable fault kinds, severity order (see :meth:`ChaosPlan.decide`).
+FAULT_KINDS = ("reset", "error500", "truncate", "delay", "none")
+
+_CHUNK = 65536
+_SYNTH_500 = (
+    b"HTTP/1.1 500 Internal Server Error\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: 29\r\n"
+    b"Connection: close\r\n\r\n"
+    b'{"error": "chaos: injected"}\n'
+)
+
+
+@dataclass(frozen=True)
+class ChaosDecision:
+    """Fate of one proxied connection."""
+
+    kind: str
+    #: Response bytes forwarded before the cut (``truncate`` only).
+    truncate_at: int = 0
+    #: Seconds to stall before forwarding the response (``delay`` only).
+    delay_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Seeded fault mix; rates are per-connection probabilities.
+
+    Rates are evaluated cumulatively in :data:`FAULT_KINDS` order against
+    one uniform draw, so ``reset_rate + error_rate + truncate_rate +
+    delay_rate <= 1`` must hold; the remainder passes clean.
+    """
+
+    seed: int = 0
+    reset_rate: float = 0.0
+    error_rate: float = 0.0
+    truncate_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: Latency-spike length for ``delay`` connections.
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        total = (
+            self.reset_rate + self.error_rate
+            + self.truncate_rate + self.delay_rate
+        )
+        for name in ("reset_rate", "error_rate", "truncate_rate", "delay_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if total > 1.0 + 1e-9:
+            raise ValueError(f"fault rates sum to {total:.3f} > 1")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+    def decide(self, conn_index: int) -> ChaosDecision:
+        """Deterministic fate of connection number ``conn_index``."""
+        digest = hashlib.sha256(
+            f"{self.seed}|{conn_index}".encode("utf-8")
+        ).digest()
+        rng = random.Random(int.from_bytes(digest[:8], "big"))
+        draw = rng.random()
+        edge = self.reset_rate
+        if draw < edge:
+            return ChaosDecision("reset")
+        edge += self.error_rate
+        if draw < edge:
+            return ChaosDecision("error500")
+        edge += self.truncate_rate
+        if draw < edge:
+            # Cut somewhere inside a plausible response: after the status
+            # line at the earliest, mid-body at the latest.
+            return ChaosDecision("truncate", truncate_at=rng.randint(12, 200))
+        edge += self.delay_rate
+        if draw < edge:
+            return ChaosDecision("delay", delay_s=self.delay_s)
+        return ChaosDecision("none")
+
+
+class ChaosProxy:
+    """Threaded TCP proxy injecting a seeded :class:`ChaosPlan`.
+
+    @guarded_by("_lock"): _conn_seq, counts
+
+    Start with :meth:`start` (binds an ephemeral port by default), point a
+    client at ``http://host:port``, stop with :meth:`stop`.  Usable as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: ChaosPlan,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.plan = plan
+        self.host = host
+        self.port = port
+        #: Injected-fault counters, by kind (``none`` = passed clean).
+        self.counts: dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self._conn_seq = 0
+        self._lock = threading.Lock()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> tuple[str, int]:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(32)
+        listener.settimeout(0.2)
+        self.host, self.port = listener.getsockname()[:2]
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.host, self.port
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+
+    def __enter__(self) -> "ChaosProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.counts)
+
+    # ------------------------------------------------------------- plumbing
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                index = self._conn_seq
+                self._conn_seq += 1
+            decision = self.plan.decide(index)
+            with self._lock:
+                self.counts[decision.kind] += 1
+            threading.Thread(
+                target=self._handle,
+                args=(conn, decision),
+                name=f"chaos-proxy-conn-{index}",
+                daemon=True,
+            ).start()
+
+    def _handle(self, conn: socket.socket, decision: ChaosDecision) -> None:
+        try:
+            conn.settimeout(30.0)
+            if decision.kind == "reset":
+                # RST, not FIN: SO_LINGER(0) makes close() abortive, so
+                # the client sees ECONNRESET — a genuine connection-level
+                # failure, which is what the breaker counts.
+                self._drain_request_head(conn)
+                conn.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                return
+            if decision.kind == "error500":
+                self._drain_request_head(conn)
+                conn.sendall(_SYNTH_500)
+                return
+            self._pump(conn, decision)
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _drain_request_head(conn: socket.socket) -> None:
+        """Read until the request is plausibly complete (headers + body).
+
+        Injected-fate connections never reach upstream; reading the
+        request first keeps the failure response-shaped (the client sent
+        everything, then the service "failed") rather than a send error.
+        """
+        data = b""
+        while b"\r\n\r\n" not in data and len(data) < 65536:
+            chunk = conn.recv(_CHUNK)
+            if not chunk:
+                return
+            data += chunk
+        head, _, body = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n"):
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    length = 0
+        while len(body) < length:
+            chunk = conn.recv(_CHUNK)
+            if not chunk:
+                return
+            body += chunk
+
+    def _pump(self, conn: socket.socket, decision: ChaosDecision) -> None:
+        """Forward one request/response exchange through the fault."""
+        upstream = socket.create_connection(self.upstream, timeout=30.0)
+        try:
+            upstream.settimeout(30.0)
+            # Client -> upstream: the daemon answers only after the full
+            # request, so pump until the response starts flowing.  A
+            # half-close from the client ends the request side.
+            forwarder = threading.Thread(
+                target=self._forward_request,
+                args=(conn, upstream),
+                daemon=True,
+            )
+            forwarder.start()
+            if decision.kind == "delay":
+                self._stop.wait(decision.delay_s)
+            sent = 0
+            limit = (
+                decision.truncate_at
+                if decision.kind == "truncate"
+                else None
+            )
+            while True:
+                chunk = upstream.recv(_CHUNK)
+                if not chunk:
+                    break
+                if limit is not None and sent + len(chunk) >= limit:
+                    conn.sendall(chunk[: limit - sent])
+                    return
+                conn.sendall(chunk)
+                sent += len(chunk)
+            forwarder.join(timeout=1.0)
+        finally:
+            try:
+                upstream.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _forward_request(conn: socket.socket, upstream: socket.socket) -> None:
+        try:
+            while True:
+                chunk = conn.recv(_CHUNK)
+                if not chunk:
+                    break
+                upstream.sendall(chunk)
+            upstream.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass

@@ -57,6 +57,12 @@ class FairScheduler:
     def pending(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    def pending_for(self, client: str) -> int:
+        """Queued (not yet dealt) items of one client — the admission
+        controller's per-client in-flight signal."""
+        queue = self._queues.get(client)
+        return len(queue) if queue is not None else 0
+
     def __len__(self) -> int:
         return self.pending()
 

@@ -1,0 +1,297 @@
+"""Criticality-aware overload control for the sweep service.
+
+The paper's core discipline — spend scarce acceleration budget on
+critical work first — applied to the reproduction's own serving stack:
+under pressure the daemon sheds *low-criticality* submissions first and
+keeps admitting *high-criticality* ones until a hard ceiling, instead of
+queueing unbounded work and falling over for everyone at once.
+
+Three mechanisms, all deterministic and seedable so tests can pin exact
+decisions:
+
+* **criticality derivation** (:func:`criticality_of`) — a submission may
+  carry an explicit ``"criticality": "low"|"high"`` field (the
+  ``repro submit --criticality`` flag); otherwise it is derived from the
+  workload itself: any scenario cell with a ``qos=``-bounded tenant is
+  latency-critical, everything else is batch (low).  Criticality never
+  joins the cell key — it shapes *admission*, not *results*.
+* **admission** (:class:`AdmissionController`) — bounded queue depth and
+  per-client in-flight caps.  Between the soft limit and the hard
+  ceiling, low-criticality submissions are shed with a probability that
+  ramps linearly with queue depth; the draw comes from a seeded
+  SHA-256 stream (``sha256(seed | decision#)``), so a given seed and
+  request sequence always sheds the same requests.  High-criticality
+  submissions are only shed at the hard ceiling.
+* **shed accounting** — every decision lands in a bounded in-memory log
+  (visible via ``/v1/healthz``), so "low-criticality jobs were rejected
+  first" is checkable, not folklore.
+
+A shed submission is answered ``429`` with a ``Retry-After`` hint scaled
+to the overload; the client tier (:mod:`repro.service.client`) honors it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from ..harness.executor import CellSpec
+from .protocol import ProtocolError
+
+__all__ = [
+    "CRITICALITY_LOW",
+    "CRITICALITY_HIGH",
+    "CRITICALITIES",
+    "OverloadPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
+    "OverloadedError",
+    "DrainingError",
+    "criticality_of",
+]
+
+CRITICALITY_LOW = "low"
+CRITICALITY_HIGH = "high"
+CRITICALITIES = (CRITICALITY_LOW, CRITICALITY_HIGH)
+
+#: Decisions remembered for /v1/healthz introspection.
+SHED_LOG_LIMIT = 256
+
+
+class OverloadedError(Exception):
+    """Submission shed by admission control; maps to HTTP 429."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class DrainingError(Exception):
+    """The daemon is draining and admits nothing; maps to HTTP 503."""
+
+    def __init__(self, retry_after_s: float = 5.0) -> None:
+        super().__init__("service is draining, not accepting submissions")
+        self.retry_after_s = retry_after_s
+
+
+def criticality_of(body: Any, specs: Iterable[CellSpec]) -> str:
+    """Criticality of one submission: explicit field, else derived.
+
+    An explicit ``"criticality"`` in the submit body wins (validated
+    against :data:`CRITICALITIES`).  Otherwise the submission is
+    high-criticality iff any of its cells runs a scenario with a
+    ``qos=``-bounded tenant — those are the latency-critical tenants the
+    multi-tenant layer (docs/scenarios.md) already distinguishes.
+    """
+    explicit = body.get("criticality") if isinstance(body, dict) else None
+    if explicit is not None:
+        value = str(explicit)
+        if value not in CRITICALITIES:
+            raise ProtocolError(
+                f"criticality must be one of {'/'.join(CRITICALITIES)}, "
+                f"got {value!r}"
+            )
+        return value
+    for spec in specs:
+        if spec.scenario == "off":
+            continue
+        # Scenario specs arriving here are already canonical (validated
+        # by the protocol layer), so a substring probe would do — but
+        # parse anyway: the grammar owns what "qos-bounded" means.
+        from ..workloads.scenario import parse_scenario
+
+        scenario = parse_scenario(spec.scenario)
+        if any(t.qos_ns is not None for t in scenario.tenants):
+            return CRITICALITY_HIGH
+    return CRITICALITY_LOW
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """Knobs of the admission controller (``repro serve`` flags)."""
+
+    #: Queue depth (unresolved cells) at which low-criticality shedding
+    #: starts ramping.
+    max_queue_depth: int = 512
+    #: Queue depth at which *everything* is shed, criticality regardless.
+    hard_queue_depth: int = 2048
+    #: Unresolved cells one client may have in flight before further
+    #: submissions from it are shed (criticality regardless — the cap is
+    #: a fairness bound, not a load bound).
+    max_inflight_per_client: int = 4096
+    #: Seed of the shed-decision stream (reproducible shedding).
+    shed_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.hard_queue_depth <= self.max_queue_depth:
+            raise ValueError(
+                "hard_queue_depth must exceed max_queue_depth "
+                f"({self.hard_queue_depth} <= {self.max_queue_depth})"
+            )
+        if self.max_inflight_per_client < 1:
+            raise ValueError("max_inflight_per_client must be >= 1")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str
+    #: Suggested client back-off, seconds (0 when admitted).
+    retry_after_s: float = 0.0
+
+
+@dataclass
+class AdmissionStats:
+    """Lifetime admission accounting of one controller."""
+
+    admitted: int = 0
+    shed_low: int = 0
+    shed_high: int = 0
+    shed_client_cap: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "shed_low": self.shed_low,
+            "shed_high": self.shed_high,
+            "shed_client_cap": self.shed_client_cap,
+        }
+
+
+class AdmissionController:
+    """Deterministic, criticality-aware load shedder.
+
+    Pure decision logic plus bounded accounting; no locking — the service
+    serializes calls under its own lock, exactly like
+    :class:`~repro.service.fairness.FairScheduler`.
+    """
+
+    def __init__(self, policy: Optional[OverloadPolicy] = None) -> None:
+        self.policy = policy if policy is not None else OverloadPolicy()
+        self.stats = AdmissionStats()
+        #: Most recent decisions, oldest first (health introspection).
+        self.shed_log: deque[dict[str, Any]] = deque(maxlen=SHED_LOG_LIMIT)
+        #: Monotonic decision counter — the seed stream position.
+        self._seq = 0
+
+    # ------------------------------------------------------------- decisions
+    def _draw(self) -> float:
+        """Next value of the seeded shed stream, uniform in [0, 1).
+
+        ``sha256(seed | decision#)`` — no global RNG, no hidden state
+        beyond the decision counter, so replaying the same request
+        sequence against the same seed sheds the same requests.
+        """
+        blob = hashlib.sha256(
+            f"{self.policy.shed_seed}|{self._seq}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(blob[:8], "big") / float(1 << 64)
+
+    def retry_after_s(self, queue_depth: int) -> float:
+        """Back-off hint scaled to the overload, clamped to [1, 60] s."""
+        soft = self.policy.max_queue_depth
+        excess = max(0, queue_depth - soft) / float(soft)
+        return float(max(1, min(60, round(1 + 9 * excess))))
+
+    def decide(
+        self,
+        client: str,
+        criticality: str,
+        new_cells: int,
+        queue_depth: int,
+        client_inflight: int,
+    ) -> AdmissionDecision:
+        """Admit or shed one submission; records the decision.
+
+        ``queue_depth`` counts unresolved (pending + running) cells
+        service-wide, ``client_inflight`` counts the submitting client's
+        own unresolved cells, and ``new_cells`` is the submission's
+        upper-bound contribution (cache hits and in-flight attaches cost
+        nothing, but admission must decide before paying for the probe).
+        """
+        self._seq += 1
+        policy = self.policy
+        retry_after = self.retry_after_s(queue_depth)
+        decision: AdmissionDecision
+        if client_inflight + new_cells > policy.max_inflight_per_client:
+            self.stats.shed_client_cap += 1
+            decision = AdmissionDecision(
+                False,
+                f"client {client!r} exceeds its in-flight cap "
+                f"({client_inflight} in flight + {new_cells} new > "
+                f"{policy.max_inflight_per_client})",
+                retry_after,
+            )
+        elif queue_depth >= policy.hard_queue_depth:
+            if criticality == CRITICALITY_HIGH:
+                self.stats.shed_high += 1
+            else:
+                self.stats.shed_low += 1
+            decision = AdmissionDecision(
+                False,
+                f"queue depth {queue_depth} at hard ceiling "
+                f"{policy.hard_queue_depth}",
+                retry_after,
+            )
+        elif (
+            queue_depth >= policy.max_queue_depth
+            and criticality != CRITICALITY_HIGH
+        ):
+            # Low-criticality shed probability ramps linearly from the
+            # soft limit (never below 1/2 once pressure starts — a
+            # half-open door drains faster than a flapping one) to
+            # certainty at the hard ceiling.
+            span = policy.hard_queue_depth - policy.max_queue_depth
+            ramp = (queue_depth - policy.max_queue_depth) / float(span)
+            shed_p = max(0.5, min(1.0, ramp))
+            if self._draw() < shed_p:
+                self.stats.shed_low += 1
+                decision = AdmissionDecision(
+                    False,
+                    f"low-criticality shed at queue depth {queue_depth} "
+                    f"(soft limit {policy.max_queue_depth}, "
+                    f"p={shed_p:.2f})",
+                    retry_after,
+                )
+            else:
+                self.stats.admitted += 1
+                decision = AdmissionDecision(True, "admitted (survived shed draw)")
+        else:
+            self.stats.admitted += 1
+            decision = AdmissionDecision(True, "admitted")
+        self.shed_log.append(
+            {
+                "seq": self._seq,
+                "client": client,
+                "criticality": criticality,
+                "cells": new_cells,
+                "queue_depth": queue_depth,
+                "client_inflight": client_inflight,
+                "admitted": decision.admitted,
+                "reason": decision.reason,
+            }
+        )
+        return decision
+
+    # --------------------------------------------------------- introspection
+    def snapshot(self, shed_tail: int = 8) -> dict[str, Any]:
+        """Health-endpoint view: counters + the newest shed decisions."""
+        recent = [d for d in self.shed_log if not d["admitted"]]
+        return {
+            "policy": {
+                "max_queue_depth": self.policy.max_queue_depth,
+                "hard_queue_depth": self.policy.hard_queue_depth,
+                "max_inflight_per_client": self.policy.max_inflight_per_client,
+                "shed_seed": self.policy.shed_seed,
+            },
+            "decisions": self._seq,
+            **self.stats.as_dict(),
+            "recent_shed": recent[-shed_tail:],
+        }

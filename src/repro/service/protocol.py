@@ -54,6 +54,7 @@ __all__ = [
     "DEFAULT_PORT",
     "DEFAULT_CLIENT",
     "MAX_CELLS_PER_SUBMIT",
+    "MAX_BODY_BYTES",
     "ProtocolError",
     "spec_to_dict",
     "spec_from_dict",
@@ -69,6 +70,11 @@ DEFAULT_CLIENT = "anon"
 #: Upper bound on cells in one submit request — a fat-fingered grid should
 #: be rejected at the door, not queued for a week.
 MAX_CELLS_PER_SUBMIT = 10_000
+
+#: Upper bound on one HTTP request body.  Even a MAX_CELLS_PER_SUBMIT
+#: explicit-cells submission fits comfortably; anything larger is a bug
+#: or an attack and is answered 413 before a byte of it is buffered.
+MAX_BODY_BYTES = 8 * 1024 * 1024
 
 
 class ProtocolError(ValueError):

@@ -6,7 +6,13 @@ Architecture, front to back:
 * an **asyncio HTTP/JSON front** (:class:`ServiceServer`) — a minimal
   stdlib HTTP/1.1 loop over ``asyncio.start_server``, one JSON response
   per connection; long-polls park in ``asyncio.to_thread`` so they never
-  block the event loop;
+  block the event loop; request bodies are bounded (413 past
+  :data:`~repro.service.protocol.MAX_BODY_BYTES`);
+* an **admission controller** (:mod:`repro.service.overload`) — bounded
+  queue depth and per-client in-flight caps; under pressure
+  low-criticality submissions are shed first (``429 + Retry-After``,
+  deterministic seeded decisions) while high-criticality jobs are
+  admitted until a hard ceiling;
 * the **service core** (:class:`SweepService`) — thread-safe job/cell
   bookkeeping: submissions expand to content-addressed cells, identical
   in-flight cells from different clients collapse onto one
@@ -17,14 +23,19 @@ Architecture, front to back:
 * the **worker tier** — one background thread draining fair batches
   through an unmodified :class:`~repro.harness.executor.SweepExecutor`
   (same retries, timeouts, pool recovery, journal), so service results
-  are bitwise-identical to the single-process CLI path.
+  are bitwise-identical to the single-process CLI path.  A watchdog
+  rebuilds the worker thread if it dies or hangs (mirroring the
+  executor's own stuck-pool recovery, one layer up).
 
 Durability: submissions are appended (fsynced) to ``<state>/jobs.jsonl``
 before they are acknowledged, completed cells land in the result cache
 and the fsynced sweep journal.  A SIGKILLed daemon therefore restarts by
 replaying ``jobs.jsonl``: finished cells resolve instantly from the cache
 (counted as *resumed* when the journal vouches for them) and only
-genuinely unfinished cells are re-simulated.
+genuinely unfinished cells are re-simulated.  SIGTERM (or
+``POST /v1/admin/drain``) is the *graceful* path: admissions stop (503),
+the in-flight batch finishes and checkpoints, and the daemon exits within
+a drain deadline — anything still queued resumes on the next start.
 """
 
 from __future__ import annotations
@@ -32,22 +43,31 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 from urllib.parse import parse_qs, urlsplit
 
 from ..harness.cache import ResultCache
-from ..harness.executor import CellSpec, RetryPolicy, SweepExecutor
+from ..harness.executor import CellSpec, RetryPolicy, SweepExecutor, SweepStats
 from ..harness.journal import SweepJournal
 from ..runtime.system import RunResult
 from ..sim.config import MachineConfig
 from ..sim.serialize import result_to_dict
 from .fairness import DEFAULT_SHARE, FairScheduler
+from .overload import (
+    AdmissionController,
+    DrainingError,
+    OverloadedError,
+    OverloadPolicy,
+    criticality_of,
+)
 from .protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
+    MAX_BODY_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
     expand_submit,
@@ -56,12 +76,26 @@ from .protocol import (
     spec_to_dict,
 )
 
-__all__ = ["SweepService", "ServiceServer", "serve"]
+__all__ = [
+    "SweepService",
+    "ServiceServer",
+    "ServiceShutdownError",
+    "serve",
+]
 
 _PENDING = "pending"
 _RUNNING = "running"
 _DONE = "done"
 _FAILED = "failed"
+
+
+class ServiceShutdownError(RuntimeError):
+    """The worker tier failed to stop within the drain deadline.
+
+    Raised (after logging) instead of silently returning: a worker thread
+    that outlives ``stop()`` is still mutating state the caller believes
+    quiesced, and the exit code must say so.
+    """
 
 
 @dataclass
@@ -78,6 +112,9 @@ class _CellTask:
     #: Vouched for by the sweep journal of an earlier daemon life.
     resumed: bool = False
     error: str = ""
+    #: Client whose submission first enqueued the cell (in-flight
+    #: accounting for the admission controller's per-client cap).
+    client: str = ""
     #: Jobs subscribed for completion accounting (only those that were
     #: waiting on this cell at submit time; warm hits never subscribe).
     jobs: set[str] = field(default_factory=set)
@@ -117,12 +154,16 @@ class _Job:
 class SweepService:
     """Thread-safe core of the sweep daemon (usable without HTTP).
 
-    Three kinds of threads share this object: ``asyncio.to_thread``
-    handler threads (submit/status/fetch), the dedicated sweep-worker
-    thread, and executor callbacks (``_on_cell_complete``).  The lock
-    discipline below is machine-checked by ``repro check`` (CONC2xx):
+    Four kinds of threads share this object: ``asyncio.to_thread``
+    handler threads (submit/status/fetch/drain), the dedicated
+    sweep-worker thread, the watchdog thread, and executor callbacks
+    (``_on_cell_complete``).  The lock discipline below is
+    machine-checked by ``repro check`` (CONC2xx):
 
-    @guarded_by("_cond"): _tasks, _jobs, _job_seq, scheduler
+    @guarded_by("_cond"): _tasks, _jobs, _job_seq, scheduler, admission
+    @guarded_by("_cond"): _draining, _idempotency, _client_inflight
+    @guarded_by("_cond"): _worker, _worker_gen, _worker_heartbeat
+    @guarded_by("_cond"): executor, journal, _stats_base, worker_rebuilds
     @guarded_by("_log_lock"): _jobs_log
 
     ``_log_lock`` serializes the fsynced ``jobs.jsonl`` appends without
@@ -139,25 +180,33 @@ class SweepService:
         machine: Optional[MachineConfig] = None,
         shares: Optional[dict[str, int]] = None,
         default_share: int = DEFAULT_SHARE,
+        overload: Optional[OverloadPolicy] = None,
+        drain_grace_s: float = 30.0,
+        watchdog_interval_s: float = 1.0,
+        worker_hang_timeout_s: Optional[float] = None,
         verbose: bool = False,
     ) -> None:
         self.state_dir = state_dir
         os.makedirs(state_dir, exist_ok=True)
         cache_dir = os.path.join(state_dir, "cache")
         self.cache = ResultCache(cache_dir)
-        self.journal = SweepJournal(os.path.join(cache_dir, "journal.jsonl"))
         self.machine = machine
         self.verbose = verbose
-        self.executor = SweepExecutor(
-            jobs=jobs,
-            cache=self.cache,
-            machine=machine,
-            verbose=verbose,
-            retry=retry,
-            journal=self.journal,
-            on_cell_complete=self._on_cell_complete,
-        )
+        self._jobs_n = jobs
+        self._retry = retry
+        self._journal_path = os.path.join(cache_dir, "journal.jsonl")
+        self.journal = SweepJournal(self._journal_path)
+        self.executor = self._build_executor(self.journal)
         self.scheduler = FairScheduler(default_share=default_share, shares=shares)
+        self.admission = AdmissionController(overload)
+        #: Worker join deadline for ``stop()``/drain.
+        self.drain_grace_s = drain_grace_s
+        self.watchdog_interval_s = watchdog_interval_s
+        #: Heartbeat staleness past which a busy worker counts as hung
+        #: and is abandoned + rebuilt; ``None`` disables hang rebuilds
+        #: (the executor's per-cell timeouts remain the first line of
+        #: defense against stuck pools).
+        self.worker_hang_timeout_s = worker_hang_timeout_s
         #: Cells per worker batch: mirrors the executor's oversubscription
         #: window so the pool stays fed, small enough that fairness and
         #: in-flight dedup re-evaluate frequently.
@@ -166,33 +215,121 @@ class SweepService:
         self._tasks: dict[str, _CellTask] = {}
         self._jobs: dict[str, _Job] = {}
         self._job_seq = 1
+        self._draining = False
+        #: idempotency_key -> job id, for exactly-once client re-submits.
+        self._idempotency: dict[str, str] = {}
+        #: Unresolved (queued or running) cells per submitting client.
+        self._client_inflight: dict[str, int] = {}
         self._jobs_log_path = os.path.join(state_dir, "jobs.jsonl")
         self._log_lock = threading.Lock()
         self._jobs_log: Optional[Any] = None
         self._started_monotonic = time.monotonic()
         self._stop = threading.Event()
         self._worker: Optional[threading.Thread] = None
+        #: Bumped on every rebuild; a worker that wakes up with a stale
+        #: generation exits without touching shared state again.
+        self._worker_gen = 0
+        self._worker_heartbeat = time.monotonic()
+        self._watchdog: Optional[threading.Thread] = None
+        self.worker_rebuilds = 0
+        self._last_rebuild_reason = ""
+        #: Lifetime stats of retired executors (hung-worker rebuilds swap
+        #: in a fresh executor; health() reports base + current).
+        self._stats_base = SweepStats()
         self.recovered_jobs = self._recover()
+
+    def _build_executor(self, journal: SweepJournal) -> SweepExecutor:
+        return SweepExecutor(
+            jobs=self._jobs_n,
+            cache=self.cache,
+            machine=self.machine,
+            verbose=self.verbose,
+            retry=self._retry,
+            journal=journal,
+            on_cell_complete=self._on_cell_complete,
+        )
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
-        """Start the worker tier (idempotent)."""
-        if self._worker is not None:
-            return
-        self._worker = threading.Thread(
-            target=self._worker_loop, name="repro-sweep-worker", daemon=True
-        )
-        self._worker.start()
+        """Start the worker tier and its watchdog (idempotent)."""
+        with self._cond:
+            if self._worker is None:
+                self._spawn_worker_locked()
+        if self._watchdog is None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-sweep-watchdog",
+                daemon=True,
+            )
+            self._watchdog.start()
 
-    def stop(self) -> None:
-        """Stop the worker tier; pending work persists in ``jobs.jsonl``."""
+    def _spawn_worker_locked(self) -> None:
+        gen = self._worker_gen
+        worker = threading.Thread(
+            target=self._worker_loop,
+            args=(gen,),
+            name=f"repro-sweep-worker-g{gen}",
+            daemon=True,
+        )
+        self._worker = worker
+        self._worker_heartbeat = time.monotonic()
+        worker.start()
+
+    def begin_drain(self) -> dict[str, Any]:
+        """Stop admissions immediately; running work continues.
+
+        Returns a drain summary.  New submissions are answered
+        ``503 + Retry-After`` from this moment; the worker finishes its
+        in-flight batch under :meth:`stop`, and everything still queued
+        stays durable in ``jobs.jsonl`` for the next daemon life.
+        """
+        with self._cond:
+            self._draining = True
+            queued = self.scheduler.pending()
+            running = sum(
+                1 for t in self._tasks.values() if t.state == _RUNNING
+            )
+            self._cond.notify_all()
+            return {
+                "draining": True,
+                "queued": queued,
+                "running": running,
+                "jobs": len(self._jobs),
+            }
+
+    def stop(self, timeout_s: Optional[float] = None) -> None:
+        """Stop the worker tier; pending work persists in ``jobs.jsonl``.
+
+        The in-flight batch is allowed to finish (and checkpoint through
+        the journal) within ``timeout_s`` (default: ``drain_grace_s``).
+        A worker that fails to join by the deadline is logged and
+        surfaced as :class:`ServiceShutdownError` — never silently
+        abandoned.
+        """
+        deadline = self.drain_grace_s if timeout_s is None else timeout_s
         self._stop.set()
         with self._cond:
-            self._cond.notify_all()
-        if self._worker is not None:
-            self._worker.join(timeout=30.0)
+            worker = self._worker
             self._worker = None
-        self.journal.close()
+            self._cond.notify_all()
+        watchdog = self._watchdog
+        self._watchdog = None
+        if watchdog is not None:
+            watchdog.join(timeout=5.0)
+        stuck = False
+        if worker is not None:
+            worker.join(timeout=deadline)
+            stuck = worker.is_alive()
+        if stuck:
+            message = (
+                f"sweep worker thread failed to stop within {deadline:.1f}s; "
+                "state may still be mutating (journal left open)"
+            )
+            print(f"repro-serve: ERROR: {message}", file=sys.stderr, flush=True)
+        else:
+            with self._cond:
+                journal = self.journal
+            journal.close()
         with self._log_lock:
             if self._jobs_log is not None:
                 try:
@@ -200,20 +337,31 @@ class SweepService:
                 except OSError:
                     pass
                 self._jobs_log = None
+        if stuck:
+            raise ServiceShutdownError(message)
 
     # ------------------------------------------------------------ durability
-    def _log_job(self, job_id: str, client: str, specs: list[CellSpec]) -> None:
+    def _log_job(
+        self,
+        job_id: str,
+        client: str,
+        specs: list[CellSpec],
+        criticality: Optional[str] = None,
+        idempotency: Optional[str] = None,
+    ) -> None:
         """Persist a submission before acknowledging it (fsync, like the
         sweep journal): a SIGKILLed daemon must be able to finish every
         job it ever accepted."""
-        line = json.dumps(
-            {
-                "job": job_id,
-                "client": client,
-                "cells": [spec_to_dict(s) for s in specs],
-            },
-            sort_keys=True,
-        )
+        entry: dict[str, Any] = {
+            "job": job_id,
+            "client": client,
+            "cells": [spec_to_dict(s) for s in specs],
+        }
+        if criticality is not None:
+            entry["criticality"] = criticality
+        if idempotency is not None:
+            entry["idempotency"] = idempotency
+        line = json.dumps(entry, sort_keys=True)
         # Concurrent submits run on asyncio.to_thread workers; without
         # this lock the lazy open races and interleaved write/fsync pairs
         # can tear lines in the very log whose job is crash recovery.
@@ -241,8 +389,9 @@ class SweepService:
     def _recover(self) -> int:
         """Replay ``jobs.jsonl``: re-register every job of previous daemon
         lives.  Finished cells resolve instantly from the cache; only the
-        unfinished remainder re-enters the queue."""
-        entries: list[tuple[str, str, list[CellSpec]]] = []
+        unfinished remainder re-enters the queue.  Recovery bypasses
+        admission control — these jobs were already accepted."""
+        entries: list[tuple[str, str, list[CellSpec], Optional[str]]] = []
         try:
             with open(self._jobs_log_path, encoding="utf-8") as fh:
                 for raw in fh:
@@ -254,31 +403,80 @@ class SweepService:
                         job_id = str(entry["job"])
                         client = str(entry["client"])
                         specs = [spec_from_dict(c) for c in entry["cells"]]
+                        idem = entry.get("idempotency")
+                        idem = str(idem) if idem is not None else None
                     except (json.JSONDecodeError, KeyError, TypeError,
                             ValueError):
                         continue  # torn tail or garbage: skip, don't crash
-                    entries.append((job_id, client, specs))
+                    entries.append((job_id, client, specs, idem))
         except FileNotFoundError:
             return 0
         except OSError:
             return 0
-        for job_id, client, specs in entries:
+        for job_id, client, specs, idem in entries:
             self._register(job_id, client, specs)
             seq = _job_seq_of(job_id)
-            if seq is not None:
-                with self._cond:
+            with self._cond:
+                if seq is not None:
                     self._job_seq = max(self._job_seq, seq + 1)
+                if idem is not None:
+                    self._idempotency[idem] = job_id
         return len(entries)
 
     # ------------------------------------------------------------ submission
     def submit(self, body: Any) -> dict[str, Any]:
-        """Accept one submit request; returns the receipt."""
+        """Accept one submit request; returns the receipt.
+
+        Raises :class:`~repro.service.overload.DrainingError` while
+        draining and :class:`~repro.service.overload.OverloadedError`
+        when the admission controller sheds the submission.
+        """
         client, specs = expand_submit(body)
+        criticality = criticality_of(body, specs)
+        idem = (
+            str(body["idempotency_key"])
+            if isinstance(body, dict) and body.get("idempotency_key")
+            else None
+        )
+        unique = list(dict.fromkeys(specs))
+        # Content-address outside the lock (hashing is CPU, not state).
+        keys = [spec.key(self.machine) for spec in unique]
         with self._cond:
+            if self._draining:
+                raise DrainingError()
+            if idem is not None and idem in self._idempotency:
+                replay = self._jobs.get(self._idempotency[idem])
+                if replay is not None:
+                    # The first attempt landed; the retry gets the same
+                    # receipt instead of a duplicate job.
+                    return self._receipt(replay)
+            # Upper bound on this submission's new load: keys not already
+            # resolved or in flight (warm-cache hits resolve later, at
+            # registration, without ever being enqueued).
+            new_cells = sum(
+                1
+                for key in keys
+                if (task := self._tasks.get(key)) is None
+                or task.state == _FAILED
+            )
+            decision = self.admission.decide(
+                client,
+                criticality,
+                new_cells,
+                queue_depth=sum(self._client_inflight.values()),
+                client_inflight=self._client_inflight.get(client, 0),
+            )
+            if not decision.admitted:
+                raise OverloadedError(decision.reason, decision.retry_after_s)
             job_id = f"j{self._job_seq:06d}"
             self._job_seq += 1
-        self._log_job(job_id, client, specs)
+        self._log_job(
+            job_id, client, specs, criticality=criticality, idempotency=idem
+        )
         job = self._register(job_id, client, specs)
+        if idem is not None:
+            with self._cond:
+                self._idempotency[idem] = job_id
         return self._receipt(job)
 
     def _register(
@@ -327,10 +525,13 @@ class SweepService:
                     if resumed:
                         job.resumed += 1
                     continue
-                task = _CellTask(spec=spec, key=key)
+                task = _CellTask(spec=spec, key=key, client=client)
                 task.jobs.add(job_id)
                 self._tasks[key] = task
                 self.scheduler.enqueue(client, task)
+                self._client_inflight[client] = (
+                    self._client_inflight.get(client, 0) + 1
+                )
             self._jobs[job_id] = job
             self._cond.notify_all()
         return job
@@ -351,29 +552,46 @@ class SweepService:
             "resumed": job.resumed,
         }
 
+    def _dec_inflight_locked(self, task: _CellTask) -> None:
+        """Release one unit of the enqueuing client's in-flight budget."""
+        count = self._client_inflight.get(task.client)
+        if count is None:
+            return
+        if count <= 1:
+            del self._client_inflight[task.client]
+        else:
+            self._client_inflight[task.client] = count - 1
+
     # ------------------------------------------------------------ worker tier
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, gen: int) -> None:
         while True:
             batch: list[_CellTask] = []
             with self._cond:
-                while not self._stop.is_set():
+                while not self._stop.is_set() and gen == self._worker_gen:
+                    self._worker_heartbeat = time.monotonic()
                     batch = self._take_batch_locked()
                     if batch:
                         break
                     self._cond.wait(timeout=0.25)
-                if self._stop.is_set():
+                if self._stop.is_set() or gen != self._worker_gen:
                     return
+                executor = self.executor
             specs = [task.spec for task in batch]
             try:
-                self.executor.run_cells(specs)
+                executor.run_cells(specs)
             except Exception as exc:  # the daemon must survive any cell error
                 # Exhausted retries / non-retryable cell error: fail every
                 # batch cell that didn't complete, keep serving.
                 with self._cond:
+                    if gen != self._worker_gen:
+                        # Abandoned mid-batch by the watchdog: the new
+                        # worker owns these (requeued) cells now.
+                        return
                     for task in batch:
                         if task.state != _DONE:
                             task.state = _FAILED
                             task.error = f"{type(exc).__name__}: {exc}"
+                            self._dec_inflight_locked(task)
                     self._cond.notify_all()
 
     def _take_batch_locked(self) -> list[_CellTask]:
@@ -400,9 +618,12 @@ class SweepService:
     ) -> None:
         """Executor hook: journal-backed per-cell progress streaming."""
         with self._cond:
+            self._worker_heartbeat = time.monotonic()
             task = self._tasks.get(key)
             if task is None:
                 return
+            if task.state in (_PENDING, _RUNNING):
+                self._dec_inflight_locked(task)
             task.state = _DONE
             task.seconds = seconds
             task.from_cache = from_cache
@@ -417,6 +638,66 @@ class SweepService:
                     job.simulated += 1
             task.jobs.clear()
             self._cond.notify_all()
+
+    # ------------------------------------------------------------- watchdog
+    def _watchdog_loop(self) -> None:
+        """Rebuild the worker tier when its thread dies or hangs.
+
+        Mirrors the executor's stuck-pool recovery one layer up: the
+        executor tears down and rebuilds a hung *process pool*; the
+        watchdog tears down and rebuilds a dead/hung *worker thread*
+        (with a fresh executor + journal handle for hangs, because the
+        old ones are stuck inside the abandoned call).
+        """
+        while not self._stop.wait(self.watchdog_interval_s):
+            with self._cond:
+                worker = self._worker
+                if worker is None:
+                    continue
+                if not worker.is_alive():
+                    self._rebuild_worker_locked("worker thread died")
+                    continue
+                busy = self.scheduler.pending() > 0 or any(
+                    t.state == _RUNNING for t in self._tasks.values()
+                )
+                hang = self.worker_hang_timeout_s
+                if (
+                    hang is not None
+                    and busy
+                    and time.monotonic() - self._worker_heartbeat > hang
+                ):
+                    self._rebuild_worker_locked(
+                        f"worker heartbeat stale past {hang:.1f}s"
+                    )
+
+    def _rebuild_worker_locked(self, reason: str) -> None:
+        """Abandon the current worker generation and start a fresh one.
+
+        Caller holds ``_cond``.  RUNNING cells are requeued for the new
+        worker; if the abandoned thread ever finishes them anyway, the
+        completion path is idempotent (content-addressed cache writes are
+        atomic and ``_on_cell_complete`` keys by cell, not by worker).
+        """
+        print(
+            f"repro-serve: watchdog: {reason}; rebuilding worker tier",
+            file=sys.stderr,
+            flush=True,
+        )
+        self._worker_gen += 1
+        self.worker_rebuilds += 1
+        self._last_rebuild_reason = reason
+        # The old executor/journal may be wedged inside the abandoned
+        # call; retire them (keeping their lifetime stats) and hand the
+        # new worker fresh ones on the same on-disk state.
+        self._stats_base.merge(self.executor.stats)
+        self.journal = SweepJournal(self._journal_path)
+        self.executor = self._build_executor(self.journal)
+        for task in self._tasks.values():
+            if task.state == _RUNNING:
+                task.state = _PENDING
+                self.scheduler.enqueue(task.client or "anon", task)
+        self._spawn_worker_locked()
+        self._cond.notify_all()
 
     # ------------------------------------------------------------ queries
     def status(self, job_id: str, detail: bool = False) -> dict[str, Any]:
@@ -521,21 +802,31 @@ class SweepService:
         return payload
 
     def health(self) -> dict[str, Any]:
-        stats = self.executor.stats
         with self._cond:
+            stats = SweepStats()
+            stats.merge(self._stats_base)
+            stats.merge(self.executor.stats)
             active = sum(
                 1
                 for task in self._tasks.values()
                 if task.state in (_PENDING, _RUNNING)
             )
+            worker = self._worker
             return {
                 "ok": True,
                 "version": PROTOCOL_VERSION,
                 "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+                "draining": self._draining,
                 "jobs": len(self._jobs),
                 "recovered_jobs": self.recovered_jobs,
                 "active_cells": active,
                 "known_cells": len(self._tasks),
+                "worker": {
+                    "alive": worker.is_alive() if worker is not None else False,
+                    "rebuilds": self.worker_rebuilds,
+                    "last_rebuild_reason": self._last_rebuild_reason,
+                },
+                "overload": self.admission.snapshot(),
                 "stats": {
                     "cells": stats.cells,
                     "cache_hits": stats.cache_hits,
@@ -561,6 +852,18 @@ class _NotDone(Exception):
 
 
 # ---------------------------------------------------------------- HTTP front
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
 class ServiceServer:
     """Minimal stdlib HTTP/1.1 front over a :class:`SweepService`."""
 
@@ -569,10 +872,14 @@ class ServiceServer:
         service: SweepService,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
+        on_drain: Optional[Callable[[], None]] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Called (on the event loop) after a drain request has stopped
+        #: admissions; ``serve()`` uses it to schedule process exit.
+        self.on_drain = on_drain
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> tuple[str, int]:
@@ -607,16 +914,22 @@ class ServiceServer:
             pass
 
     async def stop(self) -> None:
+        """Close the HTTP front, then stop the worker tier gracefully.
+
+        Propagates :class:`ServiceShutdownError` if the worker misses
+        the drain deadline — ``serve()`` turns that into a nonzero exit.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        self.service.stop()
+        await asyncio.to_thread(self.service.stop)
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         status, payload = 500, {"error": "internal error"}
+        extra_headers: dict[str, str] = {}
         try:
             request = await asyncio.wait_for(reader.readline(), timeout=30.0)
             parts = request.decode("latin-1").split()
@@ -630,9 +943,30 @@ class ServiceServer:
                     break
                 name, _, value = line.decode("latin-1").partition(":")
                 headers[name.strip().lower()] = value.strip()
-            length = int(headers.get("content-length", "0") or "0")
-            body = await reader.readexactly(length) if length > 0 else b""
-            status, payload = await self._route(method, target, body)
+            try:
+                length = int(headers.get("content-length", "0") or "0")
+            except ValueError:
+                raise _BadRequest("content-length is not an integer") from None
+            if length < 0:
+                raise _BadRequest("content-length is negative")
+            if length > MAX_BODY_BYTES:
+                # Reject before buffering a byte: an oversized (or
+                # forever-streaming) body must not balloon the daemon.
+                status, payload = 413, {
+                    "error": f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte limit"
+                }
+            else:
+                body = (
+                    await asyncio.wait_for(
+                        reader.readexactly(length), timeout=30.0
+                    )
+                    if length > 0
+                    else b""
+                )
+                status, payload, extra_headers = await self._route(
+                    method, target, body
+                )
         except _BadRequest as exc:
             status, payload = 400, {"error": str(exc)}
         except (asyncio.IncompleteReadError, asyncio.TimeoutError):
@@ -645,15 +979,15 @@ class ServiceServer:
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
         try:
             blob = json.dumps(payload, sort_keys=True).encode("utf-8")
-            reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-                      409: "Conflict", 500: "Internal Server Error"}.get(
-                status, "OK")
-            head = (
-                f"HTTP/1.1 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
-                f"Content-Length: {len(blob)}\r\n"
-                "Connection: close\r\n\r\n"
-            )
+            reason = _REASONS.get(status, "OK")
+            head_lines = [
+                f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(blob)}",
+            ]
+            head_lines += [f"{k}: {v}" for k, v in extra_headers.items()]
+            head_lines.append("Connection: close")
+            head = "\r\n".join(head_lines) + "\r\n\r\n"
             writer.write(head.encode("latin-1") + blob)
             await writer.drain()
         except ConnectionError:
@@ -667,7 +1001,7 @@ class ServiceServer:
 
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
         split = urlsplit(target)
         path = split.path.rstrip("/")
         query = {k: v[-1] for k, v in parse_qs(split.query).items()}
@@ -680,10 +1014,36 @@ class ServiceServer:
                 # Submission writes fsynced state; keep it off the loop.
                 receipt = await asyncio.to_thread(self.service.submit, parsed)
             except ProtocolError as exc:
-                return 400, {"error": str(exc)}
-            return 200, receipt
+                return 400, {"error": str(exc)}, {}
+            except OverloadedError as exc:
+                return (
+                    429,
+                    {
+                        "error": f"overloaded: {exc.reason}",
+                        "retry_after_s": exc.retry_after_s,
+                    },
+                    {"Retry-After": _retry_after_header(exc.retry_after_s)},
+                )
+            except DrainingError as exc:
+                return (
+                    503,
+                    {
+                        "error": str(exc),
+                        "retry_after_s": exc.retry_after_s,
+                    },
+                    {"Retry-After": _retry_after_header(exc.retry_after_s)},
+                )
+            return 200, receipt, {}
+        if method == "POST" and path == "/v1/admin/drain":
+            summary = await asyncio.to_thread(self.service.begin_drain)
+            if self.on_drain is not None:
+                # Admissions are already off; schedule the actual exit
+                # after this response has gone out.
+                loop = asyncio.get_running_loop()
+                loop.call_soon(self.on_drain)
+            return 200, summary, {}
         if method == "GET" and path == "/v1/healthz":
-            return 200, self.service.health()
+            return 200, self.service.health(), {}
         if method == "GET" and path.startswith("/v1/jobs/"):
             rest = path[len("/v1/jobs/"):]
             try:
@@ -691,7 +1051,7 @@ class ServiceServer:
                     job_id = rest[: -len("/results")]
                     return 200, await asyncio.to_thread(
                         self.service.fetch, job_id
-                    )
+                    ), {}
                 job_id = rest
                 wait_s = float(query.get("wait", "0") or "0")
                 detail = query.get("detail", "0") not in ("0", "", "false")
@@ -701,15 +1061,20 @@ class ServiceServer:
                     )
                     if detail:
                         status = self.service.status(job_id, detail=True)
-                    return 200, status
-                return 200, self.service.status(job_id, detail=detail)
+                    return 200, status, {}
+                return 200, self.service.status(job_id, detail=detail), {}
             except KeyError:
-                return 404, {"error": f"unknown job {rest.split('/')[0]!r}"}
+                return 404, {"error": f"unknown job {rest.split('/')[0]!r}"}, {}
             except _NotDone as exc:
-                return 409, {"error": f"job not fetchable: {exc}"}
+                return 409, {"error": f"job not fetchable: {exc}"}, {}
             except ValueError as exc:
                 raise _BadRequest(str(exc)) from exc
-        return 404, {"error": f"no route for {method} {path}"}
+        return 404, {"error": f"no route for {method} {path}"}, {}
+
+
+def _retry_after_header(retry_after_s: float) -> str:
+    """HTTP ``Retry-After`` wants integral seconds; round up, floor 1."""
+    return str(max(1, int(round(retry_after_s))))
 
 
 class _BadRequest(Exception):
@@ -724,20 +1089,37 @@ def serve(
     retry: Optional[RetryPolicy] = None,
     shares: Optional[dict[str, int]] = None,
     default_share: int = DEFAULT_SHARE,
+    overload: Optional[OverloadPolicy] = None,
+    drain_grace_s: float = 30.0,
+    worker_hang_timeout_s: Optional[float] = None,
     verbose: bool = False,
 ) -> int:
-    """Blocking entry point for ``repro serve``; returns an exit code."""
+    """Blocking entry point for ``repro serve``; returns an exit code.
+
+    SIGTERM/SIGINT and ``POST /v1/admin/drain`` all take the graceful
+    path: admissions stop immediately (503 + Retry-After), the in-flight
+    batch finishes and checkpoints, and the process exits within
+    ``drain_grace_s`` — exit code 1 if the worker tier missed the
+    deadline, 0 on a clean drain.
+    """
     service = SweepService(
         state_dir,
         jobs=jobs,
         retry=retry,
         shares=shares,
         default_share=default_share,
+        overload=overload,
+        drain_grace_s=drain_grace_s,
+        worker_hang_timeout_s=worker_hang_timeout_s,
         verbose=verbose,
     )
     server = ServiceServer(service, host=host, port=port)
+    exit_code = 0
 
     async def _main() -> None:
+        nonlocal exit_code
+        stop = asyncio.Event()
+        server.on_drain = stop.set
         bound_host, bound_port = await server.start()
         print(
             f"repro-serve listening on http://{bound_host}:{bound_port} "
@@ -745,21 +1127,37 @@ def serve(
             f"recovered {service.recovered_jobs} jobs)",
             flush=True,
         )
-        stop = asyncio.Event()
         loop = asyncio.get_running_loop()
+
+        def _graceful(signame: str) -> None:
+            # Admissions stop the instant the signal lands; the drain
+            # itself (worker join, checkpoints) runs after stop.wait().
+            print(f"repro-serve: {signame}: draining", flush=True)
+            service.begin_drain()
+            stop.set()
+
         try:
             import signal as _signal
 
             for sig in (_signal.SIGINT, _signal.SIGTERM):
-                loop.add_signal_handler(sig, stop.set)
+                loop.add_signal_handler(
+                    sig, _graceful, _signal.Signals(sig).name
+                )
         except (NotImplementedError, OSError):  # pragma: no cover — non-POSIX
             pass
         await stop.wait()
-        print("repro-serve shutting down", flush=True)
-        await server.stop()
+        print("repro-serve shutting down (graceful drain)", flush=True)
+        try:
+            await server.stop()
+        except ServiceShutdownError as exc:
+            print(f"repro-serve: drain failed: {exc}", file=sys.stderr,
+                  flush=True)
+            exit_code = 1
+            return
+        print("repro-serve drained cleanly", flush=True)
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:  # pragma: no cover — belt and braces
         pass
-    return 0
+    return exit_code

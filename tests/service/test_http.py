@@ -6,11 +6,19 @@ import asyncio
 import http.client
 import json
 import os
+import socket
 import threading
 
 import pytest
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ClientRetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.overload import OverloadPolicy
+from repro.service.protocol import MAX_BODY_BYTES
 from repro.service.server import ServiceServer, SweepService
 
 SCALE = 0.05
@@ -19,8 +27,8 @@ SCALE = 0.05
 class _LiveServer:
     """A ServiceServer running on its own asyncio loop in a daemon thread."""
 
-    def __init__(self, state_dir):
-        self.service = SweepService(state_dir, jobs=1)
+    def __init__(self, state_dir, **service_kwargs):
+        self.service = SweepService(state_dir, jobs=1, **service_kwargs)
         self.server = ServiceServer(self.service, host="127.0.0.1", port=0)
         self.loop = asyncio.new_event_loop()
         self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
@@ -165,6 +173,116 @@ class TestErrorMapping:
         assert resp.status == 404
         resp.read()
         conn.close()
+
+
+class TestBodyLimits:
+    def test_oversized_body_is_413_before_buffering(self, live):
+        conn = http.client.HTTPConnection(
+            live.server.host, live.server.port, timeout=10
+        )
+        # Announce an absurd body and send none: the daemon must answer
+        # from the header alone instead of buffering (or waiting for) it.
+        conn.putrequest("POST", "/v1/jobs")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(MAX_BODY_BYTES + 1))
+        conn.endheaders()
+        resp = conn.getresponse()
+        assert resp.status == 413
+        assert b"exceeds" in resp.read()
+        conn.close()
+        assert ServiceClient(live.url).health()["ok"] is True
+
+    def test_invalid_content_length_is_400(self, live):
+        sock = socket.create_connection(
+            (live.server.host, live.server.port), timeout=10
+        )
+        sock.sendall(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Content-Length: banana\r\n\r\n"
+        )
+        response = b""
+        while b"\r\n\r\n" not in response:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            response += chunk
+        sock.close()
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_negative_content_length_is_400(self, live):
+        sock = socket.create_connection(
+            (live.server.host, live.server.port), timeout=10
+        )
+        sock.sendall(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        )
+        response = b""
+        while b"\r\n\r\n" not in response:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            response += chunk
+        sock.close()
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+
+class TestOverloadOverHTTP:
+    @pytest.fixture
+    def tight(self, tmp_path):
+        server = _LiveServer(
+            str(tmp_path / "state"),
+            overload=OverloadPolicy(
+                max_queue_depth=1, hard_queue_depth=50,
+                max_inflight_per_client=1000, shed_seed=0,
+            ),
+        )
+        # Park the worker tier: queued cells only accumulate, which is the
+        # synthetic overload the shed path needs.
+        server.service.stop()
+        yield server
+        server.close()
+
+    def test_low_criticality_shed_with_429_and_retry_after(self, tight):
+        client = ServiceClient(tight.url, retry=ClientRetryPolicy.none())
+        _submit(client, seeds=[1])  # depth passes the soft limit
+        shed = None
+        for seed in range(2, 40):
+            try:
+                _submit(client, seeds=[seed], policies=["fifo"])
+            except ServiceOverloadedError as exc:
+                shed = exc
+                break
+        assert shed is not None, "low-criticality submission never shed"
+        assert shed.status == 429
+        # Retry-After arrived (header or body hint) and is sane.
+        assert shed.retry_after_s is not None and shed.retry_after_s >= 1.0
+        # An explicitly high-criticality submission is still admitted.
+        receipt = _submit(
+            client, seeds=[99], policies=["fifo"], criticality="high"
+        )
+        assert receipt["job"]
+        health = client.health()
+        assert health["overload"]["shed_low"] >= 1
+        assert health["overload"]["shed_high"] == 0
+
+
+class TestDrainOverHTTP:
+    def test_drain_endpoint_stops_admissions_with_503(self, live):
+        client = ServiceClient(live.url, retry=ClientRetryPolicy.none())
+        summary = client.drain()
+        assert summary["draining"] is True
+        with pytest.raises(ServiceOverloadedError) as err:
+            _submit(client)
+        assert err.value.status == 503
+        assert err.value.retry_after_s is not None
+        # Reads keep working while draining.
+        assert client.health()["draining"] is True
+
+    def test_drain_fires_the_on_drain_callback(self, live):
+        fired = threading.Event()
+        live.server.on_drain = fired.set
+        ServiceClient(live.url).drain()
+        assert fired.wait(timeout=10)
 
 
 class TestEndpointFile:
